@@ -1,0 +1,14 @@
+//! Regenerates the §3.4 parameter ablations (γ, W, α, δ, relief, and the
+//! §6 m-smallest extension) on a shrink-recovery scenario.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::ablation;
+
+fn main() {
+    let rows = run_step("ablation sweep", || ablation::run(bench_seed()));
+    print!("{}", ablation::table(&rows));
+    let fc = run_step("flow-control comparison", || {
+        ablation::flow_control_comparison(bench_seed())
+    });
+    print!("{}", ablation::flow_control_table(&fc));
+}

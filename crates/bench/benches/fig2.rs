@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: reliability degradation of static-buffer lpbcast
+//! as the offered rate grows.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::fig2;
+
+fn main() {
+    let rows = run_step("fig2 sweep", || fig2::run(bench_seed()));
+    print!("{}", fig2::table(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 4: maximum sustainable input rate per buffer size,
+//! plus the §2.3 critical-age constant.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::fig4;
+
+fn main() {
+    let result = run_step("fig4 calibration", || fig4::run(bench_seed()));
+    print!("{}", fig4::table(&result));
+    println!("  {}", fig4::summary(&result));
+}

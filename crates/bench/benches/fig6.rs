@@ -1,0 +1,10 @@
+//! Regenerates Figure 6: offered, allowed and maximum rates across the
+//! buffer sweep.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::fig6;
+
+fn main() {
+    let rows = run_step("fig6 sweep", || fig6::run(bench_seed()));
+    print!("{}", fig6::table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7(a,b,c): input rate, output rate and drop ages for
+//! lpbcast vs adaptive.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::fig7;
+
+fn main() {
+    let rows = run_step("fig7 sweep", || fig7::run(bench_seed()));
+    print!("{}", fig7::table_input(&rows));
+    print!("{}", fig7::table_output(&rows));
+    print!("{}", fig7::table_drop_age(&rows));
+}

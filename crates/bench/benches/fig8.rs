@@ -1,0 +1,11 @@
+//! Regenerates Figure 8(a,b): average % of receivers and % of atomically
+//! delivered messages for lpbcast vs adaptive.
+
+use agb_bench::{bench_seed, run_step};
+use agb_experiments::{fig7, fig8};
+
+fn main() {
+    let rows = run_step("fig8 sweep", || fig7::run(bench_seed()));
+    print!("{}", fig8::table_avg_receivers(&rows));
+    print!("{}", fig8::table_atomicity(&rows));
+}

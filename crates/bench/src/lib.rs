@@ -1,0 +1,43 @@
+//! Benchmark-harness support: shared timing/printing helpers for the
+//! per-figure bench targets.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index) and prints the same rows the
+//! paper plots. Set `AGB_QUICK=1` to shrink run lengths for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Runs one named reproduction step, printing its wall-clock cost.
+pub fn run_step<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    eprintln!("[bench] {name}: {:.1}s", start.elapsed().as_secs_f64());
+    out
+}
+
+/// The seed used by default for benchmark reproductions.
+pub fn bench_seed() -> u64 {
+    std::env::var("AGB_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_step_passes_value_through() {
+        assert_eq!(run_step("x", || 7), 7);
+    }
+
+    #[test]
+    fn bench_seed_defaults() {
+        // Not setting AGB_SEED in the test environment.
+        assert_eq!(bench_seed(), 42);
+    }
+}

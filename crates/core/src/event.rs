@@ -1,0 +1,124 @@
+//! Broadcast events and their ages.
+
+use agb_types::{EventId, Payload};
+
+/// A broadcast event as buffered and gossiped by the protocol (Figure 1's
+/// `e`): identifier, age, and opaque payload.
+///
+/// **Age** is the paper's central bookkeeping device: it counts how many
+/// gossip rounds a copy of the event has lived through, which tracks how
+/// many node-to-node forwarding steps the event has taken and therefore how
+/// widely it has been disseminated. Ages are max-merged across duplicate
+/// copies, so the age at any node lower-bounds the global dissemination
+/// level.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::Event;
+/// use agb_types::{EventId, NodeId, Payload};
+///
+/// let mut e = Event::new(EventId::new(NodeId::new(1), 0), Payload::from_static(b"tick"));
+/// assert_eq!(e.age(), 0);
+/// e.increment_age();
+/// e.merge_age(5);
+/// assert_eq!(e.age(), 5);
+/// e.merge_age(2); // lower ages never win
+/// assert_eq!(e.age(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    id: EventId,
+    age: u32,
+    payload: Payload,
+}
+
+impl Event {
+    /// Creates a fresh event with age zero.
+    pub fn new(id: EventId, payload: Payload) -> Self {
+        Event {
+            id,
+            age: 0,
+            payload,
+        }
+    }
+
+    /// Creates an event with an explicit age (used when decoding from the
+    /// wire).
+    pub fn with_age(id: EventId, age: u32, payload: Payload) -> Self {
+        Event { id, age, payload }
+    }
+
+    /// The globally unique event identifier.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Current age in gossip rounds / forwarding hops.
+    pub fn age(&self) -> u32 {
+        self.age
+    }
+
+    /// The opaque application payload.
+    pub fn payload(&self) -> &Payload {
+        &self.payload
+    }
+
+    /// Increments the age by one round (Figure 1, "update ages").
+    pub fn increment_age(&mut self) {
+        self.age = self.age.saturating_add(1);
+    }
+
+    /// Max-merges the age of a duplicate copy (Figure 1, receive path).
+    pub fn merge_age(&mut self, other_age: u32) {
+        self.age = self.age.max(other_age);
+    }
+
+    /// Approximate wire size in bytes: id (origin u32 + seq u64) + age (u32)
+    /// + payload.
+    pub fn wire_size(&self) -> usize {
+        4 + 8 + 4 + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agb_types::NodeId;
+
+    fn id(n: u32, s: u64) -> EventId {
+        EventId::new(NodeId::new(n), s)
+    }
+
+    #[test]
+    fn new_event_has_age_zero() {
+        let e = Event::new(id(0, 1), Payload::new());
+        assert_eq!(e.age(), 0);
+        assert_eq!(e.id(), id(0, 1));
+        assert!(e.payload().is_empty());
+    }
+
+    #[test]
+    fn age_increments_and_saturates() {
+        let mut e = Event::with_age(id(0, 0), u32::MAX - 1, Payload::new());
+        e.increment_age();
+        assert_eq!(e.age(), u32::MAX);
+        e.increment_age();
+        assert_eq!(e.age(), u32::MAX);
+    }
+
+    #[test]
+    fn merge_takes_maximum() {
+        let mut e = Event::with_age(id(0, 0), 3, Payload::new());
+        e.merge_age(7);
+        assert_eq!(e.age(), 7);
+        e.merge_age(1);
+        assert_eq!(e.age(), 7);
+    }
+
+    #[test]
+    fn wire_size_counts_payload() {
+        let e = Event::new(id(0, 0), Payload::from_static(b"12345"));
+        assert_eq!(e.wire_size(), 16 + 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! The gossip message exchanged between nodes.
+
+use agb_membership::MembershipDigest;
+use agb_types::NodeId;
+
+use crate::event::Event;
+use crate::minbuff::BuffAd;
+
+/// One gossip message: the sender's buffered events plus the small control
+/// header that the adaptive mechanism piggybacks on every data message
+/// (Figure 5(a): the sample period `s` and the sender's current-period
+/// minimum-buffer estimate).
+///
+/// The mechanism deliberately adds **no extra messages** — only these header
+/// fields — which is what preserves gossip's scalability.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::{BuffAd, Event, GossipMessage};
+/// use agb_types::{EventId, NodeId, Payload};
+///
+/// let msg = GossipMessage {
+///     sender: NodeId::new(3),
+///     sample_period: 7,
+///     min_buffs: vec![BuffAd { node: NodeId::new(9), capacity: 45 }],
+///     events: vec![Event::new(EventId::new(NodeId::new(3), 0), Payload::new())],
+///     membership: Default::default(),
+/// };
+/// assert_eq!(msg.min_buff(), Some(45));
+/// assert!(msg.wire_size() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipMessage {
+    /// The gossiping node.
+    pub sender: NodeId,
+    /// The sender's current sample period index `s` (Figure 5(a)).
+    /// Zero when the sender runs the non-adaptive baseline.
+    pub sample_period: u64,
+    /// The sender's estimate of the `m` smallest buffer capacities in the
+    /// group for period `s`, ascending. Baseline lpbcast sends an empty
+    /// vector; the paper's mechanism sends one entry (`minBuff_s`); the §6
+    /// extension sends `m > 1`.
+    pub min_buffs: Vec<BuffAd>,
+    /// The sender's buffered events.
+    pub events: Vec<Event>,
+    /// Piggybacked membership updates (lpbcast subscriptions).
+    pub membership: MembershipDigest,
+}
+
+impl GossipMessage {
+    /// Approximate wire size in bytes (header + events + membership ids).
+    pub fn wire_size(&self) -> usize {
+        let header = 4 /* sender */ + 8 /* period */ + 2 + 8 * self.min_buffs.len();
+        let events: usize = self.events.iter().map(Event::wire_size).sum();
+        let membership = 4 * self.membership.len();
+        header + events + membership + 4 /* counts */
+    }
+
+    /// The sender's single-value min-buffer estimate (the smallest entry),
+    /// if present.
+    pub fn min_buff(&self) -> Option<u32> {
+        self.min_buffs.first().map(|a| a.capacity)
+    }
+
+    /// Whether this message carries adaptive control information.
+    pub fn is_adaptive(&self) -> bool {
+        !self.min_buffs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agb_types::{EventId, Payload};
+
+    fn base() -> GossipMessage {
+        GossipMessage {
+            sender: NodeId::new(0),
+            sample_period: 0,
+            min_buffs: vec![],
+            events: vec![],
+            membership: MembershipDigest::default(),
+        }
+    }
+
+    #[test]
+    fn wire_size_grows_with_events() {
+        let empty = base();
+        let mut one = base();
+        one.events
+            .push(Event::new(EventId::new(NodeId::new(0), 0), Payload::new()));
+        assert!(one.wire_size() > empty.wire_size());
+    }
+
+    #[test]
+    fn min_buff_accessor_and_adaptive_flag() {
+        let mut msg = base();
+        assert_eq!(msg.min_buff(), None);
+        assert!(!msg.is_adaptive());
+        msg.min_buffs = vec![
+            BuffAd {
+                node: NodeId::new(4),
+                capacity: 45,
+            },
+            BuffAd {
+                node: NodeId::new(5),
+                capacity: 60,
+            },
+        ];
+        assert_eq!(msg.min_buff(), Some(45));
+        assert!(msg.is_adaptive());
+    }
+}

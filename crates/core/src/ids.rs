@@ -1,0 +1,133 @@
+//! The bounded duplicate-suppression digest (`eventIds` in Figure 1).
+
+use std::collections::{HashSet, VecDeque};
+
+use agb_types::EventId;
+
+/// FIFO-bounded set of already-seen event identifiers.
+///
+/// Figure 1 garbage-collects `eventIds` by removing the *oldest* elements
+/// when the bound is exceeded; ids are much cheaper than events, so this
+/// buffer is typically far larger than the event buffer. Evicting an id too
+/// early can cause a circulating copy to be re-delivered — the paper accepts
+/// this, and so do we (the metrics layer counts deliveries once per node).
+///
+/// # Example
+///
+/// ```
+/// use agb_core::EventIdBuffer;
+/// use agb_types::{EventId, NodeId};
+///
+/// let mut ids = EventIdBuffer::new(2);
+/// let id = |s| EventId::new(NodeId::new(0), s);
+/// assert!(ids.insert(id(0)));
+/// assert!(!ids.insert(id(0))); // duplicate
+/// ids.insert(id(1));
+/// ids.insert(id(2)); // evicts id(0)
+/// assert!(!ids.contains(id(0)));
+/// assert!(ids.contains(id(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventIdBuffer {
+    capacity: usize,
+    order: VecDeque<EventId>,
+    set: HashSet<EventId>,
+}
+
+impl EventIdBuffer {
+    /// Creates a buffer remembering at most `capacity` ids.
+    pub fn new(capacity: usize) -> Self {
+        EventIdBuffer {
+            capacity,
+            order: VecDeque::with_capacity(capacity.min(4096)),
+            set: HashSet::with_capacity(capacity.min(4096)),
+        }
+    }
+
+    /// Records `id` as seen. Returns `true` if it was new, `false` if it was
+    /// already known (i.e. the incoming event is a duplicate).
+    pub fn insert(&mut self, id: EventId) -> bool {
+        if self.capacity == 0 {
+            return true; // Degenerate: remembers nothing, everything is new.
+        }
+        if !self.set.insert(id) {
+            return false;
+        }
+        self.order.push_back(id);
+        while self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Whether `id` has been seen (and not yet evicted).
+    pub fn contains(&self, id: EventId) -> bool {
+        self.set.contains(&id)
+    }
+
+    /// Number of remembered ids.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no ids are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agb_types::NodeId;
+
+    fn id(s: u64) -> EventId {
+        EventId::new(NodeId::new(1), s)
+    }
+
+    #[test]
+    fn detects_duplicates() {
+        let mut b = EventIdBuffer::new(10);
+        assert!(b.insert(id(1)));
+        assert!(!b.insert(id(1)));
+        assert!(b.contains(id(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn evicts_fifo_when_full() {
+        let mut b = EventIdBuffer::new(3);
+        for s in 0..5 {
+            b.insert(id(s));
+        }
+        assert_eq!(b.len(), 3);
+        assert!(!b.contains(id(0)));
+        assert!(!b.contains(id(1)));
+        assert!(b.contains(id(2)));
+        assert!(b.contains(id(4)));
+    }
+
+    #[test]
+    fn evicted_id_reads_as_new_again() {
+        let mut b = EventIdBuffer::new(1);
+        b.insert(id(0));
+        b.insert(id(1)); // evicts 0
+        assert!(b.insert(id(0)), "evicted id must be accepted as new");
+    }
+
+    #[test]
+    fn zero_capacity_never_remembers() {
+        let mut b = EventIdBuffer::new(0);
+        assert!(b.insert(id(0)));
+        assert!(b.insert(id(0)));
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The protocol abstraction shared by the baseline and adaptive nodes.
+//!
+//! Both [`LpbcastNode`](crate::LpbcastNode) and
+//! [`AdaptiveNode`](crate::AdaptiveNode) are *sans-IO state machines*: they
+//! never touch sockets or clocks, they only transform
+//! `(now, input) -> outgoing messages + protocol events`. The simulator and
+//! the threaded runtime both drive them through this trait, which is how the
+//! reproduction keeps the paper's "simulation predicts the implementation"
+//! property.
+
+use agb_types::{DurationMs, EventId, NodeId, Payload, TimeMs};
+
+use crate::buffer::PurgeReason;
+use crate::event::Event;
+use crate::header::GossipMessage;
+use crate::rate::RateChangeReason;
+
+/// Result of offering a message to the broadcast primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferOutcome {
+    /// The message was admitted (token available) and entered the gossip
+    /// buffer immediately.
+    Admitted(EventId),
+    /// The message is queued behind the token bucket; it will be admitted
+    /// by a later round (Figure 3's blocking `wait`).
+    Queued,
+}
+
+impl OfferOutcome {
+    /// The admitted event id, if admission was immediate.
+    pub fn admitted_id(self) -> Option<EventId> {
+        match self {
+            OfferOutcome::Admitted(id) => Some(id),
+            OfferOutcome::Queued => None,
+        }
+    }
+}
+
+/// Everything observable that a protocol node does, in occurrence order.
+///
+/// The metrics layer consumes these to build the paper's figures; the
+/// application layer consumes `Delivered` for its payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolEvent {
+    /// A locally offered message passed the throttle and entered the gossip
+    /// buffer (the "input" of Figures 6 and 7(a)).
+    Admitted {
+        /// The new event's id.
+        id: EventId,
+        /// Admission time.
+        at: TimeMs,
+    },
+    /// An event was delivered to the application (first copy received, or
+    /// self-delivery at the origin).
+    Delivered {
+        /// The delivered event (id, age at delivery = hops, payload).
+        event: Event,
+        /// The node the copy arrived from (self for origin delivery).
+        from: NodeId,
+        /// Delivery time.
+        at: TimeMs,
+    },
+    /// An event left the gossip buffer.
+    Dropped {
+        /// The purged event's id.
+        id: EventId,
+        /// Its age at purge time — the raw congestion signal.
+        age: u32,
+        /// Overflow (congestion) or age cap (normal end of life).
+        reason: PurgeReason,
+        /// Purge time.
+        at: TimeMs,
+    },
+    /// The adaptive controller changed the allowed sending rate
+    /// (Figure 9(a)'s time series).
+    RateChanged {
+        /// Previous rate, msgs/s.
+        old: f64,
+        /// New rate, msgs/s.
+        new: f64,
+        /// What triggered the change.
+        reason: RateChangeReason,
+        /// Change time.
+        at: TimeMs,
+    },
+    /// A new sample period started in the min-buffer estimator.
+    PeriodRollover {
+        /// The new period index.
+        period: u64,
+        /// The windowed capacity estimate after the rollover.
+        estimate: u32,
+        /// Rollover time.
+        at: TimeMs,
+    },
+}
+
+/// A gossip broadcast protocol node as a pure state machine.
+///
+/// The driving harness must:
+/// 1. call [`on_round`](GossipProtocol::on_round) every
+///    [`gossip_period`](GossipProtocol::gossip_period) and transmit the
+///    returned messages;
+/// 2. call [`on_receive`](GossipProtocol::on_receive) for every message
+///    received from the network;
+/// 3. periodically [`drain_events`](GossipProtocol::drain_events) and hand
+///    them to the application/metrics.
+pub trait GossipProtocol {
+    /// This node's identity.
+    fn node_id(&self) -> NodeId;
+
+    /// Offers an application message for broadcast (Figure 3's
+    /// `BROADCAST`).
+    fn offer(&mut self, payload: Payload, now: TimeMs) -> OfferOutcome;
+
+    /// Runs one gossip round: ages, garbage collection, throttle
+    /// bookkeeping, adaptation, and emission of gossip messages.
+    fn on_round(&mut self, now: TimeMs) -> Vec<(NodeId, GossipMessage)>;
+
+    /// Ingests one gossip message from the network.
+    fn on_receive(&mut self, from: NodeId, msg: GossipMessage, now: TimeMs);
+
+    /// Takes the protocol events accumulated since the last drain.
+    fn drain_events(&mut self) -> Vec<ProtocolEvent>;
+
+    /// Resizes the event buffer at runtime (the Figure 9 experiment).
+    fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs);
+
+    /// Current event-buffer capacity.
+    fn buffer_capacity(&self) -> usize;
+
+    /// Current event-buffer occupancy.
+    fn buffer_len(&self) -> usize;
+
+    /// The current allowed sending rate in msgs/s: `Some` for adaptive
+    /// nodes, `None` for the unthrottled baseline.
+    fn allowed_rate(&self) -> Option<f64>;
+
+    /// Messages waiting behind the throttle.
+    fn pending_len(&self) -> usize;
+
+    /// The configured gossip period `T`.
+    fn gossip_period(&self) -> DurationMs;
+
+    /// The current congestion signal `avgAge` (adaptive nodes only).
+    fn avg_age(&self) -> Option<f64> {
+        None
+    }
+
+    /// The current smoothed token level `avgTokens` (adaptive nodes only).
+    fn avg_tokens(&self) -> Option<f64> {
+        None
+    }
+
+    /// The current group-minimum-buffer estimate (adaptive nodes only).
+    fn min_buff_estimate(&self) -> Option<u32> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agb_types::NodeId;
+
+    #[test]
+    fn offer_outcome_accessor() {
+        let id = EventId::new(NodeId::new(0), 1);
+        assert_eq!(OfferOutcome::Admitted(id).admitted_id(), Some(id));
+        assert_eq!(OfferOutcome::Queued.admitted_id(), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Command-line reproduction driver: `repro <experiment> [seed]`.
+//!
+//! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
+//! `fig9-runtime`, `ablation`, `all`. Set `AGB_QUICK=1` for short runs.
+
+use agb_experiments::{ablation, fig2, fig4, fig6, fig7, fig8, fig9};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(String::as_str).unwrap_or("all");
+    let seed: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    match what {
+        "fig2" => run_fig2(seed),
+        "fig4" => run_fig4(seed),
+        "fig6" => run_fig6(seed),
+        "fig7" => run_fig7(seed),
+        "fig8" => run_fig8(seed),
+        "fig9" => run_fig9(seed),
+        "fig9-runtime" => run_fig9_runtime(seed),
+        "ablation" => run_ablation(seed),
+        "all" => {
+            run_fig2(seed);
+            run_fig4(seed);
+            run_fig6(seed);
+            let rows = fig7::run(seed);
+            print!("{}", fig7::table_input(&rows));
+            print!("{}", fig7::table_output(&rows));
+            print!("{}", fig7::table_drop_age(&rows));
+            print!("{}", fig8::table_avg_receivers(&rows));
+            print!("{}", fig8::table_atomicity(&rows));
+            run_fig9(seed);
+            run_ablation(seed);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|all] [seed]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_fig2(seed: u64) {
+    let rows = fig2::run(seed);
+    print!("{}", fig2::table(&rows));
+}
+
+fn run_fig4(seed: u64) {
+    let result = fig4::run(seed);
+    print!("{}", fig4::table(&result));
+    println!("  {}", fig4::summary(&result));
+}
+
+fn run_fig6(seed: u64) {
+    let rows = fig6::run(seed);
+    print!("{}", fig6::table(&rows));
+}
+
+fn run_fig7(seed: u64) {
+    let rows = fig7::run(seed);
+    print!("{}", fig7::table_input(&rows));
+    print!("{}", fig7::table_output(&rows));
+    print!("{}", fig7::table_drop_age(&rows));
+}
+
+fn run_fig8(seed: u64) {
+    let rows = fig7::run(seed);
+    print!("{}", fig8::table_avg_receivers(&rows));
+    print!("{}", fig8::table_atomicity(&rows));
+}
+
+fn run_fig9(seed: u64) {
+    let config = fig9::Fig9Config::standard(seed);
+    let result = fig9::run_sim(&config);
+    print!("{}", fig9::table(&config, &result));
+    println!(
+        "  final phase (buffer {}): adaptive atomicity {:.1}% vs lpbcast {:.1}% (paper: 87% sim / 92% impl vs collapse)",
+        config.grow_to,
+        result.final_phase_atomicity * 100.0,
+        result.final_phase_atomicity_lpbcast * 100.0
+    );
+}
+
+fn run_fig9_runtime(seed: u64) {
+    let config = fig9::Fig9Config::standard(seed);
+    match fig9::run_runtime(&config) {
+        Ok(r) => println!(
+            "Figure 9 runtime leg (UDP, time /{}): final-phase atomicity {:.1}% over {} messages",
+            config.runtime_time_scale,
+            r.final_phase_atomicity * 100.0,
+            r.messages
+        ),
+        Err(e) => eprintln!("runtime leg failed: {e}"),
+    }
+}
+
+fn run_ablation(seed: u64) {
+    let rows = ablation::run(seed);
+    print!("{}", ablation::table(&rows));
+}

@@ -1,0 +1,254 @@
+//! Shared experimental setup: the paper's canonical configuration, run
+//! windows, and the measured-run primitive every figure builds on.
+
+use agb_core::{AdaptationConfig, GossipConfig, RateConfig};
+use agb_sim::NetworkConfig;
+use agb_types::{DurationMs, TimeMs};
+use agb_workload::{Algorithm, ClusterConfig, GossipCluster};
+
+/// Group size used throughout the paper's evaluation.
+pub const N_NODES: usize = 60;
+/// Gossip fanout `F = 4`.
+pub const FANOUT: usize = 4;
+/// Number of publisher nodes in multi-sender experiments.
+pub const N_SENDERS: usize = 10;
+/// The offered load of the Figure 6/7/8 sweeps, msgs/s.
+///
+/// The paper used 30 msg/s against a capacity knee at buffer ≈ 120. This
+/// substrate disseminates more efficiently (its calibrated maximum is
+/// ≈ 1.0 msg/s per buffer slot instead of the paper's ≈ 0.25), so the
+/// offered load is scaled to put the capacity crossover in the same place
+/// of the sweep: between buffer 90 and 120. See EXPERIMENTS.md.
+pub const OFFERED_RATE: f64 = 100.0;
+/// The buffer-size sweep of Figures 4 and 6–8.
+pub const BUFFER_SWEEP: [usize; 6] = [30, 60, 90, 120, 150, 180];
+/// Atomicity criterion: "messages delivered to more than 95% of receivers".
+pub const ATOMICITY_THRESHOLD: f64 = 0.95;
+
+/// Critical age measured by the Figure 4 calibration on this simulator's
+/// default configuration: the mean overflow-drop age at the congestion
+/// knee is 3.68 ± 0.02 hops *independent of buffer size* (run
+/// `cargo bench -p agb-bench --bench fig4`). The paper measured 5.3 hops
+/// on its configuration — the constancy, not the constant, is the result.
+pub const CRITICAL_AGE: f64 = 3.7;
+/// Low-age mark `L` ≈ the critical age (§3.4: close to `a_crit` for quick
+/// congestion reaction).
+pub const LOW_AGE: f64 = 3.7;
+/// High-age mark `H`, above [`CRITICAL_AGE`] (§3.4: close for
+/// responsiveness, separated for stability).
+pub const HIGH_AGE: f64 = 4.1;
+/// Calibrated maximum-rate model: `max_rate ≈ MAX_RATE_SLOPE × buffer`
+/// (fitted by the Figure 4 harness; used for the "ideal" lines of
+/// Figures 6 and 9).
+pub const MAX_RATE_SLOPE: f64 = 1.02;
+
+/// Whether quick mode is active (`AGB_QUICK=1`): shorter runs for CI.
+pub fn quick_mode() -> bool {
+    std::env::var("AGB_QUICK").map_or(false, |v| v == "1")
+}
+
+/// Measurement phases of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Convergence time excluded from measurement.
+    pub warmup: DurationMs,
+    /// Measurement window (admission-time filtered).
+    pub measure: DurationMs,
+    /// Tail time so in-flight messages finish delivering.
+    pub cooldown: DurationMs,
+}
+
+impl Windows {
+    /// Standard windows (quick-mode aware).
+    pub fn standard() -> Self {
+        if quick_mode() {
+            Windows {
+                warmup: DurationMs::from_secs(40),
+                measure: DurationMs::from_secs(80),
+                cooldown: DurationMs::from_secs(20),
+            }
+        } else {
+            Windows {
+                warmup: DurationMs::from_secs(60),
+                measure: DurationMs::from_secs(180),
+                cooldown: DurationMs::from_secs(30),
+            }
+        }
+    }
+
+    /// Total run length.
+    pub fn total(&self) -> TimeMs {
+        TimeMs::ZERO + self.warmup + self.measure + self.cooldown
+    }
+
+    /// The measurement interval.
+    pub fn measure_interval(&self) -> (TimeMs, TimeMs) {
+        let from = TimeMs::ZERO + self.warmup;
+        (from, from + self.measure)
+    }
+}
+
+/// The gossip configuration of the paper's evaluation, with the given
+/// buffer capacity.
+pub fn paper_gossip(buffer: usize) -> GossipConfig {
+    GossipConfig {
+        fanout: FANOUT,
+        gossip_period: DurationMs::from_secs(1),
+        max_events: buffer,
+        max_event_ids: 50_000,
+        age_cap: 10,
+        static_rate: None,
+    }
+}
+
+/// The adaptation configuration calibrated for this simulator (§3.4 rules
+/// applied to the measured critical age).
+pub fn paper_adaptation(initial_rate_per_sender: f64) -> AdaptationConfig {
+    let mut a = AdaptationConfig::default();
+    // §3.4: "by setting the value of α higher, thus reducing the
+    // oscillations in avgAge, one can make L and H closer to a_crit". Our
+    // L/H bracket a_crit tightly (±0.4 hops), so avgAge needs the heavier
+    // smoothing; γ = 0.2 balances the recovery speed against the
+    // synchronized-surge risk for a 10-sender population.
+    a.congestion.alpha = 0.98;
+    a.rate = RateConfig {
+        low_age: LOW_AGE,
+        high_age: HIGH_AGE,
+        delta_dec: 0.15,
+        delta_inc: 0.10,
+        gamma: 0.2,
+        ..RateConfig::default()
+    };
+    a.initial_rate = initial_rate_per_sender;
+    a
+}
+
+/// A paper-shaped cluster: 60 nodes, 10 senders, constant aggregate
+/// offered load.
+pub fn paper_cluster(
+    algorithm: Algorithm,
+    buffer: usize,
+    offered_rate: f64,
+    seed: u64,
+) -> ClusterConfig {
+    let mut c = ClusterConfig::new(N_NODES, seed);
+    c.algorithm = algorithm;
+    c.gossip = paper_gossip(buffer);
+    c.adaptation = paper_adaptation(offered_rate / N_SENDERS as f64);
+    c.n_senders = N_SENDERS;
+    c.offered_rate = offered_rate;
+    c.network = NetworkConfig::perfect(DurationMs::from_millis(10));
+    c.metrics_bin = DurationMs::from_secs(1);
+    // A blocked publisher queues internally (Figure 3's BROADCAST blocks
+    // the application): give each sender ~2 s of backlog so transient
+    // throttle oscillations defer rather than destroy offered traffic.
+    c.max_backlog = ((2.0 * offered_rate / N_SENDERS as f64).ceil() as usize).max(4);
+    c
+}
+
+/// Figure-ready aggregates of one measured run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Fraction of messages delivered to >95% of the group.
+    pub atomic_fraction: f64,
+    /// Mean fraction of the group reached per message.
+    pub avg_receiver_fraction: f64,
+    /// Admitted input rate, msgs/s (Fig. 7(a)).
+    pub input_rate: f64,
+    /// Per-receiver goodput, msgs/s (Fig. 7(b)).
+    pub output_rate: f64,
+    /// Mean age of overflow drops within the window (Fig. 7(c)).
+    pub drop_age: Option<f64>,
+    /// Mean aggregate allowed rate over the window (adaptive senders).
+    pub mean_allowed: f64,
+    /// Messages admitted within the window.
+    pub messages: usize,
+}
+
+/// Builds the cluster, runs warmup + measure + cooldown, and extracts the
+/// windowed aggregates.
+pub fn run_measured(config: ClusterConfig, windows: Windows) -> RunOutcome {
+    let mut cluster = GossipCluster::build(config);
+    cluster.run_until(windows.total());
+    measure(&cluster, windows)
+}
+
+/// Extracts windowed aggregates from an already-run cluster.
+pub fn measure(cluster: &GossipCluster, windows: Windows) -> RunOutcome {
+    let (from, to) = windows.measure_interval();
+    let m = cluster.metrics();
+    let report = m.deliveries().atomicity(ATOMICITY_THRESHOLD, Some((from, to)));
+    let allowed_series = m.allowed().aggregate_series(DurationMs::from_secs(1), to);
+    let in_window: Vec<f64> = allowed_series
+        .iter()
+        .filter(|&&(t, _)| t >= from && t < to)
+        .map(|&(_, r)| r)
+        .collect();
+    let mean_allowed = if in_window.is_empty() {
+        0.0
+    } else {
+        in_window.iter().sum::<f64>() / in_window.len() as f64
+    };
+    RunOutcome {
+        atomic_fraction: report.atomic_fraction,
+        avg_receiver_fraction: report.avg_receiver_fraction,
+        input_rate: m.input_rate(from, to),
+        output_rate: m.output_rate(from, to),
+        drop_age: m.drop_ages().mean_overflow_age_in(from, to),
+        mean_allowed,
+        messages: report.messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_arithmetic() {
+        let w = Windows {
+            warmup: DurationMs::from_secs(10),
+            measure: DurationMs::from_secs(20),
+            cooldown: DurationMs::from_secs(5),
+        };
+        assert_eq!(w.total(), TimeMs::from_secs(35));
+        assert_eq!(
+            w.measure_interval(),
+            (TimeMs::from_secs(10), TimeMs::from_secs(30))
+        );
+    }
+
+    #[test]
+    fn paper_configs_validate() {
+        assert!(paper_gossip(90).validate().is_ok());
+        assert!(paper_adaptation(3.0).validate().is_ok());
+        let c = paper_cluster(Algorithm::Adaptive, 90, 30.0, 1);
+        assert_eq!(c.n_nodes, N_NODES);
+        assert_eq!(c.n_senders, N_SENDERS);
+    }
+
+    #[test]
+    fn thresholds_bracket_critical_age() {
+        // §3.4: L close to a_crit (here equal), H above it.
+        assert!(LOW_AGE <= CRITICAL_AGE);
+        assert!(CRITICAL_AGE < HIGH_AGE);
+        assert!(LOW_AGE < HIGH_AGE);
+    }
+
+    #[test]
+    fn small_measured_run_produces_sane_numbers() {
+        // A miniature sanity check: light load, ample buffers.
+        let mut c = paper_cluster(Algorithm::Lpbcast, 90, 5.0, 3);
+        c.n_nodes = 20;
+        c.n_senders = 2;
+        let w = Windows {
+            warmup: DurationMs::from_secs(10),
+            measure: DurationMs::from_secs(30),
+            cooldown: DurationMs::from_secs(10),
+        };
+        let out = run_measured(c, w);
+        assert!(out.messages > 0);
+        assert!(out.avg_receiver_fraction > 0.9, "{out:?}");
+        assert!(out.input_rate > 3.0 && out.input_rate < 7.0, "{out:?}");
+    }
+}

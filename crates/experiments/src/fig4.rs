@@ -1,0 +1,76 @@
+//! Figure 4 — maximum input rate vs buffer size, plus the §2.3 critical
+//! age observation.
+
+use agb_metrics::Table;
+
+use crate::calibrate::{
+    calibrate_sweep, fit_max_rate_slope, measure_critical_age, CalibrationPoint, DEFAULT_CRITERION,
+};
+use crate::common::{quick_mode, Windows, BUFFER_SWEEP};
+
+/// Result of the Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// One calibration point per buffer size.
+    pub points: Vec<CalibrationPoint>,
+    /// Mean knee drop age across buffer sizes (§2.3's constant; 5.3 hops
+    /// in the paper's system).
+    pub critical_age: Option<f64>,
+    /// Fitted `max_rate ≈ slope × buffer`.
+    pub slope: f64,
+}
+
+/// Runs the calibration sweep.
+pub fn run(seed: u64) -> Fig4Result {
+    let tolerance = if quick_mode() { 2.0 } else { 1.0 };
+    let points = calibrate_sweep(
+        &BUFFER_SWEEP,
+        DEFAULT_CRITERION,
+        tolerance,
+        seed,
+        Windows::standard(),
+    );
+    let critical_age = measure_critical_age(&points);
+    let slope = fit_max_rate_slope(&points);
+    Fig4Result {
+        points,
+        critical_age,
+        slope,
+    }
+}
+
+/// Formats the result as the paper's figure.
+pub fn table(result: &Fig4Result) -> Table {
+    let mut t = Table::new(
+        "Figure 4: maximum input rate vs buffer size (+ §2.3 critical age)",
+        &[
+            "buffer (msg)",
+            "max load (msg/s)",
+            "drop age at knee (hops)",
+            "atomic (%)",
+            "avg receivers (%)",
+        ],
+    );
+    for p in &result.points {
+        t.row(&[
+            p.buffer.to_string(),
+            agb_metrics::format_f64(p.max_rate),
+            p.drop_age_at_knee
+                .map_or_else(|| "-".into(), agb_metrics::format_f64),
+            agb_metrics::format_f64(p.outcome.atomic_fraction * 100.0),
+            agb_metrics::format_f64(p.outcome.avg_receiver_fraction * 100.0),
+        ]);
+    }
+    t
+}
+
+/// One-line summary echoing §2.3.
+pub fn summary(result: &Fig4Result) -> String {
+    format!(
+        "critical age = {} hops (constant across buffer sizes; paper: 5.3), max_rate ≈ {:.2} × buffer",
+        result
+            .critical_age
+            .map_or_else(|| "-".into(), agb_metrics::format_f64),
+        result.slope
+    )
+}

@@ -1,0 +1,81 @@
+//! Figure 6 — ideal and adaptive rates.
+//!
+//! For a buffer sweep at constant offered load: the *maximum* sustainable
+//! rate (from the Figure 4 calibration), the *offered* load, and the
+//! *allowed* rate that the adaptive mechanism converges to. Below the
+//! capacity crossover the allowed rate approximates the maximum; above it,
+//! the offered load is accepted.
+
+use agb_metrics::Table;
+use agb_workload::Algorithm;
+
+use crate::calibrate::{max_sustainable_rate, DEFAULT_CRITERION};
+use crate::common::{
+    paper_cluster, quick_mode, run_measured, RunOutcome, Windows, BUFFER_SWEEP, OFFERED_RATE,
+};
+
+/// One row of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Row {
+    /// Buffer capacity.
+    pub buffer: usize,
+    /// Offered load (constant across the sweep).
+    pub offered: f64,
+    /// Mean aggregate allowed rate of the adaptive senders.
+    pub allowed: f64,
+    /// Admitted input rate of the adaptive run.
+    pub input: f64,
+    /// Calibrated maximum rate for this buffer size.
+    pub maximum: f64,
+    /// The adaptive run's full outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Runs the sweep: one adaptive run plus one calibration search per buffer
+/// size.
+pub fn run(seed: u64) -> Vec<Fig6Row> {
+    let windows = Windows::standard();
+    let tolerance = if quick_mode() { 2.0 } else { 1.0 };
+    BUFFER_SWEEP
+        .iter()
+        .map(|&buffer| {
+            let cal = max_sustainable_rate(buffer, DEFAULT_CRITERION, tolerance, seed, windows);
+            let out = run_measured(
+                paper_cluster(Algorithm::Adaptive, buffer, OFFERED_RATE, seed),
+                windows,
+            );
+            Fig6Row {
+                buffer,
+                offered: OFFERED_RATE,
+                allowed: out.mean_allowed,
+                input: out.input_rate,
+                maximum: cal.max_rate,
+                outcome: out,
+            }
+        })
+        .collect()
+}
+
+/// Formats the rows as the paper's figure.
+pub fn table(rows: &[Fig6Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 6: ideal and adaptive rates (offered load constant)",
+        &[
+            "buffer (msg)",
+            "offered (msg/s)",
+            "allowed (msg/s)",
+            "input (msg/s)",
+            "maximum (msg/s)",
+        ],
+    );
+    for r in rows {
+        t.row_f64(&[
+            r.buffer as f64,
+            r.offered,
+            r.allowed,
+            r.input,
+            r.maximum,
+        ]);
+    }
+    t
+}

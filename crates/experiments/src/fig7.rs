@@ -1,0 +1,98 @@
+//! Figure 7 — rates and average ages: lpbcast vs adaptive under a buffer
+//! sweep at constant offered load.
+//!
+//! (a) input rate: lpbcast admits the full offered load; adaptive bounds
+//!     its input below the capacity knee.
+//! (b) output rate (per-receiver goodput): lpbcast loses messages below
+//!     the knee (output < input); adaptive's output equals its input.
+//! (c) average age of dropped messages: lpbcast's drop age collapses as
+//!     buffers shrink; adaptive holds it near the critical age.
+
+use agb_metrics::Table;
+use agb_workload::Algorithm;
+
+use crate::common::{
+    paper_cluster, run_measured, RunOutcome, Windows, BUFFER_SWEEP, OFFERED_RATE,
+};
+
+/// One buffer point measured under both algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareRow {
+    /// Buffer capacity.
+    pub buffer: usize,
+    /// Baseline lpbcast outcome.
+    pub lpbcast: RunOutcome,
+    /// Adaptive outcome.
+    pub adaptive: RunOutcome,
+}
+
+/// Runs the comparison sweep (shared with Figure 8).
+pub fn run(seed: u64) -> Vec<CompareRow> {
+    let windows = Windows::standard();
+    BUFFER_SWEEP
+        .iter()
+        .map(|&buffer| CompareRow {
+            buffer,
+            lpbcast: run_measured(
+                paper_cluster(Algorithm::Lpbcast, buffer, OFFERED_RATE, seed),
+                windows,
+            ),
+            adaptive: run_measured(
+                paper_cluster(Algorithm::Adaptive, buffer, OFFERED_RATE, seed),
+                windows,
+            ),
+        })
+        .collect()
+}
+
+/// Figure 7(a): input rate.
+pub fn table_input(rows: &[CompareRow]) -> Table {
+    let mut t = Table::new(
+        "Figure 7(a): input rate (msg/s)",
+        &["buffer (msg)", "lpbcast", "adaptive"],
+    );
+    for r in rows {
+        t.row_f64(&[
+            r.buffer as f64,
+            r.lpbcast.input_rate,
+            r.adaptive.input_rate,
+        ]);
+    }
+    t
+}
+
+/// Figure 7(b): output rate (input − loss).
+pub fn table_output(rows: &[CompareRow]) -> Table {
+    let mut t = Table::new(
+        "Figure 7(b): output rate, per-receiver goodput (msg/s)",
+        &["buffer (msg)", "lpbcast", "adaptive"],
+    );
+    for r in rows {
+        t.row_f64(&[
+            r.buffer as f64,
+            r.lpbcast.output_rate,
+            r.adaptive.output_rate,
+        ]);
+    }
+    t
+}
+
+/// Figure 7(c): average age of dropped messages.
+pub fn table_drop_age(rows: &[CompareRow]) -> Table {
+    let mut t = Table::new(
+        "Figure 7(c): average age of dropped messages (hops)",
+        &["buffer (msg)", "lpbcast", "adaptive"],
+    );
+    for r in rows {
+        t.row(&[
+            r.buffer.to_string(),
+            r.lpbcast
+                .drop_age
+                .map_or_else(|| "-".into(), agb_metrics::format_f64),
+            r.adaptive
+                .drop_age
+                .map_or_else(|| "-".into(), agb_metrics::format_f64),
+        ]);
+    }
+    t
+}

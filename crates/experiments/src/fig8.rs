@@ -1,0 +1,42 @@
+//! Figure 8 — reliability degradation: lpbcast vs adaptive.
+//!
+//! (a) average % of receivers per message;
+//! (b) % of messages atomically delivered (to >95% of the group).
+//!
+//! Shares its runs with Figure 7 ([`crate::fig7::run`]).
+
+use agb_metrics::Table;
+
+use crate::fig7::CompareRow;
+
+/// Figure 8(a): average number of receivers.
+pub fn table_avg_receivers(rows: &[CompareRow]) -> Table {
+    let mut t = Table::new(
+        "Figure 8(a): average % of receivers",
+        &["buffer (msg)", "lpbcast", "adaptive"],
+    );
+    for r in rows {
+        t.row_f64(&[
+            r.buffer as f64,
+            r.lpbcast.avg_receiver_fraction * 100.0,
+            r.adaptive.avg_receiver_fraction * 100.0,
+        ]);
+    }
+    t
+}
+
+/// Figure 8(b): messages delivered to >95% of receivers.
+pub fn table_atomicity(rows: &[CompareRow]) -> Table {
+    let mut t = Table::new(
+        "Figure 8(b): messages delivered to >95% of receivers (%)",
+        &["buffer (msg)", "lpbcast", "adaptive"],
+    );
+    for r in rows {
+        t.row_f64(&[
+            r.buffer as f64,
+            r.lpbcast.atomic_fraction * 100.0,
+            r.adaptive.atomic_fraction * 100.0,
+        ]);
+    }
+    t
+}

@@ -1,0 +1,29 @@
+//! Reproduction harnesses for every figure in the paper's evaluation.
+//!
+//! | Module | Paper figure | What it regenerates |
+//! |--------|--------------|---------------------|
+//! | [`calibrate`] | §2.3, Fig. 4 | max sustainable rate per buffer size, critical age |
+//! | [`fig2`] | Fig. 2 | reliability degradation vs input rate |
+//! | [`fig4`] | Fig. 4 | maximum input rate vs buffer size |
+//! | [`fig6`] | Fig. 6 | offered / allowed / maximum rates vs buffer size |
+//! | [`fig7`] | Fig. 7(a,b,c) | input rate, output rate, drop age — lpbcast vs adaptive |
+//! | [`fig8`] | Fig. 8(a,b) | avg % receivers, % atomic — lpbcast vs adaptive |
+//! | [`fig9`] | Fig. 9(a,b) | dynamic buffer resize time series, sim + threaded runtime |
+//! | [`ablation`] | §3.4 | parameter sensitivity (γ, W, α, δ) |
+//!
+//! Every harness returns plain data and a formatted [`agb_metrics::Table`],
+//! and is invoked both by the `repro` binary and by the `agb-bench` bench
+//! targets. Set `AGB_QUICK=1` for CI-sized runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod calibrate;
+pub mod common;
+pub mod fig2;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

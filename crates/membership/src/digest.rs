@@ -1,0 +1,63 @@
+//! The membership information piggybacked on gossip messages.
+
+use agb_types::NodeId;
+
+/// Subscriptions and unsubscriptions carried in a gossip message header,
+/// as in lpbcast.
+///
+/// An empty digest (the default) is what full-membership deployments send.
+///
+/// # Example
+///
+/// ```
+/// use agb_membership::MembershipDigest;
+/// use agb_types::NodeId;
+///
+/// let d = MembershipDigest {
+///     subs: vec![NodeId::new(1)],
+///     unsubs: vec![],
+/// };
+/// assert!(!d.is_empty());
+/// assert!(MembershipDigest::default().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MembershipDigest {
+    /// Nodes known to have (re-)subscribed recently.
+    pub subs: Vec<NodeId>,
+    /// Nodes known to have unsubscribed recently.
+    pub unsubs: Vec<NodeId>,
+}
+
+impl MembershipDigest {
+    /// Whether the digest carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty() && self.unsubs.is_empty()
+    }
+
+    /// Number of node ids carried (wire-size accounting).
+    pub fn len(&self) -> usize {
+        self.subs.len() + self.unsubs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty() {
+        let d = MembershipDigest::default();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn len_counts_both_buffers() {
+        let d = MembershipDigest {
+            subs: vec![NodeId::new(1), NodeId::new(2)],
+            unsubs: vec![NodeId::new(3)],
+        };
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Peer sampling with piggybacked membership gossip.
+
+use agb_types::{DetRng, NodeId};
+
+use crate::digest::MembershipDigest;
+use crate::full::FullView;
+use crate::partial::PartialView;
+use crate::sampler::PeerSampler;
+
+/// A peer sampler that also produces/consumes the membership digests
+/// piggybacked on gossip messages.
+///
+/// [`FullView`] uses the default no-op implementations (closed group);
+/// [`PartialView`] implements real lpbcast subscription gossip.
+pub trait GossipMembership: PeerSampler {
+    /// Builds the digest to attach to an outgoing gossip message.
+    fn make_digest(&self, rng: &mut DetRng) -> MembershipDigest {
+        let _ = rng;
+        MembershipDigest::default()
+    }
+
+    /// Ingests the digest (and the sender's liveness) from a received
+    /// gossip message.
+    fn observe_gossip(&mut self, sender: NodeId, digest: &MembershipDigest, rng: &mut DetRng) {
+        let _ = (sender, digest, rng);
+    }
+}
+
+impl GossipMembership for FullView {}
+
+impl GossipMembership for PartialView {
+    fn make_digest(&self, rng: &mut DetRng) -> MembershipDigest {
+        PartialView::make_digest(self, rng)
+    }
+
+    fn observe_gossip(&mut self, sender: NodeId, digest: &MembershipDigest, rng: &mut DetRng) {
+        self.observe_sender(sender, rng);
+        self.merge_digest(digest, rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartialViewConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_view_digest_is_empty() {
+        let view = FullView::new(5);
+        let mut rng = DetRng::seed_from_u64(0);
+        assert!(view.make_digest(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn partial_view_learns_from_gossip() {
+        let mut rng = DetRng::seed_from_u64(0);
+        let mut view = PartialView::new(NodeId::new(0), PartialViewConfig::default());
+        let digest = MembershipDigest {
+            subs: vec![NodeId::new(2)],
+            unsubs: vec![],
+        };
+        view.observe_gossip(NodeId::new(1), &digest, &mut rng);
+        // Learned both the sender and the subscription.
+        assert!(view.contains(NodeId::new(1)));
+        assert!(view.contains(NodeId::new(2)));
+        // And will re-gossip itself in its own digest.
+        let d = GossipMembership::make_digest(&view, &mut rng);
+        assert!(d.subs.contains(&NodeId::new(0)));
+    }
+}

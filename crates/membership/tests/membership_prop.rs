@@ -1,0 +1,95 @@
+//! Property-based tests of the membership services.
+
+use agb_membership::{
+    FullView, GossipMembership, MembershipDigest, PartialView, PartialViewConfig, PeerSampler,
+};
+use agb_types::{DetRng, NodeId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    /// Full-view samples are distinct, never the caller, and of the
+    /// requested size (when enough candidates exist).
+    #[test]
+    fn full_view_sample_contract(
+        n in 1usize..64,
+        fanout in 0usize..16,
+        caller in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let view = FullView::new(n);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let caller = NodeId::new(caller % n.max(1) as u32);
+        let sample = view.sample(&mut rng, fanout, caller);
+        let expect = fanout.min(n.saturating_sub(1));
+        prop_assert_eq!(sample.len(), expect);
+        prop_assert!(!sample.contains(&caller));
+        let mut dedup = sample.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), expect);
+    }
+
+    /// Partial views never exceed their bounds and never contain self,
+    /// under arbitrary interleavings of subscriptions, unsubscriptions and
+    /// digest merges.
+    #[test]
+    fn partial_view_invariants(
+        seed in any::<u64>(),
+        max_view in 1usize..16,
+        ops in proptest::collection::vec((0u8..3, 0u32..32), 0..120),
+    ) {
+        let me = NodeId::new(99);
+        let config = PartialViewConfig {
+            max_view,
+            max_subs: 8,
+            max_unsubs: 8,
+            digest_subs: 3,
+            digest_unsubs: 3,
+        };
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut view = PartialView::new(me, config);
+        for (op, node) in ops {
+            let node = NodeId::new(node);
+            match op {
+                0 => view.observe_subscription(node, &mut rng),
+                1 => view.observe_unsubscription(node, &mut rng),
+                _ => view.observe_gossip(
+                    node,
+                    &MembershipDigest {
+                        subs: vec![node, me],
+                        unsubs: vec![],
+                    },
+                    &mut rng,
+                ),
+            }
+            prop_assert!(view.view_size() <= max_view);
+            prop_assert!(!view.contains(me), "view must never contain self");
+            prop_assert!(view.subs().len() <= 8);
+            prop_assert!(view.unsubs().len() <= 8);
+            // subs/unsubs are disjoint.
+            for s in view.subs() {
+                prop_assert!(!view.unsubs().contains(s));
+            }
+        }
+    }
+
+    /// Digests are bounded and always re-advertise the owner.
+    #[test]
+    fn digest_contract(
+        seed in any::<u64>(),
+        subs in proptest::collection::vec(0u32..64, 0..20),
+    ) {
+        let me = NodeId::new(1_000);
+        let config = PartialViewConfig::default();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut view = PartialView::new(me, config);
+        for s in subs {
+            view.observe_subscription(NodeId::new(s), &mut rng);
+        }
+        let digest = PartialView::make_digest(&view, &mut rng);
+        prop_assert!(digest.subs.len() <= config.digest_subs);
+        prop_assert!(digest.unsubs.len() <= config.digest_unsubs);
+        prop_assert!(digest.subs.contains(&me));
+    }
+}

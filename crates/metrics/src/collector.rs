@@ -1,0 +1,245 @@
+//! The one-stop collector wired between the protocol nodes and the figure
+//! harnesses.
+
+use agb_core::ProtocolEvent;
+use agb_types::{DurationMs, NodeId, TimeMs};
+
+use crate::delivery::{AtomicityReport, DeliveryTracker};
+use crate::drop_age::DropAgeStats;
+use crate::rates::{AllowedRateTracker, RateMeter};
+
+/// Consumes every [`ProtocolEvent`] from every node and maintains all the
+/// aggregates the paper's figures need.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::ProtocolEvent;
+/// use agb_metrics::MetricsCollector;
+/// use agb_types::{DurationMs, EventId, NodeId, TimeMs};
+///
+/// let mut m = MetricsCollector::new(10, DurationMs::from_secs(1));
+/// let id = EventId::new(NodeId::new(0), 0);
+/// m.on_event(NodeId::new(0), &ProtocolEvent::Admitted { id, at: TimeMs::ZERO });
+/// assert_eq!(m.admitted().total(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    n_nodes: usize,
+    deliveries: DeliveryTracker,
+    drop_ages: DropAgeStats,
+    admitted: RateMeter,
+    delivered: RateMeter,
+    allowed: AllowedRateTracker,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for an `n_nodes` group with the given time-bin
+    /// width for rate/series queries.
+    pub fn new(n_nodes: usize, bin: DurationMs) -> Self {
+        MetricsCollector {
+            n_nodes,
+            deliveries: DeliveryTracker::new(n_nodes),
+            drop_ages: DropAgeStats::new(bin),
+            admitted: RateMeter::new(bin),
+            delivered: RateMeter::new(bin),
+            allowed: AllowedRateTracker::new(),
+        }
+    }
+
+    /// Group size.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Registers a node's initial allowed rate (adaptive senders).
+    pub fn set_initial_rate(&mut self, node: NodeId, rate: f64) {
+        self.allowed.set_initial(node, rate);
+    }
+
+    /// Dispatches one protocol event observed at `node`.
+    pub fn on_event(&mut self, node: NodeId, event: &ProtocolEvent) {
+        match event {
+            ProtocolEvent::Admitted { id, at } => {
+                self.deliveries.on_admitted(*id, *at);
+                self.admitted.record(*at);
+            }
+            ProtocolEvent::Delivered { event, from: _, at } => {
+                self.deliveries.on_delivered(node, event.id(), event.age(), *at);
+                self.delivered.record(*at);
+            }
+            ProtocolEvent::Dropped {
+                id: _,
+                age,
+                reason,
+                at,
+            } => {
+                self.drop_ages.record(*age, *reason, *at);
+            }
+            ProtocolEvent::RateChanged { new, at, .. } => {
+                self.allowed.on_change(node, *new, *at);
+            }
+            ProtocolEvent::PeriodRollover { .. } => {}
+        }
+    }
+
+    /// Dispatches a batch of events observed at `node`.
+    pub fn on_events<'a>(
+        &mut self,
+        node: NodeId,
+        events: impl IntoIterator<Item = &'a ProtocolEvent>,
+    ) {
+        for e in events {
+            self.on_event(node, e);
+        }
+    }
+
+    /// The delivery tracker.
+    pub fn deliveries(&self) -> &DeliveryTracker {
+        &self.deliveries
+    }
+
+    /// Drop-age statistics.
+    pub fn drop_ages(&self) -> &DropAgeStats {
+        &self.drop_ages
+    }
+
+    /// Admissions (system input) meter.
+    pub fn admitted(&self) -> &RateMeter {
+        &self.admitted
+    }
+
+    /// Deliveries meter (all nodes).
+    pub fn delivered(&self) -> &RateMeter {
+        &self.delivered
+    }
+
+    /// The allowed-rate step tracker.
+    pub fn allowed(&self) -> &AllowedRateTracker {
+        &self.allowed
+    }
+
+    /// Convenience: atomicity (threshold 0.95, the paper's criterion) over
+    /// an admission-time window.
+    pub fn atomicity_95(&self, window: Option<(TimeMs, TimeMs)>) -> AtomicityReport {
+        self.deliveries.atomicity(0.95, window)
+    }
+
+    /// Convenience: system input rate (admissions/s) in a window.
+    pub fn input_rate(&self, from: TimeMs, to: TimeMs) -> f64 {
+        self.admitted.rate_in(from, to)
+    }
+
+    /// Convenience: per-receiver goodput (deliveries / node / s) in a
+    /// window — the paper's Fig. 7(b) "output rate".
+    pub fn output_rate(&self, from: TimeMs, to: TimeMs) -> f64 {
+        self.delivered.rate_in(from, to) / self.n_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agb_core::{Event, PurgeReason};
+    use agb_types::{EventId, Payload};
+
+    fn id(s: u64) -> EventId {
+        EventId::new(NodeId::new(0), s)
+    }
+
+    fn collector() -> MetricsCollector {
+        MetricsCollector::new(4, DurationMs::from_secs(1))
+    }
+
+    #[test]
+    fn routes_admissions_and_deliveries() {
+        let mut m = collector();
+        m.on_event(
+            NodeId::new(0),
+            &ProtocolEvent::Admitted {
+                id: id(0),
+                at: TimeMs::ZERO,
+            },
+        );
+        for n in 0..4 {
+            m.on_event(
+                NodeId::new(n),
+                &ProtocolEvent::Delivered {
+                    event: Event::with_age(id(0), 2, Payload::new()),
+                    from: NodeId::new(0),
+                    at: TimeMs::from_millis(500),
+                },
+            );
+        }
+        assert_eq!(m.admitted().total(), 1);
+        assert_eq!(m.delivered().total(), 4);
+        let report = m.atomicity_95(None);
+        assert_eq!(report.messages, 1);
+        assert_eq!(report.avg_receiver_fraction, 1.0);
+        assert_eq!(report.atomic_fraction, 1.0);
+        // Input 1 msg in 1 s; output 4 deliveries / 4 nodes / 1 s.
+        assert_eq!(m.input_rate(TimeMs::ZERO, TimeMs::from_secs(1)), 1.0);
+        assert_eq!(m.output_rate(TimeMs::ZERO, TimeMs::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn routes_drops_by_reason() {
+        let mut m = collector();
+        m.on_event(
+            NodeId::new(1),
+            &ProtocolEvent::Dropped {
+                id: id(0),
+                age: 3,
+                reason: PurgeReason::Overflow,
+                at: TimeMs::ZERO,
+            },
+        );
+        m.on_event(
+            NodeId::new(1),
+            &ProtocolEvent::Dropped {
+                id: id(1),
+                age: 11,
+                reason: PurgeReason::AgeCap,
+                at: TimeMs::ZERO,
+            },
+        );
+        assert_eq!(m.drop_ages().mean_overflow_age(), Some(3.0));
+        assert_eq!(m.drop_ages().mean_age_cap_age(), Some(11.0));
+    }
+
+    #[test]
+    fn routes_rate_changes() {
+        let mut m = collector();
+        m.set_initial_rate(NodeId::new(2), 4.0);
+        m.on_event(
+            NodeId::new(2),
+            &ProtocolEvent::RateChanged {
+                old: 4.0,
+                new: 3.0,
+                reason: agb_core::RateChangeReason::Congestion,
+                at: TimeMs::from_secs(5),
+            },
+        );
+        assert_eq!(m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(1)), 4.0);
+        assert_eq!(m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(6)), 3.0);
+    }
+
+    #[test]
+    fn batch_dispatch() {
+        let mut m = collector();
+        let events = vec![
+            ProtocolEvent::Admitted {
+                id: id(0),
+                at: TimeMs::ZERO,
+            },
+            ProtocolEvent::PeriodRollover {
+                period: 1,
+                estimate: 90,
+                at: TimeMs::ZERO,
+            },
+        ];
+        m.on_events(NodeId::new(0), &events);
+        assert_eq!(m.admitted().total(), 1);
+        assert_eq!(m.n_nodes(), 4);
+    }
+}

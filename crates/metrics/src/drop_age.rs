@@ -1,0 +1,145 @@
+//! Drop-age statistics: the congestion signal, measured.
+
+use std::collections::HashMap;
+
+use agb_core::PurgeReason;
+use agb_types::{DurationMs, RunningStats, TimeMs};
+
+/// Accumulates the ages of purged events, split by purge reason, globally
+/// and per time bin.
+///
+/// The paper's §2.3 observation — the average overflow-drop age at the
+/// congestion knee is a buffer-size-independent constant — is checked by
+/// feeding this collector and comparing [`DropAgeStats::mean_overflow_age`]
+/// across configurations.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::DropAgeStats;
+/// use agb_core::PurgeReason;
+/// use agb_types::{DurationMs, TimeMs};
+///
+/// let mut d = DropAgeStats::new(DurationMs::from_secs(10));
+/// d.record(5, PurgeReason::Overflow, TimeMs::from_secs(1));
+/// d.record(7, PurgeReason::Overflow, TimeMs::from_secs(2));
+/// d.record(11, PurgeReason::AgeCap, TimeMs::from_secs(3));
+/// assert_eq!(d.mean_overflow_age(), Some(6.0));
+/// assert_eq!(d.overflow_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DropAgeStats {
+    bin: DurationMs,
+    overflow: RunningStats,
+    age_cap: RunningStats,
+    overflow_bins: HashMap<u64, RunningStats>,
+}
+
+impl DropAgeStats {
+    /// Creates a collector with the given time-bin width for series
+    /// queries.
+    pub fn new(bin: DurationMs) -> Self {
+        DropAgeStats {
+            bin,
+            overflow: RunningStats::new(),
+            age_cap: RunningStats::new(),
+            overflow_bins: HashMap::new(),
+        }
+    }
+
+    /// Records one purge.
+    pub fn record(&mut self, age: u32, reason: PurgeReason, at: TimeMs) {
+        match reason {
+            PurgeReason::Overflow => {
+                self.overflow.push(f64::from(age));
+                let b = at.as_millis() / self.bin.as_millis().max(1);
+                self.overflow_bins
+                    .entry(b)
+                    .or_insert_with(RunningStats::new)
+                    .push(f64::from(age));
+            }
+            PurgeReason::AgeCap => self.age_cap.push(f64::from(age)),
+        }
+    }
+
+    /// Mean age of overflow (congestion) drops, `None` if none occurred.
+    pub fn mean_overflow_age(&self) -> Option<f64> {
+        (self.overflow.count() > 0).then(|| self.overflow.mean())
+    }
+
+    /// Mean age of age-cap (end-of-life) removals, `None` if none occurred.
+    pub fn mean_age_cap_age(&self) -> Option<f64> {
+        (self.age_cap.count() > 0).then(|| self.age_cap.mean())
+    }
+
+    /// Number of overflow drops.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow.count()
+    }
+
+    /// Number of age-cap removals.
+    pub fn age_cap_count(&self) -> u64 {
+        self.age_cap.count()
+    }
+
+    /// Mean overflow drop age over bins starting within `[from, to)`.
+    pub fn mean_overflow_age_in(&self, from: TimeMs, to: TimeMs) -> Option<f64> {
+        let bin_ms = self.bin.as_millis().max(1);
+        let mut acc = RunningStats::new();
+        for (&b, s) in &self.overflow_bins {
+            let start = b * bin_ms;
+            if start >= from.as_millis() && start < to.as_millis() {
+                acc.merge(s);
+            }
+        }
+        (acc.count() > 0).then(|| acc.mean())
+    }
+
+    /// Per-bin mean overflow drop age, in time order.
+    pub fn overflow_series(&self) -> Vec<(TimeMs, f64)> {
+        let bin_ms = self.bin.as_millis().max(1);
+        let mut out: Vec<(TimeMs, f64)> = self
+            .overflow_bins
+            .iter()
+            .map(|(&b, s)| (TimeMs::from_millis(b * bin_ms), s.mean()))
+            .collect();
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_reasons() {
+        let mut d = DropAgeStats::new(DurationMs::from_secs(1));
+        d.record(4, PurgeReason::Overflow, TimeMs::ZERO);
+        d.record(10, PurgeReason::AgeCap, TimeMs::ZERO);
+        assert_eq!(d.mean_overflow_age(), Some(4.0));
+        assert_eq!(d.mean_age_cap_age(), Some(10.0));
+        assert_eq!(d.overflow_count(), 1);
+        assert_eq!(d.age_cap_count(), 1);
+    }
+
+    #[test]
+    fn empty_means_are_none() {
+        let d = DropAgeStats::new(DurationMs::from_secs(1));
+        assert_eq!(d.mean_overflow_age(), None);
+        assert_eq!(d.mean_age_cap_age(), None);
+        assert!(d.overflow_series().is_empty());
+    }
+
+    #[test]
+    fn series_bins_in_time_order() {
+        let mut d = DropAgeStats::new(DurationMs::from_secs(10));
+        d.record(2, PurgeReason::Overflow, TimeMs::from_secs(25));
+        d.record(4, PurgeReason::Overflow, TimeMs::from_secs(26));
+        d.record(8, PurgeReason::Overflow, TimeMs::from_secs(5));
+        let series = d.overflow_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (TimeMs::ZERO, 8.0));
+        assert_eq!(series[1], (TimeMs::from_secs(20), 3.0));
+    }
+}

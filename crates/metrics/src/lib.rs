@@ -1,0 +1,37 @@
+//! Metrics for gossip broadcast experiments.
+//!
+//! Every figure in the paper's evaluation is a function of four measurement
+//! families, which this crate implements:
+//!
+//! * **delivery tracking** ([`DeliveryTracker`]) — which nodes delivered
+//!   which message, yielding *average % of receivers* (Fig. 8(a)) and
+//!   *atomicity*, the fraction of messages reaching more than 95% of the
+//!   group (Fig. 2, 8(b), 9(b));
+//! * **drop ages** ([`DropAgeStats`]) — the average age of messages purged
+//!   by buffer overflow, the congestion signal itself (Fig. 7(c), §2.3);
+//! * **rates** ([`RateMeter`], [`AllowedRateTracker`]) — admitted input,
+//!   delivered output and the adaptive controller's allowed rate over time
+//!   (Fig. 6, 7(a,b), 9(a));
+//! * **time series** ([`TimeSeries`]) — binned aggregation for the
+//!   time-axis plots.
+//!
+//! [`MetricsCollector`] glues them together: feed it every
+//! [`ProtocolEvent`](agb_core::ProtocolEvent) drained from every node and
+//! query the figure-ready aggregates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod delivery;
+mod drop_age;
+mod rates;
+mod report;
+mod series;
+
+pub use collector::MetricsCollector;
+pub use delivery::{AtomicityReport, DeliveryTracker, MessageRecord};
+pub use drop_age::DropAgeStats;
+pub use rates::{AllowedRateTracker, RateMeter};
+pub use report::{format_f64, Table};
+pub use series::TimeSeries;

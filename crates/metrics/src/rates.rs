@@ -1,0 +1,244 @@
+//! Throughput meters and the allowed-rate step tracker.
+
+use std::collections::HashMap;
+
+use agb_types::{DurationMs, NodeId, TimeMs};
+
+/// Counts discrete occurrences (admissions, deliveries) into time bins and
+/// reports them as rates.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::RateMeter;
+/// use agb_types::{DurationMs, TimeMs};
+///
+/// let mut m = RateMeter::new(DurationMs::from_secs(1));
+/// for ms in [100, 200, 1500] {
+///     m.record(TimeMs::from_millis(ms));
+/// }
+/// assert_eq!(m.total(), 3);
+/// // 2 events in [0,1s), 1 in [1s,2s).
+/// let series = m.series();
+/// assert_eq!(series[0].1, 2.0);
+/// assert_eq!(series[1].1, 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    bin: DurationMs,
+    bins: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl RateMeter {
+    /// Creates a meter with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: DurationMs) -> Self {
+        assert!(!bin.is_zero(), "bin width must be non-zero");
+        RateMeter {
+            bin,
+            bins: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one occurrence at `at`.
+    pub fn record(&mut self, at: TimeMs) {
+        self.record_n(at, 1);
+    }
+
+    /// Records `n` occurrences at `at`.
+    pub fn record_n(&mut self, at: TimeMs, n: u64) {
+        let b = at.as_millis() / self.bin.as_millis();
+        *self.bins.entry(b).or_default() += n;
+        self.total += n;
+    }
+
+    /// Total occurrences recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Occurrences within `[from, to)` as a rate per second.
+    pub fn rate_in(&self, from: TimeMs, to: TimeMs) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let bin_ms = self.bin.as_millis();
+        let count: u64 = self
+            .bins
+            .iter()
+            .filter(|(&b, _)| {
+                let start = b * bin_ms;
+                start >= from.as_millis() && start < to.as_millis()
+            })
+            .map(|(_, &c)| c)
+            .sum();
+        count as f64 / to.since(from).as_secs_f64()
+    }
+
+    /// `(bin_start, rate per second)` series in time order; empty bins
+    /// between occupied ones are reported as zero.
+    pub fn series(&self) -> Vec<(TimeMs, f64)> {
+        if self.bins.is_empty() {
+            return Vec::new();
+        }
+        let bin_ms = self.bin.as_millis();
+        let lo = *self.bins.keys().min().expect("non-empty");
+        let hi = *self.bins.keys().max().expect("non-empty");
+        (lo..=hi)
+            .map(|b| {
+                let count = self.bins.get(&b).copied().unwrap_or(0);
+                (
+                    TimeMs::from_millis(b * bin_ms),
+                    count as f64 / self.bin.as_secs_f64(),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Tracks the adaptive controller's allowed rate per node as a step
+/// function, and aggregates the group-wide allowed rate over time
+/// (Fig. 9(a)).
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::AllowedRateTracker;
+/// use agb_types::{NodeId, TimeMs};
+///
+/// let mut t = AllowedRateTracker::new();
+/// t.set_initial(NodeId::new(0), 5.0);
+/// t.on_change(NodeId::new(0), 10.0, TimeMs::from_secs(2));
+/// assert_eq!(t.aggregate_at(TimeMs::from_secs(1)), 5.0);
+/// assert_eq!(t.aggregate_at(TimeMs::from_secs(3)), 10.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AllowedRateTracker {
+    // Per node: change points (time, new rate), kept sorted by insertion
+    // (events arrive in time order from the harness).
+    steps: HashMap<NodeId, Vec<(TimeMs, f64)>>,
+}
+
+impl AllowedRateTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a node's rate at time zero, registering it for tracking.
+    pub fn set_initial(&mut self, node: NodeId, rate: f64) {
+        self.steps.entry(node).or_default().insert(0, (TimeMs::ZERO, rate));
+    }
+
+    /// Records a rate change. Changes from nodes never registered with
+    /// [`AllowedRateTracker::set_initial`] are ignored, so the aggregate
+    /// covers exactly the sender population of interest (non-sender nodes
+    /// also run controllers, but their idle allowances are not load).
+    pub fn on_change(&mut self, node: NodeId, new_rate: f64, at: TimeMs) {
+        if let Some(steps) = self.steps.get_mut(&node) {
+            steps.push((at, new_rate));
+        }
+    }
+
+    /// The rate of `node` in effect at `t` (0 if unknown).
+    pub fn rate_at(&self, node: NodeId, t: TimeMs) -> f64 {
+        let Some(steps) = self.steps.get(&node) else {
+            return 0.0;
+        };
+        steps
+            .iter()
+            .take_while(|&&(at, _)| at <= t)
+            .last()
+            .map_or(0.0, |&(_, r)| r)
+    }
+
+    /// Sum of all nodes' rates in effect at `t`.
+    pub fn aggregate_at(&self, t: TimeMs) -> f64 {
+        self.steps.keys().map(|&n| self.rate_at(n, t)).sum()
+    }
+
+    /// Aggregate allowed rate sampled at `bin` intervals over `[0, until]`.
+    pub fn aggregate_series(&self, bin: DurationMs, until: TimeMs) -> Vec<(TimeMs, f64)> {
+        let bin_ms = bin.as_millis().max(1);
+        let mut out = Vec::new();
+        let mut t = 0u64;
+        while t <= until.as_millis() {
+            let at = TimeMs::from_millis(t);
+            out.push((at, self.aggregate_at(at)));
+            t += bin_ms;
+        }
+        out
+    }
+
+    /// Nodes with at least one recorded rate.
+    pub fn node_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_meter_bins_and_rates() {
+        let mut m = RateMeter::new(DurationMs::from_secs(2));
+        for s in [0u64, 1, 2, 3, 3] {
+            m.record(TimeMs::from_secs(s));
+        }
+        // Bin [0,2s): 2 events -> 1/s. Bin [2s,4s): 3 events -> 1.5/s.
+        let series = m.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].1, 1.0);
+        assert_eq!(series[1].1, 1.5);
+        assert_eq!(m.total(), 5);
+        assert_eq!(m.rate_in(TimeMs::ZERO, TimeMs::from_secs(4)), 1.25);
+    }
+
+    #[test]
+    fn rate_meter_fills_gaps_with_zero() {
+        let mut m = RateMeter::new(DurationMs::from_secs(1));
+        m.record(TimeMs::ZERO);
+        m.record(TimeMs::from_secs(3));
+        let series = m.series();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series[1].1, 0.0);
+        assert_eq!(series[2].1, 0.0);
+    }
+
+    #[test]
+    fn rate_in_degenerate_window() {
+        let m = RateMeter::new(DurationMs::from_secs(1));
+        assert_eq!(m.rate_in(TimeMs::from_secs(2), TimeMs::from_secs(2)), 0.0);
+        assert_eq!(m.rate_in(TimeMs::from_secs(3), TimeMs::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn allowed_rate_steps_aggregate() {
+        let mut t = AllowedRateTracker::new();
+        t.set_initial(NodeId::new(0), 3.0);
+        t.set_initial(NodeId::new(1), 3.0);
+        t.on_change(NodeId::new(0), 1.5, TimeMs::from_secs(10));
+        assert_eq!(t.aggregate_at(TimeMs::from_secs(5)), 6.0);
+        assert_eq!(t.aggregate_at(TimeMs::from_secs(10)), 4.5);
+        assert_eq!(t.node_count(), 2);
+        let series = t.aggregate_series(DurationMs::from_secs(5), TimeMs::from_secs(10));
+        assert_eq!(series, vec![
+            (TimeMs::ZERO, 6.0),
+            (TimeMs::from_secs(5), 6.0),
+            (TimeMs::from_secs(10), 4.5),
+        ]);
+    }
+
+    #[test]
+    fn unknown_node_rate_is_zero() {
+        let t = AllowedRateTracker::new();
+        assert_eq!(t.rate_at(NodeId::new(9), TimeMs::ZERO), 0.0);
+        assert_eq!(t.aggregate_at(TimeMs::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text tables for the benchmark harness, formatted like the paper's
+//! figures (one row per x-axis point, one column per series).
+
+use std::fmt;
+
+/// Formats a float compactly: integers without decimals, otherwise two
+/// decimal places.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::format_f64;
+/// assert_eq!(format_f64(30.0), "30");
+/// assert_eq!(format_f64(5.333), "5.33");
+/// ```
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() && (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// A column-aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::Table;
+///
+/// let mut t = Table::new("Figure 4: maximum input rate", &["buffer", "max rate (msg/s)"]);
+/// t.row(&["30".into(), "7.5".into()]);
+/// t.row(&["60".into(), "15".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Figure 4"));
+/// assert!(text.contains("buffer"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity must match headers"
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a row of floats, formatted with [`format_f64`].
+    pub fn row_f64(&mut self, cells: &[f64]) {
+        let cells: Vec<String> = cells.iter().map(|&v| format_f64(v)).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "# {}", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+            .collect();
+        writeln!(f, "  {}", header_line.join("  "))?;
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_aligned_columns() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.row(&["1".into(), "10".into()]);
+        t.row_f64(&[2.0, 123.456]);
+        let s = t.to_string();
+        assert!(s.contains("# demo"));
+        assert!(s.contains("123.46"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(format_f64(0.0), "0");
+        assert_eq!(format_f64(-2.0), "-2");
+        assert_eq!(format_f64(0.126), "0.13");
+        assert_eq!(format_f64(f64::NAN), "NaN");
+    }
+}

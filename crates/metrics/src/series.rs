@@ -1,0 +1,108 @@
+//! Binned time series of continuous samples.
+
+use std::collections::HashMap;
+
+use agb_types::{DurationMs, RunningStats, TimeMs};
+
+/// Aggregates `(time, value)` samples into fixed-width bins, reporting the
+/// per-bin mean — the shape behind all of the paper's time-axis plots.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::TimeSeries;
+/// use agb_types::{DurationMs, TimeMs};
+///
+/// let mut s = TimeSeries::new(DurationMs::from_secs(10));
+/// s.push(TimeMs::from_secs(1), 4.0);
+/// s.push(TimeMs::from_secs(2), 6.0);
+/// s.push(TimeMs::from_secs(15), 10.0);
+/// let bins = s.bins();
+/// assert_eq!(bins[0], (TimeMs::ZERO, 5.0));
+/// assert_eq!(bins[1], (TimeMs::from_secs(10), 10.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bin: DurationMs,
+    bins: HashMap<u64, RunningStats>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is zero.
+    pub fn new(bin: DurationMs) -> Self {
+        assert!(!bin.is_zero(), "bin width must be non-zero");
+        TimeSeries {
+            bin,
+            bins: HashMap::new(),
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, at: TimeMs, value: f64) {
+        let b = at.as_millis() / self.bin.as_millis();
+        self.bins.entry(b).or_insert_with(RunningStats::new).push(value);
+    }
+
+    /// `(bin_start, mean)` pairs in time order (occupied bins only).
+    pub fn bins(&self) -> Vec<(TimeMs, f64)> {
+        let bin_ms = self.bin.as_millis();
+        let mut out: Vec<(TimeMs, f64)> = self
+            .bins
+            .iter()
+            .map(|(&b, s)| (TimeMs::from_millis(b * bin_ms), s.mean()))
+            .collect();
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// The mean over all samples in `[from, to)`.
+    pub fn mean_in(&self, from: TimeMs, to: TimeMs) -> Option<f64> {
+        let bin_ms = self.bin.as_millis();
+        let mut acc = RunningStats::new();
+        for (&b, s) in &self.bins {
+            let start = b * bin_ms;
+            if start >= from.as_millis() && start < to.as_millis() {
+                acc.merge(s);
+            }
+        }
+        (acc.count() > 0).then(|| acc.mean())
+    }
+
+    /// Number of samples across all bins.
+    pub fn sample_count(&self) -> u64 {
+        self.bins.values().map(RunningStats::count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_compute_means() {
+        let mut s = TimeSeries::new(DurationMs::from_secs(1));
+        s.push(TimeMs::from_millis(100), 1.0);
+        s.push(TimeMs::from_millis(900), 3.0);
+        s.push(TimeMs::from_millis(1100), 10.0);
+        let bins = s.bins();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].1, 2.0);
+        assert_eq!(bins[1].1, 10.0);
+        assert_eq!(s.sample_count(), 3);
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut s = TimeSeries::new(DurationMs::from_secs(1));
+        for sec in 0..10u64 {
+            s.push(TimeMs::from_secs(sec), sec as f64);
+        }
+        let m = s.mean_in(TimeMs::from_secs(2), TimeMs::from_secs(5)).unwrap();
+        assert_eq!(m, 3.0); // mean of 2, 3, 4
+        assert!(s.mean_in(TimeMs::from_secs(100), TimeMs::from_secs(200)).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the metrics layer.
+
+use agb_metrics::{DeliveryTracker, RateMeter, TimeSeries};
+use agb_types::{DurationMs, EventId, NodeId, TimeMs};
+use proptest::prelude::*;
+
+proptest! {
+    /// Receiver fractions are always within [0, 1] and atomicity never
+    /// exceeds the average-fraction-derived bound.
+    #[test]
+    fn delivery_tracker_fractions_are_sane(
+        n_nodes in 1usize..16,
+        deliveries in proptest::collection::vec((0u64..8, 0u32..16, 0u32..10), 0..200),
+    ) {
+        let mut t = DeliveryTracker::new(n_nodes);
+        for (msg, node, age) in deliveries {
+            t.on_delivered(
+                NodeId::new(node % n_nodes as u32),
+                EventId::new(NodeId::new(0), msg),
+                age,
+                TimeMs::ZERO,
+            );
+        }
+        let r = t.atomicity(0.95, None);
+        prop_assert!((0.0..=1.0).contains(&r.avg_receiver_fraction));
+        prop_assert!((0.0..=1.0).contains(&r.atomic_fraction));
+        for (_, rec) in t.iter() {
+            prop_assert!(rec.receiver_count() <= n_nodes);
+        }
+    }
+
+    /// A message delivered to every node is always atomic; one delivered
+    /// to none never is.
+    #[test]
+    fn atomicity_extremes(n_nodes in 2usize..20, threshold in 0.0f64..0.99) {
+        let mut t = DeliveryTracker::new(n_nodes);
+        for node in 0..n_nodes {
+            t.on_delivered(
+                NodeId::new(node as u32),
+                EventId::new(NodeId::new(0), 0),
+                1,
+                TimeMs::ZERO,
+            );
+        }
+        let r = t.atomicity(threshold, None);
+        prop_assert_eq!(r.atomic_fraction, 1.0);
+        prop_assert_eq!(r.avg_receiver_fraction, 1.0);
+    }
+
+    /// RateMeter's total equals the sum over its series bins, and the
+    /// windowed rate reproduces the total over the full span.
+    #[test]
+    fn rate_meter_conservation(
+        bin_ms in 1u64..5_000,
+        events in proptest::collection::vec(0u64..100_000, 0..200),
+    ) {
+        let mut m = RateMeter::new(DurationMs::from_millis(bin_ms));
+        for &t in &events {
+            m.record(TimeMs::from_millis(t));
+        }
+        prop_assert_eq!(m.total(), events.len() as u64);
+        let series = m.series();
+        let from_series: f64 = series
+            .iter()
+            .map(|&(_, rate)| rate * bin_ms as f64 / 1000.0)
+            .sum();
+        prop_assert!((from_series - events.len() as f64).abs() < 1e-6);
+    }
+
+    /// TimeSeries per-bin means lie within the range of their samples.
+    #[test]
+    fn time_series_means_in_range(
+        bin_ms in 1u64..5_000,
+        samples in proptest::collection::vec((0u64..50_000, -1e3f64..1e3), 1..100),
+    ) {
+        let mut s = TimeSeries::new(DurationMs::from_millis(bin_ms));
+        for &(t, v) in &samples {
+            s.push(TimeMs::from_millis(t), v);
+        }
+        prop_assert_eq!(s.sample_count(), samples.len() as u64);
+        let (lo, hi) = samples.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &(_, v)| (lo.min(v), hi.max(v)),
+        );
+        for (_, mean) in s.bins() {
+            prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Multi-threaded clusters: the reproduction of the paper's prototype
+//! deployment ("60 processes ... deployed on 60 workstations").
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use agb_core::{AdaptationConfig, AdaptiveNode, GossipConfig, GossipProtocol, LpbcastNode};
+use agb_membership::FullView;
+use agb_metrics::MetricsCollector;
+use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+
+use crate::node::{spawn_node, Command, NodeHandle, NodeRuntime};
+use crate::transport::{ChannelTransport, Transport, UdpTransport};
+
+/// Transport selection for a runtime cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// One UDP socket per node on 127.0.0.1.
+    Udp,
+    /// In-process channels (no sockets; for CI).
+    Channel,
+}
+
+/// Configuration of a threaded cluster.
+#[derive(Debug, Clone)]
+pub struct RuntimeClusterConfig {
+    /// Number of node threads.
+    pub n_nodes: usize,
+    /// Seed for per-node RNG streams.
+    pub seed: u64,
+    /// Run the adaptive protocol instead of baseline lpbcast.
+    pub adaptive: bool,
+    /// Base gossip parameters. For wall-clock practicality, scale the
+    /// paper's periods down (e.g. 100 ms instead of 5 s) — the protocol
+    /// dynamics depend on rounds, not seconds.
+    pub gossip: GossipConfig,
+    /// Adaptation parameters (when `adaptive`).
+    pub adaptation: AdaptationConfig,
+    /// Nodes `0..n_senders` publish.
+    pub n_senders: usize,
+    /// Aggregate offered load, msgs/s, split across senders.
+    pub offered_rate: f64,
+    /// Payload size in bytes.
+    pub payload_size: usize,
+    /// Transport selection.
+    pub transport: TransportKind,
+    /// Metrics bin width.
+    pub metrics_bin: DurationMs,
+}
+
+impl RuntimeClusterConfig {
+    /// A small channel-transport cluster with scaled-down timing, suitable
+    /// for tests.
+    pub fn quick(n_nodes: usize, seed: u64) -> Self {
+        let mut gossip = GossipConfig::default();
+        gossip.gossip_period = DurationMs::from_millis(50);
+        RuntimeClusterConfig {
+            n_nodes,
+            seed,
+            adaptive: false,
+            gossip,
+            adaptation: AdaptationConfig::default(),
+            n_senders: 1,
+            offered_rate: 5.0,
+            payload_size: 16,
+            transport: TransportKind::Channel,
+            metrics_bin: DurationMs::from_millis(250),
+        }
+    }
+}
+
+/// A running threaded cluster.
+pub struct RuntimeCluster {
+    handles: Vec<NodeHandle>,
+    metrics: Arc<Mutex<MetricsCollector>>,
+    shutdown: Arc<AtomicBool>,
+    epoch: Instant,
+}
+
+impl RuntimeCluster {
+    /// Binds transports and spawns all node threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails if UDP sockets cannot be bound.
+    pub fn start(config: RuntimeClusterConfig) -> io::Result<Self> {
+        assert!(config.n_nodes > 0, "cluster needs at least one node");
+        assert!(
+            config.n_senders <= config.n_nodes,
+            "more senders than nodes"
+        );
+        let metrics = Arc::new(Mutex::new(MetricsCollector::new(
+            config.n_nodes,
+            config.metrics_bin,
+        )));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+        let seeds = SeedSequence::new(config.seed);
+        let per_sender = if config.n_senders == 0 {
+            0.0
+        } else {
+            config.offered_rate / config.n_senders as f64
+        };
+        let payload = Payload::from(vec![0u8; config.payload_size]);
+
+        let mut handles = Vec::with_capacity(config.n_nodes);
+        match config.transport {
+            TransportKind::Udp => {
+                let transports = UdpTransport::bind_cluster(config.n_nodes)?;
+                for (i, t) in transports.into_iter().enumerate() {
+                    handles.push(Self::spawn_one(
+                        &config, i, t, &metrics, epoch, &shutdown, &seeds, per_sender, &payload,
+                    ));
+                }
+            }
+            TransportKind::Channel => {
+                let transports = ChannelTransport::cluster(config.n_nodes);
+                for (i, t) in transports.into_iter().enumerate() {
+                    handles.push(Self::spawn_one(
+                        &config, i, t, &metrics, epoch, &shutdown, &seeds, per_sender, &payload,
+                    ));
+                }
+            }
+        }
+        Ok(RuntimeCluster {
+            handles,
+            metrics,
+            shutdown,
+            epoch,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spawn_one<T: Transport>(
+        config: &RuntimeClusterConfig,
+        i: usize,
+        transport: T,
+        metrics: &Arc<Mutex<MetricsCollector>>,
+        epoch: Instant,
+        shutdown: &Arc<AtomicBool>,
+        seeds: &SeedSequence,
+        per_sender: f64,
+        payload: &Payload,
+    ) -> NodeHandle {
+        let id = NodeId::new(i as u32);
+        let rng: DetRng = seeds.rng_for("runtime-node", i as u64);
+        let protocol: Box<dyn GossipProtocol + Send> = if config.adaptive {
+            Box::new(AdaptiveNode::new(
+                id,
+                config.gossip.clone(),
+                config.adaptation.clone(),
+                FullView::new(config.n_nodes),
+                rng,
+            ))
+        } else {
+            Box::new(LpbcastNode::new(
+                id,
+                config.gossip.clone(),
+                FullView::new(config.n_nodes),
+                rng,
+            ))
+        };
+        let is_sender = i < config.n_senders && per_sender > 0.0;
+        if is_sender && config.adaptive {
+            metrics
+                .lock()
+                .set_initial_rate(id, config.adaptation.initial_rate);
+        }
+        let (tx, rx) = unbounded();
+        spawn_node(
+            id,
+            NodeRuntime {
+                protocol,
+                offered_rate: if is_sender { per_sender } else { 0.0 },
+                payload: payload.clone(),
+                max_backlog: 2,
+            },
+            transport,
+            Arc::clone(metrics),
+            epoch,
+            Arc::clone(shutdown),
+            rx,
+            tx,
+        )
+    }
+
+    /// Number of node threads.
+    pub fn n_nodes(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Wall-clock time since the cluster epoch, as protocol time.
+    pub fn elapsed(&self) -> TimeMs {
+        TimeMs::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    /// Offers one payload at `node`.
+    pub fn offer(&self, node: NodeId, payload: Payload) -> bool {
+        self.handles[node.index()].command(Command::Offer(payload))
+    }
+
+    /// Resizes the event buffer of one node.
+    pub fn resize(&self, node: NodeId, capacity: usize) -> bool {
+        self.handles[node.index()].command(Command::Resize(capacity))
+    }
+
+    /// Resizes a group of nodes.
+    pub fn resize_group(&self, nodes: impl IntoIterator<Item = NodeId>, capacity: usize) {
+        for n in nodes {
+            self.resize(n, capacity);
+        }
+    }
+
+    /// Lets the cluster run for `d` of wall-clock time.
+    pub fn run_for(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// A snapshot of the collected metrics.
+    pub fn metrics_snapshot(&self) -> MetricsCollector {
+        self.metrics.lock().clone()
+    }
+
+    /// Stops all node threads and returns the final metrics.
+    pub fn stop(self) -> MetricsCollector {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for h in self.handles {
+            let _ = h.join.join();
+        }
+        Arc::try_unwrap(self.metrics)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| arc.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_cluster_disseminates() {
+        let mut config = RuntimeClusterConfig::quick(8, 3);
+        config.offered_rate = 10.0;
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(1200));
+        let metrics = cluster.stop();
+        let report = metrics.deliveries().atomicity(0.95, None);
+        assert!(report.messages > 3, "only {} messages", report.messages);
+        assert!(
+            report.avg_receiver_fraction > 0.85,
+            "fraction {}",
+            report.avg_receiver_fraction
+        );
+    }
+
+    #[test]
+    fn adaptive_cluster_reports_rate_changes_under_pressure() {
+        let mut config = RuntimeClusterConfig::quick(8, 5);
+        config.adaptive = true;
+        config.offered_rate = 200.0; // far beyond tiny-buffer capacity
+        config.gossip.max_events = 8;
+        config.adaptation.initial_rate = 200.0;
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(1500));
+        let metrics = cluster.stop();
+        // Congestion must have forced the allowed rate down.
+        let final_rate = metrics.allowed().rate_at(NodeId::new(0), TimeMs::from_secs(3600));
+        assert!(
+            final_rate < 200.0,
+            "adaptive sender should have throttled, rate {final_rate}"
+        );
+    }
+
+    #[test]
+    fn resize_command_is_accepted() {
+        let config = RuntimeClusterConfig::quick(2, 9);
+        let cluster = RuntimeCluster::start(config).unwrap();
+        assert!(cluster.resize(NodeId::new(0), 10));
+        cluster.resize_group([NodeId::new(0), NodeId::new(1)], 20);
+        cluster.run_for(Duration::from_millis(100));
+        let _ = cluster.stop();
+    }
+}

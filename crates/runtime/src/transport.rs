@@ -1,0 +1,174 @@
+//! Datagram transports for the threaded runtime.
+//!
+//! Two implementations behind one trait:
+//!
+//! * [`UdpTransport`] — one UDP socket per node on 127.0.0.1, the moral
+//!   equivalent of the paper's 60 workstations on an Ethernet LAN;
+//! * [`ChannelTransport`] — in-process crossbeam channels, for fast tests
+//!   and CI environments without network access.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+use agb_types::NodeId;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// A best-effort datagram channel between the nodes of one cluster.
+///
+/// Sends never block and may silently drop (UDP semantics); receives are
+/// bounded waits.
+pub trait Transport: Send + 'static {
+    /// Sends one datagram to `to` (best effort).
+    fn send(&self, to: NodeId, bytes: Bytes);
+
+    /// Waits up to `timeout` for one datagram.
+    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes>;
+}
+
+/// UDP-socket transport over the loopback interface.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: Arc<Vec<SocketAddr>>,
+    recv_buf_size: usize,
+}
+
+/// The UDP datagram payload bound used when splitting gossip messages.
+pub const MAX_DATAGRAM: usize = 60 * 1024;
+
+impl UdpTransport {
+    /// Binds one socket per node on OS-assigned loopback ports and returns
+    /// the per-node transports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind_cluster(n_nodes: usize) -> io::Result<Vec<UdpTransport>> {
+        let mut sockets = Vec::with_capacity(n_nodes);
+        let mut addrs = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+            addrs.push(socket.local_addr()?);
+            sockets.push(socket);
+        }
+        let peers = Arc::new(addrs);
+        sockets
+            .into_iter()
+            .map(|socket| {
+                socket.set_nonblocking(false)?;
+                Ok(UdpTransport {
+                    socket,
+                    peers: Arc::clone(&peers),
+                    recv_buf_size: 64 * 1024,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send(&self, to: NodeId, bytes: Bytes) {
+        if let Some(addr) = self.peers.get(to.index()) {
+            // Best effort: ignore transient send failures (full buffers),
+            // exactly like a lossy network.
+            let _ = self.socket.send_to(&bytes, addr);
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
+        // A zero timeout would put the socket in nonblocking mode forever.
+        let timeout = timeout.max(Duration::from_millis(1));
+        if self.socket.set_read_timeout(Some(timeout)).is_err() {
+            return None;
+        }
+        let mut buf = vec![0u8; self.recv_buf_size];
+        match self.socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                buf.truncate(n);
+                Some(Bytes::from(buf))
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// In-process channel transport.
+#[derive(Debug, Clone)]
+pub struct ChannelTransport {
+    rx: Receiver<Bytes>,
+    txs: Arc<Vec<Sender<Bytes>>>,
+}
+
+impl ChannelTransport {
+    /// Creates a fully connected cluster of channel transports.
+    pub fn cluster(n_nodes: usize) -> Vec<ChannelTransport> {
+        let mut txs = Vec::with_capacity(n_nodes);
+        let mut rxs = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let txs = Arc::new(txs);
+        rxs.into_iter()
+            .map(|rx| ChannelTransport {
+                rx,
+                txs: Arc::clone(&txs),
+            })
+            .collect()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, to: NodeId, bytes: Bytes) {
+        if let Some(tx) = self.txs.get(to.index()) {
+            let _ = tx.send(bytes);
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(b) => Some(b),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_transport_delivers() {
+        let cluster = ChannelTransport::cluster(3);
+        cluster[0].send(NodeId::new(2), Bytes::from_static(b"hello"));
+        let got = cluster[2].recv_timeout(Duration::from_millis(100));
+        assert_eq!(got, Some(Bytes::from_static(b"hello")));
+        // Nothing for node 1.
+        assert_eq!(cluster[1].recv_timeout(Duration::from_millis(10)), None);
+    }
+
+    #[test]
+    fn channel_send_to_unknown_node_is_noop() {
+        let cluster = ChannelTransport::cluster(1);
+        cluster[0].send(NodeId::new(9), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn udp_transport_roundtrip() {
+        let cluster = UdpTransport::bind_cluster(2).expect("bind loopback");
+        cluster[0].send(NodeId::new(1), Bytes::from_static(b"ping"));
+        let got = cluster[1].recv_timeout(Duration::from_millis(500));
+        assert_eq!(got, Some(Bytes::from_static(b"ping")));
+    }
+
+    #[test]
+    fn udp_recv_times_out_quietly() {
+        let cluster = UdpTransport::bind_cluster(1).expect("bind loopback");
+        let got = cluster[0].recv_timeout(Duration::from_millis(20));
+        assert_eq!(got, None);
+    }
+}

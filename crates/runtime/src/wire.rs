@@ -1,0 +1,320 @@
+//! Binary wire codec for gossip messages.
+//!
+//! A small hand-rolled format (little-endian, length-prefixed) — the
+//! messages have a dozen fields, which does not justify pulling a
+//! serialization framework. The format is versioned with a magic byte so
+//! incompatible peers fail loudly instead of mis-decoding.
+
+use agb_core::{BuffAd, Event, GossipMessage};
+use agb_membership::MembershipDigest;
+use agb_types::{EventId, NodeId, Payload};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Codec version magic; bump on format changes.
+const MAGIC: u8 = 0xA7;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the declared content.
+    Truncated,
+    /// The magic/version byte did not match.
+    BadMagic(u8),
+    /// A declared length is implausible for the remaining buffer.
+    BadLength,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadMagic(m) => write!(f, "bad magic byte {m:#04x}"),
+            WireError::BadLength => write!(f, "declared length exceeds buffer"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes a gossip message.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::GossipMessage;
+/// use agb_runtime::wire::{decode, encode};
+/// use agb_types::NodeId;
+///
+/// let msg = GossipMessage {
+///     sender: NodeId::new(1),
+///     sample_period: 9,
+///     min_buffs: vec![],
+///     events: vec![],
+///     membership: Default::default(),
+/// };
+/// let bytes = encode(&msg);
+/// assert_eq!(decode(&bytes).unwrap(), msg);
+/// ```
+pub fn encode(msg: &GossipMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + msg.wire_size());
+    buf.put_u8(MAGIC);
+    buf.put_u32_le(msg.sender.as_u32());
+    buf.put_u64_le(msg.sample_period);
+    buf.put_u16_le(msg.min_buffs.len() as u16);
+    for ad in &msg.min_buffs {
+        buf.put_u32_le(ad.node.as_u32());
+        buf.put_u32_le(ad.capacity);
+    }
+    buf.put_u16_le(msg.membership.subs.len() as u16);
+    for s in &msg.membership.subs {
+        buf.put_u32_le(s.as_u32());
+    }
+    buf.put_u16_le(msg.membership.unsubs.len() as u16);
+    for u in &msg.membership.unsubs {
+        buf.put_u32_le(u.as_u32());
+    }
+    buf.put_u32_le(msg.events.len() as u32);
+    for e in &msg.events {
+        buf.put_u32_le(e.id().origin().as_u32());
+        buf.put_u64_le(e.id().seq());
+        buf.put_u32_le(e.age());
+        buf.put_u32_le(e.payload().len() as u32);
+        buf.put_slice(e.payload());
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserializes a gossip message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated input, bad magic byte, or
+/// implausible lengths.
+pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
+    let mut buf = bytes;
+    need(&buf, 1)?;
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    need(&buf, 4 + 8 + 2)?;
+    let sender = NodeId::new(buf.get_u32_le());
+    let sample_period = buf.get_u64_le();
+    let n_ads = buf.get_u16_le() as usize;
+    if buf.remaining() < n_ads * 8 {
+        return Err(WireError::BadLength);
+    }
+    let mut min_buffs = Vec::with_capacity(n_ads);
+    for _ in 0..n_ads {
+        let node = NodeId::new(buf.get_u32_le());
+        let capacity = buf.get_u32_le();
+        min_buffs.push(BuffAd { node, capacity });
+    }
+    need(&buf, 2)?;
+    let n_subs = buf.get_u16_le() as usize;
+    if buf.remaining() < n_subs * 4 {
+        return Err(WireError::BadLength);
+    }
+    let subs = (0..n_subs).map(|_| NodeId::new(buf.get_u32_le())).collect();
+    need(&buf, 2)?;
+    let n_unsubs = buf.get_u16_le() as usize;
+    if buf.remaining() < n_unsubs * 4 {
+        return Err(WireError::BadLength);
+    }
+    let unsubs = (0..n_unsubs).map(|_| NodeId::new(buf.get_u32_le())).collect();
+    need(&buf, 4)?;
+    let n_events = buf.get_u32_le() as usize;
+    // Each event needs at least 20 bytes: reject absurd counts early.
+    if n_events > buf.remaining() / 20 + 1 {
+        return Err(WireError::BadLength);
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        need(&buf, 4 + 8 + 4 + 4)?;
+        let origin = NodeId::new(buf.get_u32_le());
+        let seq = buf.get_u64_le();
+        let age = buf.get_u32_le();
+        let plen = buf.get_u32_le() as usize;
+        need(&buf, plen)?;
+        let payload = Payload::copy_from_slice(&buf[..plen]);
+        buf.advance(plen);
+        events.push(Event::with_age(EventId::new(origin, seq), age, payload));
+    }
+    Ok(GossipMessage {
+        sender,
+        sample_period,
+        min_buffs,
+        events,
+        membership: MembershipDigest { subs, unsubs },
+    })
+}
+
+/// Splits a message into fragments no larger than `max_bytes` on the wire
+/// by partitioning its event list. Header and membership information is
+/// replicated in every fragment — semantically safe, since duplicate
+/// suppression and min-merging are idempotent.
+///
+/// Fragments always carry at least one event, so a single oversized event
+/// (payload near the datagram limit) still goes out alone.
+pub fn split_for_datagram(msg: &GossipMessage, max_bytes: usize) -> Vec<Bytes> {
+    let encoded = encode(msg);
+    if encoded.len() <= max_bytes || msg.events.len() <= 1 {
+        return vec![encoded];
+    }
+    let mut out = Vec::new();
+    let mut chunk = GossipMessage {
+        sender: msg.sender,
+        sample_period: msg.sample_period,
+        min_buffs: msg.min_buffs.clone(),
+        events: Vec::new(),
+        membership: msg.membership.clone(),
+    };
+    let overhead = {
+        let empty = GossipMessage {
+            events: Vec::new(),
+            ..chunk.clone()
+        };
+        encode(&empty).len()
+    };
+    let mut used = overhead;
+    for event in &msg.events {
+        let cost = 20 + event.payload().len();
+        if !chunk.events.is_empty() && used + cost > max_bytes {
+            out.push(encode(&chunk));
+            chunk.events.clear();
+            used = overhead;
+        }
+        chunk.events.push(event.clone());
+        used += cost;
+    }
+    if !chunk.events.is_empty() {
+        out.push(encode(&chunk));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msg() -> GossipMessage {
+        GossipMessage {
+            sender: NodeId::new(3),
+            sample_period: 42,
+            min_buffs: vec![
+                BuffAd {
+                    node: NodeId::new(9),
+                    capacity: 45,
+                },
+                BuffAd {
+                    node: NodeId::new(2),
+                    capacity: 60,
+                },
+            ],
+            events: vec![
+                Event::with_age(
+                    EventId::new(NodeId::new(1), 7),
+                    3,
+                    Payload::from_static(b"payload-one"),
+                ),
+                Event::with_age(EventId::new(NodeId::new(2), 0), 0, Payload::new()),
+            ],
+            membership: MembershipDigest {
+                subs: vec![NodeId::new(3), NodeId::new(4)],
+                unsubs: vec![NodeId::new(5)],
+            },
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let msg = sample_msg();
+        let decoded = decode(&encode(&msg)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn roundtrip_empty_message() {
+        let msg = GossipMessage {
+            sender: NodeId::new(0),
+            sample_period: 0,
+            min_buffs: vec![],
+            events: vec![],
+            membership: MembershipDigest::default(),
+        };
+        assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&sample_msg()).to_vec();
+        bytes[0] = 0x00;
+        assert_eq!(decode(&bytes), Err(WireError::BadMagic(0)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode(&sample_msg());
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "decoding a {cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_event_count() {
+        let msg = GossipMessage {
+            sender: NodeId::new(0),
+            sample_period: 0,
+            min_buffs: vec![],
+            events: vec![],
+            membership: MembershipDigest::default(),
+        };
+        let mut bytes = encode(&msg).to_vec();
+        // Patch the trailing event-count u32 to a huge value.
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::BadLength));
+    }
+
+    #[test]
+    fn split_respects_size_and_preserves_events() {
+        let mut msg = sample_msg();
+        msg.events = (0..100)
+            .map(|s| {
+                Event::with_age(
+                    EventId::new(NodeId::new(1), s),
+                    1,
+                    Payload::from_static(b"0123456789abcdef"),
+                )
+            })
+            .collect();
+        let frags = split_for_datagram(&msg, 512);
+        assert!(frags.len() > 1);
+        let mut recovered = Vec::new();
+        for f in &frags {
+            assert!(f.len() <= 512, "fragment of {} bytes", f.len());
+            let m = decode(f).unwrap();
+            assert_eq!(m.sender, msg.sender);
+            assert_eq!(m.sample_period, msg.sample_period);
+            assert_eq!(m.min_buffs, msg.min_buffs);
+            recovered.extend(m.events);
+        }
+        assert_eq!(recovered, msg.events);
+    }
+
+    #[test]
+    fn split_keeps_small_message_whole() {
+        let msg = sample_msg();
+        let frags = split_for_datagram(&msg, 64 * 1024);
+        assert_eq!(frags.len(), 1);
+    }
+}

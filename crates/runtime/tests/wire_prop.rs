@@ -1,0 +1,92 @@
+//! Property-based tests of the wire codec: arbitrary messages round-trip,
+//! arbitrary bytes never panic the decoder, fragmentation preserves
+//! content.
+
+use agb_core::{BuffAd, Event, GossipMessage};
+use agb_membership::MembershipDigest;
+use agb_runtime::wire::{decode, encode, split_for_datagram};
+use agb_types::{EventId, NodeId, Payload};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u32..64, 0u64..10_000, 0u32..64, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
+        |(origin, seq, age, payload)| {
+            Event::with_age(
+                EventId::new(NodeId::new(origin), seq),
+                age,
+                Payload::from(payload),
+            )
+        },
+    )
+}
+
+fn arb_message() -> impl Strategy<Value = GossipMessage> {
+    (
+        0u32..64,
+        0u64..1_000,
+        proptest::collection::vec((0u32..64, 1u32..1_000), 0..4),
+        proptest::collection::vec(arb_event(), 0..24),
+        proptest::collection::vec(0u32..64, 0..6),
+        proptest::collection::vec(0u32..64, 0..6),
+    )
+        .prop_map(|(sender, period, ads, events, subs, unsubs)| GossipMessage {
+            sender: NodeId::new(sender),
+            sample_period: period,
+            min_buffs: ads
+                .into_iter()
+                .map(|(node, capacity)| BuffAd {
+                    node: NodeId::new(node),
+                    capacity,
+                })
+                .collect(),
+            events,
+            membership: MembershipDigest {
+                subs: subs.into_iter().map(NodeId::new).collect(),
+                unsubs: unsubs.into_iter().map(NodeId::new).collect(),
+            },
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_identity(msg in arb_message()) {
+        let decoded = decode(&encode(&msg)).expect("roundtrip");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn truncation_always_errors(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode(&msg);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn fragmentation_preserves_events(msg in arb_message(), max in 128usize..2048) {
+        let frags = split_for_datagram(&msg, max);
+        prop_assert!(!frags.is_empty());
+        let mut events = Vec::new();
+        for f in &frags {
+            let m = decode(f).expect("fragment decodes");
+            prop_assert_eq!(m.sender, msg.sender);
+            prop_assert_eq!(m.sample_period, msg.sample_period);
+            prop_assert_eq!(&m.min_buffs, &msg.min_buffs);
+            events.extend(m.events);
+        }
+        prop_assert_eq!(events, msg.events);
+        // Fragments respect the bound unless a single event exceeds it.
+        for f in &frags {
+            if f.len() > max {
+                let m = decode(f).expect("fragment decodes");
+                prop_assert_eq!(m.events.len(), 1, "only oversized singletons may exceed max");
+            }
+        }
+    }
+}

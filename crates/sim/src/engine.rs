@@ -1,0 +1,803 @@
+//! The simulation engine: virtual clock, node registry, timer service and
+//! message routing through the network model.
+
+use std::collections::HashMap;
+
+use agb_types::{DetRng, DurationMs, NodeId, SeedSequence, TimeMs};
+
+use crate::network::{NetworkConfig, NetworkModel};
+use crate::queue::EventQueue;
+use crate::trace::{TraceEvent, Tracer};
+
+/// Protocol-defined timer identifier.
+///
+/// Protocols may run several concurrent timers per node (gossip round,
+/// sample-period rollover, workload ticks); the id distinguishes them in
+/// [`SimNode::on_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(pub u32);
+
+/// A node (actor) hosted by the simulator.
+///
+/// All methods receive a [`SimCtx`] through which the node sends messages
+/// and manages timers; nodes must not hold any other channel to the outside
+/// world, which is what makes runs reproducible.
+pub trait SimNode {
+    /// The message type exchanged between nodes.
+    type Msg;
+
+    /// Called once at simulation start (virtual time 0).
+    fn on_start(&mut self, ctx: &mut SimCtx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a timer previously set through the context fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut SimCtx<'_, Self::Msg>) {
+        let _ = (timer, ctx);
+    }
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut SimCtx<'_, Self::Msg>) {
+        let _ = (from, msg, ctx);
+    }
+}
+
+#[derive(Debug)]
+enum TimerKind {
+    Once,
+    Periodic(DurationMs),
+}
+
+#[derive(Debug)]
+enum TimerRequest {
+    Set {
+        timer: TimerId,
+        first_after: DurationMs,
+        kind: TimerKind,
+    },
+    Cancel(TimerId),
+}
+
+/// The node's window onto the simulated world.
+///
+/// Collects sends and timer requests during a handler invocation; the engine
+/// applies them (routing messages through the network model) when the
+/// handler returns.
+#[derive(Debug)]
+pub struct SimCtx<'a, M> {
+    now: TimeMs,
+    self_id: NodeId,
+    outbox: &'a mut Vec<(NodeId, M)>,
+    timer_reqs: &'a mut Vec<TimerRequest>,
+}
+
+impl<'a, M> SimCtx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> TimeMs {
+        self.now
+    }
+
+    /// The identity of the node being invoked.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` through the simulated network.
+    ///
+    /// Delivery is not guaranteed: the network model may drop the message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Arms a one-shot timer that fires `after` from now.
+    ///
+    /// Re-arming an already armed timer id replaces it.
+    pub fn set_timer(&mut self, timer: TimerId, after: DurationMs) {
+        self.timer_reqs.push(TimerRequest::Set {
+            timer,
+            first_after: after,
+            kind: TimerKind::Once,
+        });
+    }
+
+    /// Arms a periodic timer: first fire after `first_after`, then every
+    /// `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (a zero period would livelock the engine).
+    pub fn set_periodic_timer(&mut self, timer: TimerId, first_after: DurationMs, period: DurationMs) {
+        assert!(!period.is_zero(), "periodic timer period must be non-zero");
+        self.timer_reqs.push(TimerRequest::Set {
+            timer,
+            first_after,
+            kind: TimerKind::Periodic(period),
+        });
+    }
+
+    /// Cancels a timer; pending fires are suppressed.
+    pub fn cancel_timer(&mut self, timer: TimerId) {
+        self.timer_reqs.push(TimerRequest::Cancel(timer));
+    }
+}
+
+enum EventKind<N: SimNode> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+    },
+    Timer {
+        node: NodeId,
+        timer: TimerId,
+        gen: u64,
+    },
+    NodeControl {
+        node: NodeId,
+        f: Box<dyn FnOnce(&mut N, TimeMs)>,
+    },
+    GlobalControl {
+        f: Box<dyn FnOnce(&mut [N], TimeMs)>,
+    },
+    SetDown {
+        node: NodeId,
+        down: bool,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TimerSlot {
+    gen: u64,
+    period: Option<DurationMs>,
+}
+
+/// Aggregate engine statistics, including an order-sensitive checksum of all
+/// engine events — two runs of the same seeded experiment are identical iff
+/// their checksums agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Messages handed to the network by nodes.
+    pub sends: u64,
+    /// Messages delivered to their destination.
+    pub deliveries: u64,
+    /// Messages dropped by the network (loss, partition or downed node).
+    pub drops: u64,
+    /// Timer fires dispatched to nodes.
+    pub timer_fires: u64,
+    /// Order-sensitive checksum of the full event stream.
+    pub checksum: u64,
+}
+
+impl NetStats {
+    fn mix(&mut self, parts: [u64; 4]) {
+        for p in parts {
+            self.checksum ^= p;
+            self.checksum = self.checksum.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Builder for [`Simulation`].
+///
+/// # Example
+///
+/// ```
+/// use agb_sim::{SimulationBuilder, NetworkConfig};
+/// use agb_types::DurationMs;
+///
+/// let builder = SimulationBuilder::new(7)
+///     .network(NetworkConfig::perfect(DurationMs::from_millis(10)));
+/// # let _ = builder;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder {
+    seed: u64,
+    network: NetworkConfig,
+}
+
+impl SimulationBuilder {
+    /// Starts a builder with the given experiment seed and a default
+    /// LAN-like network.
+    pub fn new(seed: u64) -> Self {
+        SimulationBuilder {
+            seed,
+            network: NetworkConfig::default(),
+        }
+    }
+
+    /// Sets the network configuration.
+    pub fn network(mut self, config: NetworkConfig) -> Self {
+        self.network = config;
+        self
+    }
+
+    /// Builds the simulation over the given nodes.
+    ///
+    /// `nodes[i]` is addressed as `NodeId::new(i)`. Each node's `on_start`
+    /// runs at virtual time zero during the first call to a `run_*` method.
+    pub fn build<N: SimNode>(self, nodes: Vec<N>) -> Simulation<N> {
+        let seeds = SeedSequence::new(self.seed);
+        let net_rng: DetRng = seeds.rng_for("network", 0);
+        let n = nodes.len();
+        Simulation {
+            nodes,
+            queue: EventQueue::new(),
+            now: TimeMs::ZERO,
+            net: NetworkModel::new(self.network, net_rng),
+            timers: (0..n).map(|_| HashMap::new()).collect(),
+            down: vec![false; n],
+            stats: NetStats::default(),
+            tracer: None,
+            started: false,
+            events_processed: 0,
+        }
+    }
+}
+
+/// The discrete-event simulation: owns the nodes, the clock, the future
+/// event list and the network model.
+pub struct Simulation<N: SimNode> {
+    nodes: Vec<N>,
+    queue: EventQueue<EventKind<N>>,
+    now: TimeMs,
+    net: NetworkModel,
+    timers: Vec<HashMap<TimerId, TimerSlot>>,
+    down: Vec<bool>,
+    stats: NetStats,
+    tracer: Option<Box<dyn Tracer>>,
+    started: bool,
+    events_processed: u64,
+}
+
+impl<N: SimNode> Simulation<N> {
+    /// Current virtual time.
+    pub fn now(&self) -> TimeMs {
+        self.now
+    }
+
+    /// Number of hosted nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation hosts no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (for inspection/configuration between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Engine statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Messages dropped by the network model (loss/partitions only).
+    pub fn network_drops(&self) -> u64 {
+        self.net.dropped()
+    }
+
+    /// Installs a tracer receiving every engine event.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Replaces the network configuration from this point in virtual time.
+    pub fn set_network(&mut self, config: NetworkConfig) {
+        self.net.set_config(config);
+    }
+
+    /// Schedules a closure to run against one node at virtual time `at`.
+    ///
+    /// Used by scenario schedules (e.g. "at t₁, shrink the buffers of nodes
+    /// 0..12"). Closures scheduled at the same instant run in scheduling
+    /// order.
+    pub fn schedule_node_control(
+        &mut self,
+        at: TimeMs,
+        node: NodeId,
+        f: impl FnOnce(&mut N, TimeMs) + 'static,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::NodeControl {
+                node,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Schedules a closure to run against all nodes at virtual time `at`.
+    pub fn schedule_control(&mut self, at: TimeMs, f: impl FnOnce(&mut [N], TimeMs) + 'static) {
+        self.queue.push(at, EventKind::GlobalControl { f: Box::new(f) });
+    }
+
+    /// Schedules a crash: from `at` on, the node receives no messages and
+    /// its timers do not fire (periodic timers keep rescheduling silently so
+    /// they resume on recovery).
+    pub fn schedule_crash(&mut self, at: TimeMs, node: NodeId) {
+        self.queue.push(at, EventKind::SetDown { node, down: true });
+    }
+
+    /// Schedules a recovery from a previous crash.
+    pub fn schedule_recover(&mut self, at: TimeMs, node: NodeId) {
+        self.queue.push(at, EventKind::SetDown { node, down: false });
+    }
+
+    /// Runs the simulation until virtual time `t` (inclusive), then sets the
+    /// clock to `t`.
+    pub fn run_until(&mut self, t: TimeMs) {
+        self.ensure_started();
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step_one();
+        }
+        self.now = self.now.max(t);
+    }
+
+    /// Runs for a further `d` of virtual time.
+    pub fn run_for(&mut self, d: DurationMs) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Processes a single event, returning its virtual time, or `None` if
+    /// the future event list is empty.
+    pub fn step(&mut self) -> Option<TimeMs> {
+        self.ensure_started();
+        if self.queue.is_empty() {
+            return None;
+        }
+        self.step_one();
+        Some(self.now)
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Events currently waiting in the future event list.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.invoke(NodeId::new(i as u32), Invocation::Start);
+        }
+    }
+
+    fn step_one(&mut self) {
+        let Some(scheduled) = self.queue.pop() else {
+            return;
+        };
+        self.now = self.now.max(scheduled.at);
+        self.events_processed += 1;
+        match scheduled.item {
+            EventKind::Deliver { from, to, msg } => {
+                if self.down[to.index()] {
+                    self.stats.drops += 1;
+                    return;
+                }
+                self.stats.deliveries += 1;
+                self.stats.mix([
+                    2,
+                    u64::from(from.as_u32()) << 32 | u64::from(to.as_u32()),
+                    self.now.as_millis(),
+                    0,
+                ]);
+                if let Some(tracer) = self.tracer.as_deref_mut() {
+                    tracer.record(TraceEvent::Deliver {
+                        from,
+                        to,
+                        at: self.now,
+                    });
+                }
+                self.invoke(to, Invocation::Message { from, msg });
+            }
+            EventKind::Timer { node, timer, gen } => {
+                let Some(slot) = self.timers[node.index()].get(&timer).copied() else {
+                    return;
+                };
+                if slot.gen != gen {
+                    return; // stale: timer was re-armed or cancelled
+                }
+                if let Some(period) = slot.period {
+                    let next = self.now + period;
+                    self.queue.push(next, EventKind::Timer { node, timer, gen });
+                } else {
+                    self.timers[node.index()].remove(&timer);
+                }
+                if self.down[node.index()] {
+                    return;
+                }
+                self.stats.timer_fires += 1;
+                self.stats.mix([
+                    3,
+                    u64::from(node.as_u32()),
+                    u64::from(timer.0),
+                    self.now.as_millis(),
+                ]);
+                if let Some(tracer) = self.tracer.as_deref_mut() {
+                    tracer.record(TraceEvent::Timer {
+                        node,
+                        timer: timer.0,
+                        at: self.now,
+                    });
+                }
+                self.invoke(node, Invocation::Timer(timer));
+            }
+            EventKind::NodeControl { node, f } => {
+                f(&mut self.nodes[node.index()], self.now);
+            }
+            EventKind::GlobalControl { f } => {
+                f(&mut self.nodes, self.now);
+            }
+            EventKind::SetDown { node, down } => {
+                self.down[node.index()] = down;
+            }
+        }
+    }
+
+    fn invoke(&mut self, id: NodeId, invocation: Invocation<N::Msg>) {
+        let mut outbox = Vec::new();
+        let mut timer_reqs = Vec::new();
+        {
+            let mut ctx = SimCtx {
+                now: self.now,
+                self_id: id,
+                outbox: &mut outbox,
+                timer_reqs: &mut timer_reqs,
+            };
+            let node = &mut self.nodes[id.index()];
+            match invocation {
+                Invocation::Start => node.on_start(&mut ctx),
+                Invocation::Timer(t) => node.on_timer(t, &mut ctx),
+                Invocation::Message { from, msg } => node.on_message(from, msg, &mut ctx),
+            }
+        }
+        for req in timer_reqs {
+            match req {
+                TimerRequest::Set {
+                    timer,
+                    first_after,
+                    kind,
+                } => {
+                    let slots = &mut self.timers[id.index()];
+                    let gen = slots.get(&timer).map_or(0, |s| s.gen) + 1;
+                    let period = match kind {
+                        TimerKind::Once => None,
+                        TimerKind::Periodic(p) => Some(p),
+                    };
+                    slots.insert(timer, TimerSlot { gen, period });
+                    self.queue.push(
+                        self.now + first_after,
+                        EventKind::Timer {
+                            node: id,
+                            timer,
+                            gen,
+                        },
+                    );
+                }
+                TimerRequest::Cancel(timer) => {
+                    self.timers[id.index()].remove(&timer);
+                }
+            }
+        }
+        for (to, msg) in outbox {
+            assert!(
+                to.index() < self.nodes.len(),
+                "message addressed to unknown node {to}"
+            );
+            self.stats.sends += 1;
+            let routed = self.net.route(id, to, self.now);
+            let deliver_at = routed.map(|lat| self.now + lat);
+            self.stats.mix([
+                1,
+                u64::from(id.as_u32()) << 32 | u64::from(to.as_u32()),
+                self.now.as_millis(),
+                deliver_at.map_or(u64::MAX, TimeMs::as_millis),
+            ]);
+            if let Some(tracer) = self.tracer.as_deref_mut() {
+                tracer.record(TraceEvent::Send {
+                    from: id,
+                    to,
+                    at: self.now,
+                    deliver_at,
+                });
+            }
+            match deliver_at {
+                Some(at) => {
+                    self.queue.push(
+                        at,
+                        EventKind::Deliver {
+                            from: id,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                None => {
+                    self.stats.drops += 1;
+                }
+            }
+        }
+    }
+}
+
+enum Invocation<M> {
+    Start,
+    Timer(TimerId),
+    Message { from: NodeId, msg: M },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyModel;
+
+    /// Counts timer fires and echoes received numbers back to the sender.
+    struct Echo {
+        fires: u32,
+        received: Vec<(NodeId, u64)>,
+        period: DurationMs,
+    }
+
+    impl Echo {
+        fn new(period_ms: u64) -> Self {
+            Echo {
+                fires: 0,
+                received: Vec::new(),
+                period: DurationMs::from_millis(period_ms),
+            }
+        }
+    }
+
+    const TICK: TimerId = TimerId(1);
+
+    impl SimNode for Echo {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut SimCtx<'_, u64>) {
+            ctx.set_periodic_timer(TICK, self.period, self.period);
+        }
+
+        fn on_timer(&mut self, timer: TimerId, ctx: &mut SimCtx<'_, u64>) {
+            assert_eq!(timer, TICK);
+            self.fires += 1;
+            if ctx.self_id() == NodeId::new(0) {
+                ctx.send(NodeId::new(1), u64::from(self.fires));
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut SimCtx<'_, u64>) {
+            self.received.push((from, msg));
+            if msg % 2 == 0 && ctx.self_id() == NodeId::new(1) {
+                ctx.send(from, msg * 10);
+            }
+        }
+    }
+
+    fn build(seed: u64) -> Simulation<Echo> {
+        SimulationBuilder::new(seed)
+            .network(NetworkConfig::perfect(DurationMs::from_millis(5)))
+            .build(vec![Echo::new(100), Echo::new(100)])
+    }
+
+    #[test]
+    fn periodic_timers_fire_expected_number_of_times() {
+        let mut sim = build(1);
+        sim.run_until(TimeMs::from_millis(1000));
+        // Fires at 100, 200, ..., 1000 => 10 fires.
+        assert_eq!(sim.node(NodeId::new(0)).fires, 10);
+        assert_eq!(sim.node(NodeId::new(1)).fires, 10);
+    }
+
+    #[test]
+    fn messages_flow_with_latency() {
+        let mut sim = build(1);
+        sim.run_until(TimeMs::from_millis(210));
+        // Node 0 sent 1 at t=100 and 2 at t=200; both delivered at +5ms.
+        let received = &sim.node(NodeId::new(1)).received;
+        assert_eq!(received, &[(NodeId::new(0), 1), (NodeId::new(0), 2)]);
+        // Echo of "2" arrives at node 0 at t=210.
+        assert_eq!(sim.node(NodeId::new(0)).received, vec![(NodeId::new(1), 20)]);
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_monotonic() {
+        let mut sim = build(1);
+        sim.run_until(TimeMs::from_millis(100));
+        assert_eq!(sim.node(NodeId::new(0)).fires, 1);
+        assert_eq!(sim.now(), TimeMs::from_millis(100));
+        sim.run_for(DurationMs::from_millis(50));
+        assert_eq!(sim.now(), TimeMs::from_millis(150));
+    }
+
+    #[test]
+    fn same_seed_same_checksum() {
+        let mut a = build(77);
+        let mut b = build(77);
+        a.run_until(TimeMs::from_secs(5));
+        b.run_until(TimeMs::from_secs(5));
+        assert_eq!(a.stats(), b.stats());
+        assert_ne!(a.stats().checksum, 0);
+    }
+
+    #[test]
+    fn different_network_seeds_diverge_with_jitter() {
+        let make = |seed| {
+            SimulationBuilder::new(seed)
+                .network(NetworkConfig {
+                    latency: LatencyModel::Uniform {
+                        min: DurationMs::from_millis(1),
+                        max: DurationMs::from_millis(50),
+                    },
+                    loss: 0.0,
+                    partitions: vec![],
+                })
+                .build(vec![Echo::new(100), Echo::new(100)])
+        };
+        let mut a = make(1);
+        let mut b = make(2);
+        a.run_until(TimeMs::from_secs(5));
+        b.run_until(TimeMs::from_secs(5));
+        assert_ne!(a.stats().checksum, b.stats().checksum);
+    }
+
+    #[test]
+    fn crash_suppresses_delivery_and_timers_until_recovery() {
+        let mut sim = build(3);
+        sim.schedule_crash(TimeMs::from_millis(150), NodeId::new(1));
+        sim.schedule_recover(TimeMs::from_millis(450), NodeId::new(1));
+        sim.run_until(TimeMs::from_millis(1000));
+        let n1 = sim.node(NodeId::new(1));
+        // Fires at 100 (up), 200..400 suppressed, 500..1000 (up) => 1 + 6.
+        assert_eq!(n1.fires, 7);
+        // Messages sent at 200,300,400 (+5ms latency) were dropped.
+        let got: Vec<u64> = n1.received.iter().map(|&(_, m)| m).collect();
+        assert!(got.contains(&1));
+        assert!(!got.contains(&2));
+        assert!(!got.contains(&3));
+        assert!(got.contains(&5));
+    }
+
+    #[test]
+    fn node_control_runs_at_scheduled_time() {
+        let mut sim = build(5);
+        sim.schedule_node_control(TimeMs::from_millis(250), NodeId::new(0), |node, now| {
+            assert_eq!(now, TimeMs::from_millis(250));
+            node.fires = 1000;
+        });
+        sim.run_until(TimeMs::from_millis(300));
+        // 1000 set at t=250, then one more fire at t=300.
+        assert_eq!(sim.node(NodeId::new(0)).fires, 1001);
+    }
+
+    #[test]
+    fn global_control_sees_all_nodes() {
+        let mut sim = build(5);
+        sim.schedule_control(TimeMs::from_millis(50), |nodes, _| {
+            for n in nodes.iter_mut() {
+                n.fires += 100;
+            }
+        });
+        sim.run_until(TimeMs::from_millis(50));
+        assert_eq!(sim.node(NodeId::new(0)).fires, 100);
+        assert_eq!(sim.node(NodeId::new(1)).fires, 100);
+    }
+
+    #[test]
+    fn one_shot_timer_fires_once_and_cancel_works() {
+        struct OneShot {
+            fired: u32,
+        }
+        impl SimNode for OneShot {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut SimCtx<'_, ()>) {
+                ctx.set_timer(TimerId(1), DurationMs::from_millis(10));
+                ctx.set_timer(TimerId(2), DurationMs::from_millis(20));
+            }
+            fn on_timer(&mut self, timer: TimerId, ctx: &mut SimCtx<'_, ()>) {
+                self.fired += timer.0;
+                if timer == TimerId(1) {
+                    ctx.cancel_timer(TimerId(2));
+                }
+            }
+        }
+        let mut sim = SimulationBuilder::new(1).build(vec![OneShot { fired: 0 }]);
+        sim.run_until(TimeMs::from_secs(1));
+        // Timer 2 cancelled by timer 1; only timer 1 fired.
+        assert_eq!(sim.node(NodeId::new(0)).fired, 1);
+    }
+
+    #[test]
+    fn rearming_replaces_pending_timer() {
+        struct Rearm {
+            fired_at: Vec<TimeMs>,
+        }
+        impl SimNode for Rearm {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut SimCtx<'_, ()>) {
+                ctx.set_timer(TimerId(1), DurationMs::from_millis(100));
+                // Immediately re-arm with a different deadline.
+                ctx.set_timer(TimerId(1), DurationMs::from_millis(40));
+            }
+            fn on_timer(&mut self, _t: TimerId, ctx: &mut SimCtx<'_, ()>) {
+                self.fired_at.push(ctx.now());
+            }
+        }
+        let mut sim = SimulationBuilder::new(1).build(vec![Rearm { fired_at: vec![] }]);
+        sim.run_until(TimeMs::from_secs(1));
+        assert_eq!(
+            sim.node(NodeId::new(0)).fired_at,
+            vec![TimeMs::from_millis(40)]
+        );
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut sim = build(9);
+        let t = sim.step();
+        assert_eq!(t, Some(TimeMs::from_millis(100)));
+        assert!(sim.events_processed() >= 1);
+    }
+
+    #[test]
+    fn stats_count_sends_and_deliveries() {
+        let mut sim = build(11);
+        sim.run_until(TimeMs::from_secs(1));
+        let stats = sim.stats();
+        // Node 0 sends 10 msgs (t=100..1000). The 10th is still in flight at
+        // the horizon, so node 1 echoes only the even ones among 1..9: 4.
+        assert_eq!(stats.sends, 14);
+        // Delivered: 9 from node 0, plus the 4 echoes.
+        assert_eq!(stats.deliveries, 13);
+        assert_eq!(stats.drops, 0);
+        assert_eq!(stats.timer_fires, 20);
+    }
+
+    #[test]
+    fn lossy_network_counts_drops() {
+        let mut sim = SimulationBuilder::new(13)
+            .network(NetworkConfig {
+                latency: LatencyModel::Constant(DurationMs::from_millis(1)),
+                loss: 1.0,
+                partitions: vec![],
+            })
+            .build(vec![Echo::new(50), Echo::new(50)]);
+        sim.run_until(TimeMs::from_secs(1));
+        let stats = sim.stats();
+        assert_eq!(stats.deliveries, 0);
+        assert_eq!(stats.drops, stats.sends);
+        assert!(stats.sends > 0);
+    }
+}

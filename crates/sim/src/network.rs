@@ -1,0 +1,338 @@
+//! Network models: latency distributions, independent loss and partitions.
+//!
+//! The paper's analysis assumes "message loss in the network is independently
+//! distributed"; [`NetworkConfig`] reproduces exactly that, plus scheduled
+//! [`Partition`]s used by the failure-injection tests to show what happens
+//! when the assumption is violated.
+
+use agb_types::{DetRng, DurationMs, NodeId, TimeMs};
+use rand::RngExt;
+
+/// Per-message latency distribution.
+///
+/// # Example
+///
+/// ```
+/// use agb_sim::LatencyModel;
+/// use agb_types::DurationMs;
+/// use rand::SeedableRng;
+///
+/// let mut rng = agb_types::DetRng::seed_from_u64(1);
+/// let lat = LatencyModel::Uniform {
+///     min: DurationMs::from_millis(10),
+///     max: DurationMs::from_millis(20),
+/// };
+/// let d = lat.sample(&mut rng);
+/// assert!(d >= DurationMs::from_millis(10) && d <= DurationMs::from_millis(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(DurationMs),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Minimum latency.
+        min: DurationMs,
+        /// Maximum latency (inclusive).
+        max: DurationMs,
+    },
+    /// Exponentially distributed with the given mean, shifted by `floor`.
+    ///
+    /// Approximates a LAN with occasional queueing spikes.
+    Exponential {
+        /// Minimum (propagation) latency added to every sample.
+        floor: DurationMs,
+        /// Mean of the exponential component.
+        mean: DurationMs,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut DetRng) -> DurationMs {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let lo = min.as_millis();
+                let hi = max.as_millis().max(lo);
+                DurationMs::from_millis(rng.random_range(lo..=hi))
+            }
+            LatencyModel::Exponential { floor, mean } => {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let exp = -(u.ln()) * mean.as_millis() as f64;
+                DurationMs::from_millis(floor.as_millis() + exp.round() as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution (used for sanity reporting).
+    pub fn mean(&self) -> DurationMs {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                DurationMs::from_millis((min.as_millis() + max.as_millis()) / 2)
+            }
+            LatencyModel::Exponential { floor, mean } => floor + mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// A LAN-like default: uniform 5–15 ms.
+    fn default() -> Self {
+        LatencyModel::Uniform {
+            min: DurationMs::from_millis(5),
+            max: DurationMs::from_millis(15),
+        }
+    }
+}
+
+/// A scheduled network partition separating two sets of nodes.
+///
+/// While active, messages crossing between `side_a` and the rest of the
+/// system are dropped. Nodes listed in `side_a` can still talk to each
+/// other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Nodes on the isolated side.
+    pub side_a: Vec<NodeId>,
+    /// Partition start (inclusive).
+    pub from: TimeMs,
+    /// Partition end (exclusive).
+    pub until: TimeMs,
+}
+
+impl Partition {
+    /// Whether a message from `a` to `b` at time `now` crosses the cut.
+    pub fn blocks(&self, a: NodeId, b: NodeId, now: TimeMs) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        let a_in = self.side_a.contains(&a);
+        let b_in = self.side_a.contains(&b);
+        a_in != b_in
+    }
+}
+
+/// Complete configuration of the simulated network.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetworkConfig {
+    /// Latency applied to every delivered message.
+    pub latency: LatencyModel,
+    /// Independent per-message drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl NetworkConfig {
+    /// A perfect network: constant latency, no loss.
+    pub fn perfect(latency: DurationMs) -> Self {
+        NetworkConfig {
+            latency: LatencyModel::Constant(latency),
+            loss: 0.0,
+            partitions: Vec::new(),
+        }
+    }
+
+    /// LAN-like defaults with the given independent loss probability.
+    pub fn lossy(loss: f64) -> Self {
+        NetworkConfig {
+            latency: LatencyModel::default(),
+            loss,
+            partitions: Vec::new(),
+        }
+    }
+}
+
+/// Decides the fate of each message: dropped, or delivered after a latency.
+///
+/// The default implementation, [`NetworkModel::new`], combines a
+/// [`LatencyModel`], independent loss and partitions from [`NetworkConfig`].
+#[derive(Debug)]
+pub struct NetworkModel {
+    config: NetworkConfig,
+    rng: DetRng,
+    sent: u64,
+    dropped: u64,
+}
+
+impl NetworkModel {
+    /// Creates a model from configuration and a dedicated RNG stream.
+    pub fn new(config: NetworkConfig, rng: DetRng) -> Self {
+        NetworkModel {
+            config,
+            rng,
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Routes one message: `None` means the network dropped it, otherwise
+    /// the latency to apply.
+    pub fn route(&mut self, from: NodeId, to: NodeId, now: TimeMs) -> Option<DurationMs> {
+        self.sent += 1;
+        for p in &self.config.partitions {
+            if p.blocks(from, to, now) {
+                self.dropped += 1;
+                return None;
+            }
+        }
+        if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss {
+            self.dropped += 1;
+            return None;
+        }
+        Some(self.config.latency.sample(&mut self.rng))
+    }
+
+    /// Messages handed to the network so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages dropped by loss or partitions so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Replaces the network configuration at runtime (used by failure
+    /// injection scenarios).
+    pub fn set_config(&mut self, config: NetworkConfig) {
+        self.config = config;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let m = LatencyModel::Constant(DurationMs::from_millis(25));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), DurationMs::from_millis(25));
+        }
+        assert_eq!(m.mean(), DurationMs::from_millis(25));
+    }
+
+    #[test]
+    fn uniform_latency_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: DurationMs::from_millis(10),
+            max: DurationMs::from_millis(30),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!(d >= DurationMs::from_millis(10));
+            assert!(d <= DurationMs::from_millis(30));
+        }
+        assert_eq!(m.mean(), DurationMs::from_millis(20));
+    }
+
+    #[test]
+    fn exponential_latency_respects_floor_and_mean() {
+        let m = LatencyModel::Exponential {
+            floor: DurationMs::from_millis(5),
+            mean: DurationMs::from_millis(20),
+        };
+        let mut r = rng();
+        let mut sum = 0u64;
+        let n = 20_000;
+        for _ in 0..n {
+            let d = m.sample(&mut r);
+            assert!(d >= DurationMs::from_millis(5));
+            sum += d.as_millis();
+        }
+        let mean = sum as f64 / n as f64;
+        assert!(
+            (mean - 25.0).abs() < 1.5,
+            "empirical mean {mean} too far from 25"
+        );
+    }
+
+    #[test]
+    fn perfect_network_never_drops() {
+        let mut net = NetworkModel::new(NetworkConfig::perfect(DurationMs::from_millis(1)), rng());
+        for i in 0..100 {
+            let d = net.route(NodeId::new(i), NodeId::new(i + 1), TimeMs::ZERO);
+            assert_eq!(d, Some(DurationMs::from_millis(1)));
+        }
+        assert_eq!(net.dropped(), 0);
+        assert_eq!(net.sent(), 100);
+    }
+
+    #[test]
+    fn lossy_network_drops_roughly_p() {
+        let mut net = NetworkModel::new(NetworkConfig::lossy(0.3), rng());
+        let n = 20_000;
+        for _ in 0..n {
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO);
+        }
+        let rate = net.dropped() as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_only_during_interval() {
+        let p = Partition {
+            side_a: vec![NodeId::new(0), NodeId::new(1)],
+            from: TimeMs::from_secs(10),
+            until: TimeMs::from_secs(20),
+        };
+        // Before and after: nothing blocked.
+        assert!(!p.blocks(NodeId::new(0), NodeId::new(5), TimeMs::from_secs(5)));
+        assert!(!p.blocks(NodeId::new(0), NodeId::new(5), TimeMs::from_secs(20)));
+        // During: cross traffic blocked both directions.
+        assert!(p.blocks(NodeId::new(0), NodeId::new(5), TimeMs::from_secs(15)));
+        assert!(p.blocks(NodeId::new(5), NodeId::new(1), TimeMs::from_secs(15)));
+        // During: same-side traffic unaffected.
+        assert!(!p.blocks(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(15)));
+        assert!(!p.blocks(NodeId::new(4), NodeId::new(5), TimeMs::from_secs(15)));
+    }
+
+    #[test]
+    fn partitioned_network_drops_cross_messages() {
+        let config = NetworkConfig {
+            latency: LatencyModel::Constant(DurationMs::from_millis(1)),
+            loss: 0.0,
+            partitions: vec![Partition {
+                side_a: vec![NodeId::new(0)],
+                from: TimeMs::ZERO,
+                until: TimeMs::from_secs(1),
+            }],
+        };
+        let mut net = NetworkModel::new(config, rng());
+        assert_eq!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO), None);
+        assert!(net
+            .route(NodeId::new(1), NodeId::new(2), TimeMs::ZERO)
+            .is_some());
+        assert!(net
+            .route(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(1))
+            .is_some());
+    }
+
+    #[test]
+    fn set_config_takes_effect() {
+        let mut net = NetworkModel::new(NetworkConfig::perfect(DurationMs::ZERO), rng());
+        assert!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO).is_some());
+        net.set_config(NetworkConfig {
+            latency: LatencyModel::Constant(DurationMs::ZERO),
+            loss: 1.0,
+            partitions: vec![],
+        });
+        assert_eq!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO), None);
+        assert_eq!(net.config().loss, 1.0);
+    }
+}

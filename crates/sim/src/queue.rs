@@ -1,0 +1,138 @@
+//! The simulator's future event list: a time-ordered priority queue with
+//! deterministic FIFO tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use agb_types::TimeMs;
+
+/// An entry in the future event list.
+#[derive(Debug)]
+pub(crate) struct Scheduled<E> {
+    pub at: TimeMs,
+    pub seq: u64,
+    pub item: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of scheduled events ordered by `(time, insertion sequence)`.
+///
+/// Insertion order as the tie-break makes simultaneous events deterministic,
+/// which is what allows byte-identical reruns from the same seed.
+#[derive(Debug)]
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `item` at virtual time `at`.
+    pub fn push(&mut self, at: TimeMs, item: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, item });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<TimeMs> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(TimeMs::from_millis(30), "c");
+        q.push(TimeMs::from_millis(10), "a");
+        q.push(TimeMs::from_millis(20), "b");
+        assert_eq!(q.pop().unwrap().item, "a");
+        assert_eq!(q.pop().unwrap().item, "b");
+        assert_eq!(q.pop().unwrap().item, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = TimeMs::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().item, i);
+        }
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(TimeMs::from_millis(7), ());
+        q.push(TimeMs::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(TimeMs::from_millis(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), Some(TimeMs::from_millis(7)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(TimeMs::from_millis(10), 1);
+        q.push(TimeMs::from_millis(5), 0);
+        assert_eq!(q.pop().unwrap().item, 0);
+        q.push(TimeMs::from_millis(8), 2);
+        q.push(TimeMs::from_millis(8), 3);
+        assert_eq!(q.pop().unwrap().item, 2);
+        assert_eq!(q.pop().unwrap().item, 3);
+        assert_eq!(q.pop().unwrap().item, 1);
+    }
+}

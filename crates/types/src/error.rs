@@ -1,0 +1,71 @@
+//! Configuration validation errors shared across the workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a protocol, simulator or experiment configuration is
+/// invalid.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::ConfigError;
+/// let err = ConfigError::new("fanout", "must be at least 1");
+/// assert_eq!(err.to_string(), "invalid config field `fanout`: must be at least 1");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: String,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error naming the offending field and the constraint it
+    /// violates.
+    pub fn new(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError {
+            field: field.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// The configuration field that failed validation.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// Human-readable description of the violated constraint.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config field `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Result alias for configuration validation.
+pub type ConfigResult<T> = Result<T, ConfigError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let e = ConfigError::new("gossip_period", "must be non-zero");
+        assert_eq!(e.field(), "gossip_period");
+        assert_eq!(e.reason(), "must be non-zero");
+        assert!(e.to_string().contains("gossip_period"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_e: E) {}
+        takes_err(ConfigError::new("x", "y"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared primitive types for the adaptive gossip broadcast workspace.
+//!
+//! This crate holds the small vocabulary types used by every other crate in
+//! the workspace: node/group identifiers, virtual time, message payloads,
+//! deterministic random-number helpers and windowed statistics.
+//!
+//! The types are deliberately dependency-light so that the protocol crate
+//! ([`agb-core`]), the simulator ([`agb-sim`]) and the threaded runtime
+//! ([`agb-runtime`]) can share them without pulling each other in.
+//!
+//! # Example
+//!
+//! ```
+//! use agb_types::{NodeId, TimeMs, DurationMs};
+//!
+//! let node = NodeId::new(7);
+//! let start = TimeMs::ZERO;
+//! let later = start + DurationMs::from_secs(5);
+//! assert_eq!(later.as_millis(), 5_000);
+//! assert_eq!(format!("{node}"), "n7");
+//! ```
+//!
+//! [`agb-core`]: https://example.org/adaptive-gossip
+//! [`agb-sim`]: https://example.org/adaptive-gossip
+//! [`agb-runtime`]: https://example.org/adaptive-gossip
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod id;
+mod rng;
+mod stats;
+mod time;
+
+pub use error::{ConfigError, ConfigResult};
+pub use id::{EventId, GroupId, NodeId, TopicId};
+pub use rng::{bernoulli, fork_seed, DetRng, SeedSequence};
+pub use stats::{Ewma, MinWindow, RunningStats, SlidingWindow, WelfordStats};
+pub use time::{DurationMs, TimeMs};
+
+/// Message payload carried by broadcast events.
+///
+/// A cheap-to-clone byte buffer; protocols treat it as opaque.
+pub type Payload = bytes::Bytes;

@@ -1,0 +1,176 @@
+//! Deterministic random number generation helpers.
+//!
+//! Every stochastic component in the workspace (gossip target selection,
+//! network latency jitter, workload inter-arrival times, the rate
+//! controller's randomized increase) draws from a [`DetRng`] seeded through a
+//! [`SeedSequence`], so a single experiment seed reproduces an entire run
+//! bit-for-bit — a property the paper's own evaluation lacked and which makes
+//! regression testing of the figures possible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The deterministic RNG used across the workspace.
+///
+/// A type alias so the concrete generator can be swapped in one place.
+pub type DetRng = StdRng;
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Uses the SplitMix64 finalizer, which is a bijective avalanche function:
+/// distinct `(seed, stream)` pairs yield well-separated child seeds even for
+/// adjacent indices.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::fork_seed;
+/// let a = fork_seed(42, 0);
+/// let b = fork_seed(42, 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, fork_seed(42, 0));
+/// ```
+pub fn fork_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A hierarchical seed source.
+///
+/// Each component of an experiment (per-node protocol RNG, network model,
+/// workload) forks its own independent stream, so adding a new consumer of
+/// randomness never perturbs the draws of existing consumers.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::SeedSequence;
+/// use rand::RngExt;
+///
+/// let seq = SeedSequence::new(7);
+/// let mut node0 = seq.rng_for("node", 0);
+/// let mut node1 = seq.rng_for("node", 1);
+/// let x: u64 = node0.random();
+/// let y: u64 = node1.random();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    root: u64,
+}
+
+impl SeedSequence {
+    /// Creates a seed sequence from a root experiment seed.
+    pub const fn new(root: u64) -> Self {
+        SeedSequence { root }
+    }
+
+    /// The root seed.
+    pub const fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Derives the deterministic seed for `(label, index)`.
+    pub fn seed_for(&self, label: &str, index: u64) -> u64 {
+        let label_hash = fnv1a(label.as_bytes());
+        fork_seed(fork_seed(self.root, label_hash), index)
+    }
+
+    /// Builds a deterministic RNG for `(label, index)`.
+    pub fn rng_for(&self, label: &str, index: u64) -> DetRng {
+        DetRng::seed_from_u64(self.seed_for(label, index))
+    }
+
+    /// Derives a child sequence, for nested components.
+    pub fn child(&self, label: &str) -> SeedSequence {
+        SeedSequence {
+            root: self.seed_for(label, 0),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Draws `true` with probability `p` (clamped to `[0, 1]`).
+///
+/// Convenience wrapper used by the rate controller's randomized increase
+/// (the paper's `γ` parameter).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_seed_is_deterministic_and_spread() {
+        let s1 = fork_seed(1, 0);
+        let s2 = fork_seed(1, 1);
+        let s3 = fork_seed(2, 0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_eq!(fork_seed(1, 0), s1);
+    }
+
+    #[test]
+    fn seed_sequence_streams_are_independent() {
+        let seq = SeedSequence::new(99);
+        assert_ne!(seq.seed_for("node", 0), seq.seed_for("node", 1));
+        assert_ne!(seq.seed_for("node", 0), seq.seed_for("net", 0));
+        assert_eq!(seq.seed_for("node", 5), seq.seed_for("node", 5));
+    }
+
+    #[test]
+    fn child_sequences_diverge() {
+        let seq = SeedSequence::new(5);
+        let a = seq.child("sim");
+        let b = seq.child("workload");
+        assert_ne!(a.root(), b.root());
+        assert_eq!(a.root(), seq.child("sim").root());
+    }
+
+    #[test]
+    fn rng_reproducible() {
+        let seq = SeedSequence::new(1234);
+        let mut r1 = seq.rng_for("x", 3);
+        let mut r2 = seq.rng_for("x", 3);
+        let a: [u64; 4] = std::array::from_fn(|_| r1.random());
+        let b: [u64; 4] = std::array::from_fn(|_| r2.random());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = DetRng::seed_from_u64(0);
+        assert!(!bernoulli(&mut rng, 0.0));
+        assert!(bernoulli(&mut rng, 1.0));
+        assert!(!bernoulli(&mut rng, -0.5));
+        assert!(bernoulli(&mut rng, 1.5));
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_matches_p() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut rng, 0.1)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.02, "rate was {rate}");
+    }
+}

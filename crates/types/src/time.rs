@@ -1,0 +1,260 @@
+//! Virtual time: millisecond instants and durations.
+//!
+//! The simulator runs on a virtual clock; the threaded runtime maps the same
+//! protocol timers onto wall-clock time. Both use these types so the protocol
+//! state machines never touch `std::time` directly.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the (virtual or wall) clock, in milliseconds since start.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::{TimeMs, DurationMs};
+/// let t = TimeMs::from_millis(1_500);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// assert_eq!(t + DurationMs::from_millis(500), TimeMs::from_millis(2_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeMs(u64);
+
+impl TimeMs {
+    /// The origin of the clock.
+    pub const ZERO: TimeMs = TimeMs(0);
+
+    /// Creates an instant from milliseconds since start.
+    pub const fn from_millis(ms: u64) -> Self {
+        TimeMs(ms)
+    }
+
+    /// Creates an instant from whole seconds since start.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeMs(s * 1_000)
+    }
+
+    /// Milliseconds since start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: TimeMs) -> DurationMs {
+        DurationMs(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: TimeMs) -> TimeMs {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for TimeMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl Add<DurationMs> for TimeMs {
+    type Output = TimeMs;
+    fn add(self, rhs: DurationMs) -> TimeMs {
+        TimeMs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<DurationMs> for TimeMs {
+    fn add_assign(&mut self, rhs: DurationMs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeMs> for TimeMs {
+    type Output = DurationMs;
+    fn sub(self, rhs: TimeMs) -> DurationMs {
+        DurationMs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<DurationMs> for TimeMs {
+    type Output = TimeMs;
+    fn sub(self, rhs: DurationMs) -> TimeMs {
+        TimeMs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+/// A span of (virtual or wall) time, in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::DurationMs;
+/// let gossip_period = DurationMs::from_secs(1);
+/// assert_eq!(gossip_period * 3, DurationMs::from_millis(3_000));
+/// assert_eq!(gossip_period.as_secs_f64(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DurationMs(u64);
+
+impl DurationMs {
+    /// A zero-length duration.
+    pub const ZERO: DurationMs = DurationMs(0);
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        DurationMs(ms)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        DurationMs(s * 1_000)
+    }
+
+    /// Length in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Whether this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Converts to a [`std::time::Duration`] (used by the threaded runtime).
+    pub fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: DurationMs) -> DurationMs {
+        DurationMs(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies by a float factor, rounding to the nearest millisecond.
+    ///
+    /// Useful for time-scaling experiments (e.g. running the paper's 5 s
+    /// gossip period at 1/50 scale in the threaded runtime).
+    pub fn mul_f64(self, factor: f64) -> DurationMs {
+        DurationMs((self.0 as f64 * factor).round().max(0.0) as u64)
+    }
+}
+
+impl fmt::Display for DurationMs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000 && self.0 % 100 == 0 {
+            write!(f, "{:.1}s", self.as_secs_f64())
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+impl Add for DurationMs {
+    type Output = DurationMs;
+    fn add(self, rhs: DurationMs) -> DurationMs {
+        DurationMs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DurationMs {
+    fn add_assign(&mut self, rhs: DurationMs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DurationMs {
+    type Output = DurationMs;
+    fn sub(self, rhs: DurationMs) -> DurationMs {
+        DurationMs(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for DurationMs {
+    fn sub_assign(&mut self, rhs: DurationMs) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for DurationMs {
+    type Output = DurationMs;
+    fn mul(self, rhs: u64) -> DurationMs {
+        DurationMs(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for DurationMs {
+    type Output = DurationMs;
+    fn div(self, rhs: u64) -> DurationMs {
+        DurationMs(self.0 / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = TimeMs::from_secs(2);
+        let d = DurationMs::from_millis(250);
+        assert_eq!((t + d).as_millis(), 2_250);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2, t + d);
+        assert_eq!((t2 - t), d);
+    }
+
+    #[test]
+    fn sub_saturates() {
+        let early = TimeMs::from_millis(100);
+        let late = TimeMs::from_millis(400);
+        assert_eq!(early - late, DurationMs::ZERO);
+        assert_eq!(late.since(early), DurationMs::from_millis(300));
+        assert_eq!(early.since(late), DurationMs::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = DurationMs::from_secs(5);
+        assert_eq!(d.mul_f64(0.02), DurationMs::from_millis(100));
+        assert_eq!(d * 2, DurationMs::from_secs(10));
+        assert_eq!(d / 5, DurationMs::from_secs(1));
+        assert_eq!(d.saturating_sub(DurationMs::from_secs(9)), DurationMs::ZERO);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", DurationMs::from_millis(30)), "30ms");
+        assert_eq!(format!("{}", DurationMs::from_secs(5)), "5.0s");
+        assert_eq!(format!("{}", TimeMs::from_millis(1500)), "1.500s");
+    }
+
+    #[test]
+    fn max_and_zero() {
+        assert_eq!(TimeMs::ZERO.max(TimeMs::from_secs(1)), TimeMs::from_secs(1));
+        assert!(DurationMs::ZERO.is_zero());
+        assert!(!DurationMs::from_millis(1).is_zero());
+    }
+
+    #[test]
+    fn std_conversion() {
+        assert_eq!(
+            DurationMs::from_millis(75).to_std(),
+            std::time::Duration::from_millis(75)
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the statistics primitives.
+
+use agb_types::{Ewma, MinWindow, RunningStats, SlidingWindow, WelfordStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// EWMA output always lies within the range spanned by the initial
+    /// value and all samples.
+    #[test]
+    fn ewma_stays_in_hull(
+        alpha in 0.0f64..=1.0,
+        initial in -100.0f64..100.0,
+        samples in proptest::collection::vec(-100.0f64..100.0, 0..50),
+    ) {
+        let mut e = Ewma::new(alpha, initial);
+        let mut lo = initial;
+        let mut hi = initial;
+        for s in samples {
+            e.update(s);
+            lo = lo.min(s);
+            hi = hi.max(s);
+            prop_assert!(e.value() >= lo - 1e-9 && e.value() <= hi + 1e-9);
+        }
+    }
+
+    /// MinWindow reports exactly the minimum of the last `w` pushes.
+    #[test]
+    fn min_window_matches_naive(
+        w in 1usize..8,
+        values in proptest::collection::vec(0u64..1000, 1..60),
+    ) {
+        let mut window = MinWindow::new(w);
+        for (i, &v) in values.iter().enumerate() {
+            window.push(v);
+            let start = (i + 1).saturating_sub(w);
+            let expected = values[start..=i].iter().copied().min();
+            prop_assert_eq!(window.min(), expected);
+        }
+    }
+
+    /// Welford's mean/variance agree with the naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(
+        samples in proptest::collection::vec(-1e4f64..1e4, 1..100),
+    ) {
+        let mut w = WelfordStats::new();
+        for &s in &samples {
+            w.push(s);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.population_variance() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    /// RunningStats and WelfordStats agree on mean and count.
+    #[test]
+    fn running_and_welford_agree(
+        samples in proptest::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut r = RunningStats::new();
+        let mut w = WelfordStats::new();
+        for &s in &samples {
+            r.push(s);
+            w.push(s);
+        }
+        prop_assert_eq!(r.count(), w.count());
+        prop_assert!((r.mean() - w.mean()).abs() < 1e-9 * (1.0 + w.mean().abs()));
+    }
+
+    /// SlidingWindow mean equals the mean of the retained suffix.
+    #[test]
+    fn sliding_window_matches_suffix_mean(
+        cap in 1usize..10,
+        values in proptest::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let mut win = SlidingWindow::new(cap);
+        for (i, &v) in values.iter().enumerate() {
+            win.push(v);
+            let start = (i + 1).saturating_sub(cap);
+            let suffix = &values[start..=i];
+            let expected = suffix.iter().sum::<f64>() / suffix.len() as f64;
+            prop_assert!((win.mean() - expected).abs() < 1e-6);
+            prop_assert_eq!(win.len(), suffix.len());
+        }
+    }
+}

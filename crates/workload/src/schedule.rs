@@ -1,0 +1,179 @@
+//! Scenario schedules: runtime buffer resizes and churn.
+
+use agb_types::{NodeId, TimeMs};
+
+/// One scheduled buffer-capacity change (the Figure 9 experiment shrinks
+/// 20% of the nodes from 90 to 45 events, later grows them to 60).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// When the change happens.
+    pub at: TimeMs,
+    /// The node whose buffer changes.
+    pub node: NodeId,
+    /// The new capacity in events.
+    pub capacity: usize,
+}
+
+/// An ordered collection of resize events.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::{NodeId, TimeMs};
+/// use agb_workload::ResizeSchedule;
+///
+/// let mut s = ResizeSchedule::new();
+/// s.resize_group(
+///     TimeMs::from_secs(150),
+///     (0..12).map(NodeId::new),
+///     45,
+/// );
+/// assert_eq!(s.events().len(), 12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResizeSchedule {
+    events: Vec<ResizeEvent>,
+}
+
+impl ResizeSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a single resize.
+    pub fn resize(&mut self, at: TimeMs, node: NodeId, capacity: usize) -> &mut Self {
+        self.events.push(ResizeEvent { at, node, capacity });
+        self
+    }
+
+    /// Adds the same resize for a group of nodes.
+    pub fn resize_group(
+        &mut self,
+        at: TimeMs,
+        nodes: impl IntoIterator<Item = NodeId>,
+        capacity: usize,
+    ) -> &mut Self {
+        for node in nodes {
+            self.events.push(ResizeEvent { at, node, capacity });
+        }
+        self
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[ResizeEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One churn event: a crash or a recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The node stops receiving messages and firing timers.
+    Crash {
+        /// When.
+        at: TimeMs,
+        /// Which node.
+        node: NodeId,
+    },
+    /// The node resumes.
+    Recover {
+        /// When.
+        at: TimeMs,
+        /// Which node.
+        node: NodeId,
+    },
+}
+
+/// An ordered collection of churn events.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a crash.
+    pub fn crash(&mut self, at: TimeMs, node: NodeId) -> &mut Self {
+        self.events.push(ChurnEvent::Crash { at, node });
+        self
+    }
+
+    /// Schedules a recovery.
+    pub fn recover(&mut self, at: TimeMs, node: NodeId) -> &mut Self {
+        self.events.push(ChurnEvent::Recover { at, node });
+        self
+    }
+
+    /// Schedules a crash at `at` and recovery at `until` for each node.
+    pub fn outage(
+        &mut self,
+        at: TimeMs,
+        until: TimeMs,
+        nodes: impl IntoIterator<Item = NodeId>,
+    ) -> &mut Self {
+        for node in nodes {
+            self.crash(at, node);
+            self.recover(until, node);
+        }
+        self
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resize_schedule_builders() {
+        let mut s = ResizeSchedule::new();
+        s.resize(TimeMs::from_secs(1), NodeId::new(0), 45)
+            .resize_group(TimeMs::from_secs(2), [NodeId::new(1), NodeId::new(2)], 60);
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.events()[2].capacity, 60);
+        assert!(!s.is_empty());
+        assert!(ResizeSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn churn_schedule_outage() {
+        let mut s = ChurnSchedule::new();
+        s.outage(
+            TimeMs::from_secs(10),
+            TimeMs::from_secs(20),
+            [NodeId::new(3)],
+        );
+        assert_eq!(
+            s.events(),
+            &[
+                ChurnEvent::Crash {
+                    at: TimeMs::from_secs(10),
+                    node: NodeId::new(3)
+                },
+                ChurnEvent::Recover {
+                    at: TimeMs::from_secs(20),
+                    node: NodeId::new(3)
+                },
+            ]
+        );
+    }
+}

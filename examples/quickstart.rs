@@ -1,0 +1,53 @@
+//! Quickstart: build a 60-node adaptive gossip group in the deterministic
+//! simulator, broadcast for a while, and print reliability and adaptation
+//! metrics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use adaptive_gossip::types::{NodeId, TimeMs};
+use adaptive_gossip::workload::{Algorithm, ClusterConfig, GossipCluster};
+
+fn main() {
+    // 60 nodes, 10 of them publishing a combined 30 msgs/s — comfortably
+    // inside capacity for the default 90-event buffers.
+    let mut config = ClusterConfig::new(60, 42);
+    config.algorithm = Algorithm::Adaptive;
+    config.n_senders = 10;
+    config.offered_rate = 30.0;
+    // Controller thresholds calibrated for this simulator (EXPERIMENTS.md).
+    config.adaptation = adaptive_gossip::experiments::common::paper_adaptation(3.0);
+    config.max_backlog = 8;
+
+    let mut cluster = GossipCluster::build(config);
+    cluster.run_until(TimeMs::from_secs(120));
+
+    let metrics = cluster.metrics();
+    let report = metrics.deliveries().atomicity(0.95, None);
+    println!("== adaptive gossip quickstart ==");
+    println!("messages broadcast      : {}", report.messages);
+    println!(
+        "avg receivers           : {:.1}% of the group",
+        report.avg_receiver_fraction * 100.0
+    );
+    println!(
+        "atomic (>95% receivers) : {:.1}% of messages",
+        report.atomic_fraction * 100.0
+    );
+    println!(
+        "mean delivery age       : {:.2} hops",
+        metrics.deliveries().mean_delivery_age(None)
+    );
+    drop(metrics);
+
+    println!("\nper-sender allowed rates after 120 s:");
+    for i in 0..10 {
+        let node = NodeId::new(i);
+        if let Some(rate) = cluster.allowed_rate(node) {
+            println!("  {node}: {rate:.2} msg/s");
+        }
+    }
+    println!(
+        "aggregate allowed       : {:.1} msg/s (offered 30)",
+        cluster.aggregate_allowed_rate(10)
+    );
+}

@@ -1,0 +1,62 @@
+//! **adaptive-gossip** — a Rust reproduction of *Adaptive Gossip-Based
+//! Broadcast* (Rodrigues, Handurukande, Pereira, Guerraoui, Kermarrec;
+//! IEEE DSN 2003).
+//!
+//! Gossip-based broadcast scales beautifully, but its probabilistic
+//! reliability rests on every node having enough buffer space to keep
+//! forwarding events until they have disseminated. The paper adds a fully
+//! decentralized feedback loop: nodes discover the group's smallest buffer
+//! by piggybacking it on normal gossip, estimate congestion locally from
+//! the *age* at which events would be evicted at that most constrained
+//! node, and throttle their senders with a randomized
+//! multiplicative-increase/decrease controller — no extra messages, no
+//! global knowledge.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `agb-core` | lpbcast (Fig. 1), token bucket (Fig. 3), the adaptive mechanism (Fig. 5), §6 extensions |
+//! | [`membership`] | `agb-membership` | full & partial (lpbcast) peer sampling |
+//! | [`sim`] | `agb-sim` | deterministic discrete-event network simulator |
+//! | [`workload`] | `agb-workload` | sender models, cluster builder, pub/sub scenarios, schedules |
+//! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
+//! | [`metrics`] | `agb-metrics` | delivery/atomicity/rate/drop-age measurement |
+//! | [`experiments`] | `agb-experiments` | one harness per paper figure |
+//! | [`types`] | `agb-types` | ids, virtual time, RNG streams, stats primitives |
+//!
+//! # Quickstart
+//!
+//! Simulate a 60-node adaptive group for a minute of virtual time:
+//!
+//! ```
+//! use adaptive_gossip::types::TimeMs;
+//! use adaptive_gossip::workload::{Algorithm, ClusterConfig, GossipCluster};
+//!
+//! let mut config = ClusterConfig::new(60, 42);
+//! config.algorithm = Algorithm::Adaptive;
+//! config.n_senders = 10;
+//! config.offered_rate = 20.0; // msgs/s, aggregate
+//! let mut cluster = GossipCluster::build(config);
+//! cluster.run_until(TimeMs::from_secs(60));
+//!
+//! let metrics = cluster.metrics();
+//! // Measure messages admitted before t=50s; later ones are still in flight.
+//! let window = Some((TimeMs::ZERO, TimeMs::from_secs(50)));
+//! let report = metrics.deliveries().atomicity(0.95, window);
+//! assert!(report.avg_receiver_fraction > 0.95);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction inventory.
+
+#![forbid(unsafe_code)]
+
+pub use agb_core as core;
+pub use agb_experiments as experiments;
+pub use agb_membership as membership;
+pub use agb_metrics as metrics;
+pub use agb_runtime as runtime;
+pub use agb_sim as sim;
+pub use agb_types as types;
+pub use agb_workload as workload;

@@ -1,0 +1,86 @@
+//! Integration tests of the motivating publish/subscribe application:
+//! overlapping topic groups sharing per-node buffer budgets.
+
+use adaptive_gossip::types::{NodeId, TimeMs, TopicId};
+use adaptive_gossip::workload::pubsub::{PubSubConfig, PubSubSystem, TopicGroup};
+use adaptive_gossip::workload::Algorithm;
+
+fn two_topics(seed: u64, total_buffer: usize) -> PubSubConfig {
+    let t0 = TopicGroup {
+        topic: TopicId::new(0),
+        members: (0..16).map(NodeId::new).collect(),
+    };
+    let t1 = TopicGroup {
+        topic: TopicId::new(1),
+        members: (8..24).map(NodeId::new).collect(),
+    };
+    let mut c = PubSubConfig::new(seed, total_buffer, vec![t0, t1]);
+    c.algorithm = Algorithm::Adaptive;
+    c.publishers_per_topic = 2;
+    c.offered_rate_per_topic = 4.0;
+    c
+}
+
+#[test]
+fn overlapping_topics_both_deliver() {
+    let mut sys = PubSubSystem::build(two_topics(1, 60));
+    sys.run_until(TimeMs::from_secs(60));
+    for t in [TopicId::new(0), TopicId::new(1)] {
+        let m = sys.topic_metrics(t).expect("topic");
+        let r = m.deliveries().atomicity(
+            0.95,
+            Some((TimeMs::ZERO, TimeMs::from_secs(45))),
+        );
+        assert!(r.messages > 50, "topic {t}: {} msgs", r.messages);
+        assert!(
+            r.avg_receiver_fraction > 0.9,
+            "topic {t}: fraction {}",
+            r.avg_receiver_fraction
+        );
+    }
+}
+
+#[test]
+fn subscription_churn_rebalances_buffers_and_keeps_delivering() {
+    let mut sys = PubSubSystem::build(two_topics(2, 60));
+    sys.run_until(TimeMs::from_secs(20));
+    // Node 10 (in both groups, 30 events each) leaves topic 1.
+    sys.schedule_leave(TimeMs::from_secs(21), NodeId::new(10), TopicId::new(1));
+    sys.run_until(TimeMs::from_secs(40));
+    assert_eq!(sys.subscriptions(NodeId::new(10)), vec![TopicId::new(0)]);
+    // Re-join later: budget split again.
+    sys.schedule_join(TimeMs::from_secs(41), NodeId::new(10), TopicId::new(1));
+    sys.run_until(TimeMs::from_secs(70));
+    assert_eq!(sys.subscriptions(NodeId::new(10)).len(), 2);
+    // Topic 0 kept functioning throughout the churn.
+    let m = sys.topic_metrics(TopicId::new(0)).expect("topic 0");
+    let r = m.deliveries().atomicity(
+        0.95,
+        Some((TimeMs::from_secs(20), TimeMs::from_secs(60))),
+    );
+    assert!(
+        r.avg_receiver_fraction > 0.9,
+        "fraction {}",
+        r.avg_receiver_fraction
+    );
+}
+
+#[test]
+fn smaller_budgets_split_further_still_work_with_adaptation() {
+    // A tight 24-event budget, split to 12 per topic for overlap nodes:
+    // the adaptive senders must throttle to whatever that supports.
+    let mut sys = PubSubSystem::build(two_topics(3, 24));
+    sys.run_until(TimeMs::from_secs(80));
+    for t in [TopicId::new(0), TopicId::new(1)] {
+        let m = sys.topic_metrics(t).expect("topic");
+        let r = m.deliveries().atomicity(
+            0.95,
+            Some((TimeMs::from_secs(30), TimeMs::from_secs(65))),
+        );
+        assert!(
+            r.atomic_fraction > 0.85,
+            "topic {t}: adaptive should hold atomicity, got {}",
+            r.atomic_fraction
+        );
+    }
+}

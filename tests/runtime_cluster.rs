@@ -1,0 +1,72 @@
+//! Integration tests of the threaded runtime: real threads, real (or
+//! in-process) datagram transports, wall-clock timers.
+
+use std::time::Duration;
+
+use adaptive_gossip::runtime::{RuntimeCluster, RuntimeClusterConfig, TransportKind};
+use adaptive_gossip::types::{DurationMs, NodeId, TimeMs};
+
+#[test]
+fn udp_cluster_disseminates() {
+    let mut config = RuntimeClusterConfig::quick(8, 1);
+    config.transport = TransportKind::Udp;
+    config.offered_rate = 20.0;
+    let cluster = RuntimeCluster::start(config).expect("bind loopback sockets");
+    cluster.run_for(Duration::from_millis(1500));
+    let metrics = cluster.stop();
+    let report = metrics.deliveries().atomicity(0.95, None);
+    assert!(report.messages > 5, "messages: {}", report.messages);
+    assert!(
+        report.avg_receiver_fraction > 0.8,
+        "fraction {}",
+        report.avg_receiver_fraction
+    );
+}
+
+#[test]
+fn channel_cluster_adaptive_throttles_under_pressure() {
+    let mut config = RuntimeClusterConfig::quick(8, 2);
+    config.adaptive = true;
+    config.gossip.max_events = 8;
+    config.offered_rate = 400.0;
+    config.adaptation.initial_rate = 400.0;
+    config.adaptation.min_buff.sample_period = DurationMs::from_millis(300);
+    let cluster = RuntimeCluster::start(config).expect("start channel cluster");
+    cluster.run_for(Duration::from_millis(2000));
+    let metrics = cluster.stop();
+    let final_rate = metrics
+        .allowed()
+        .rate_at(NodeId::new(0), TimeMs::from_secs(3_600));
+    assert!(
+        final_rate < 400.0,
+        "sender must have throttled below its initial rate, got {final_rate}"
+    );
+}
+
+#[test]
+fn runtime_resize_shrinks_buffers() {
+    let mut config = RuntimeClusterConfig::quick(4, 3);
+    config.offered_rate = 40.0;
+    let cluster = RuntimeCluster::start(config).expect("start cluster");
+    cluster.run_for(Duration::from_millis(300));
+    cluster.resize_group((0..4).map(NodeId::new), 5);
+    cluster.run_for(Duration::from_millis(700));
+    let metrics = cluster.stop();
+    // With 5-slot buffers and sustained traffic, overflow drops must occur.
+    assert!(
+        metrics.drop_ages().overflow_count() > 0,
+        "resize to 5 slots must cause overflow"
+    );
+}
+
+#[test]
+fn snapshot_while_running_then_stop() {
+    let config = RuntimeClusterConfig::quick(4, 4);
+    let cluster = RuntimeCluster::start(config).expect("start cluster");
+    cluster.run_for(Duration::from_millis(400));
+    let mid = cluster.metrics_snapshot();
+    cluster.run_for(Duration::from_millis(400));
+    let fin = cluster.stop();
+    assert!(fin.delivered().total() >= mid.delivered().total());
+    assert!(fin.deliveries().message_count() >= mid.deliveries().message_count());
+}

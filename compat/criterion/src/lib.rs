@@ -1,0 +1,146 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the bench targets use
+//! ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`])
+//! with a simple fixed-budget timing loop instead of criterion's
+//! statistical machinery. Results are printed as mean ns/iter.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in treats all variants identically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    measured_iters: u64,
+    elapsed: Duration,
+}
+
+/// Time budget per benchmark (keep `cargo bench` runs quick; raise
+/// `AGB_BENCH_MS` for more stable numbers).
+fn budget() -> Duration {
+    let ms = std::env::var("AGB_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200u64);
+    Duration::from_millis(ms)
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let budget = budget();
+        // Warmup.
+        for _ in 0..16 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        self.measured_iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` over values produced by `setup`, excluding the
+    /// setup cost from the (approximate) timing.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = budget();
+        for _ in 0..4 {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.measured_iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+/// Registry of benchmarks (stand-in for criterion's driver).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            measured_iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.measured_iters == 0 {
+            println!("{name}: no iterations measured");
+        } else {
+            let ns = b.elapsed.as_nanos() as f64 / b.measured_iters as f64;
+            println!("{name}: {ns:.1} ns/iter ({} iters)", b.measured_iters);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("AGB_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

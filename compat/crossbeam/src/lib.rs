@@ -1,0 +1,242 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided: an unbounded MPMC channel with cloneable
+//! senders *and* receivers, `try_recv` and `recv_timeout` — the surface
+//! the threaded runtime uses. Built on `std::sync` primitives.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Unbounded multi-producer multi-consumer channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    ///
+    /// This stand-in never reports it (receiver liveness is not tracked),
+    /// matching how the workspace uses the API: every send result is
+    /// either ignored or reduced to `is_ok()`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have disconnected and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders have disconnected and the channel is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Never errors in this stand-in (see [`SendError`]).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.lock();
+            state.items.push_back(value);
+            drop(state);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message if one is immediately available.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when the channel has no message,
+        /// [`TryRecvError::Disconnected`] when it never will again.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.lock();
+            match state.items.pop_front() {
+                Some(v) => Ok(v),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Waits up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the wait elapses,
+        /// [`RecvTimeoutError::Disconnected`] when all senders are gone and
+        /// the queue is drained.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(v) = state.items.pop_front() {
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .inner
+                    .ready
+                    .wait_timeout(state, left)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = guard;
+                if result.timed_out() && state.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn timeout_when_empty() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (tx, rx) = unbounded();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42u32).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(42));
+            t.join().unwrap();
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue() {
+            let (tx, rx1) = unbounded();
+            let rx2 = rx1.clone();
+            tx.send(7).unwrap();
+            assert_eq!(rx2.try_recv(), Ok(7));
+            assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the `rand 0.9` API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the [`Rng`] extension
+//! trait (`random`, `random_range`) re-exported as [`RngExt`], and
+//! [`seq::index::sample`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), which is fine: the workspace
+//! only relies on determinism and statistical quality, never on a specific
+//! stream. Swapping the real crate back in requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Low-level generator interface: a source of uniform random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Values that can be drawn uniformly from a generator (the standard
+/// distribution of `rand`).
+pub trait StandardValue: Sized {
+    /// Draws one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardValue for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardValue for u128 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardValue for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardValue for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardValue for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges a uniform value can be drawn from (`random_range`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` without modulo bias (Lemire-style
+/// rejection on the widening multiply).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        if lo >= span || lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+/// Marker bound mirroring `rand::Rng`; the value-drawing methods live on
+/// [`RngExt`], as in `rand 0.9` (where callers import both).
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Convenience methods over any [`RngCore`], mirroring `rand::RngExt`.
+pub trait RngExt: RngCore {
+    /// Draws a value from the standard (uniform) distribution.
+    fn random<T: StandardValue>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.random::<f64>() < p
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut state);
+            }
+            // xoshiro must not start in the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence sampling helpers.
+
+    pub mod index {
+        //! Index sampling without replacement.
+
+        use crate::{RngCore, RngExt};
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterates over the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+
+            /// Consumes into the underlying vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length`, uniformly,
+        /// via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "cannot sample {amount} indices from {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.random_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(5usize..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = super::seq::index::sample(&mut rng, 10, 4);
+            let mut v: Vec<usize> = s.iter().collect();
+            assert_eq!(v.len(), 4);
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), 4, "indices must be distinct");
+            assert!(v.iter().all(|&i| i < 10));
+        }
+    }
+
+    #[test]
+    fn uniform_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the recovery layer's hot paths: `IHave`
+//! digest encode/decode on the wire, gap detection against the seen set,
+//! and the retransmission cache.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use agb_core::{
+    Event, FrameProtocol, GossipConfig, GossipFrame, GossipMessage, IHaveDigest, LpbcastNode,
+};
+use agb_membership::FullView;
+use agb_recovery::{MissingTracker, RecoverableNode, RecoveryConfig, RetransmissionCache};
+use agb_runtime::wire::{decode_frame, encode_frame};
+use agb_types::{DetRng, EventId, NodeId, Payload, TimeMs};
+use rand::SeedableRng;
+
+fn ids(n: u64) -> Vec<EventId> {
+    (0..n)
+        .map(|s| EventId::new(NodeId::new((s % 7) as u32), s))
+        .collect()
+}
+
+fn digest_frame(n_ids: u64) -> GossipFrame {
+    GossipFrame::Gossip {
+        msg: GossipMessage {
+            sender: NodeId::new(3),
+            sample_period: 0,
+            min_buffs: vec![],
+            events: vec![],
+            membership: Default::default(),
+        },
+        ihave: Some(IHaveDigest { ids: ids(n_ids) }),
+    }
+}
+
+fn bench_digest_codec(c: &mut Criterion) {
+    let frame = digest_frame(64);
+    c.bench_function("ihave_digest_encode_64_ids", |b| {
+        b.iter(|| black_box(encode_frame(&frame).len()));
+    });
+    let bytes = encode_frame(&frame);
+    c.bench_function("ihave_digest_decode_64_ids", |b| {
+        b.iter(|| {
+            let decoded = decode_frame(&bytes).unwrap();
+            black_box(matches!(decoded, GossipFrame::Gossip { .. }))
+        });
+    });
+}
+
+fn bench_gap_detection(c: &mut Criterion) {
+    // A node that has seen 10k events receives digests that are half
+    // known ids, half fresh gaps — the realistic mixed case.
+    c.bench_function("gap_detection_digest_32_vs_10k_seen", |b| {
+        b.iter_batched(
+            || {
+                let inner = LpbcastNode::new(
+                    NodeId::new(0),
+                    GossipConfig::default(),
+                    FullView::new(60),
+                    DetRng::seed_from_u64(7),
+                );
+                let mut node = RecoverableNode::new(inner, RecoveryConfig::default());
+                for s in 0..10_000u64 {
+                    let frame = GossipFrame::Gossip {
+                        msg: GossipMessage {
+                            sender: NodeId::new(1),
+                            sample_period: 0,
+                            min_buffs: vec![],
+                            events: vec![Event::new(
+                                EventId::new(NodeId::new(1), s),
+                                Payload::new(),
+                            )],
+                            membership: Default::default(),
+                        },
+                        ihave: None,
+                    };
+                    node.on_receive(NodeId::new(1), frame, TimeMs::ZERO);
+                }
+                node.drain_events();
+                (node, 0u64)
+            },
+            |(mut node, mut round)| {
+                for _ in 0..16 {
+                    round += 1;
+                    let mut digest_ids: Vec<EventId> = (0..16)
+                        .map(|i| EventId::new(NodeId::new(1), 9_000 + i))
+                        .collect();
+                    digest_ids
+                        .extend((0..16).map(|i| EventId::new(NodeId::new(2), round * 100 + i)));
+                    let frame = GossipFrame::Gossip {
+                        msg: GossipMessage {
+                            sender: NodeId::new(2),
+                            sample_period: 0,
+                            min_buffs: vec![],
+                            events: vec![],
+                            membership: Default::default(),
+                        },
+                        ihave: Some(IHaveDigest { ids: digest_ids }),
+                    };
+                    black_box(node.on_receive(NodeId::new(2), frame, TimeMs::ZERO).len());
+                }
+                node
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("missing_tracker_note_and_take_due", |b| {
+        b.iter_batched(
+            MissingTracker::new,
+            |mut tracker| {
+                for (i, id) in ids(128).into_iter().enumerate() {
+                    tracker.note(id, NodeId::new((i % 5) as u32), 0);
+                }
+                let (due, _) = tracker.take_due(0, 64, 2, 4);
+                black_box(due.len());
+                tracker
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("retransmission_cache_insert_get_256", |b| {
+        b.iter_batched(
+            || RetransmissionCache::new(256, 30),
+            |mut cache| {
+                for s in 0..512u64 {
+                    cache.insert(Event::new(
+                        EventId::new(NodeId::new(1), s),
+                        Payload::from_static(b"payload"),
+                    ));
+                }
+                for s in 256..512u64 {
+                    black_box(cache.get(EventId::new(NodeId::new(1), s)).is_some());
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_digest_codec,
+    bench_gap_detection,
+    bench_cache
+);
+criterion_main!(benches);

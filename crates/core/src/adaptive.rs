@@ -96,11 +96,7 @@ impl<S: GossipMembership> AdaptiveNode<S> {
         let min_buff = MinBuffEstimator::new(id, capacity, adaptation.min_buff);
         let congestion = CongestionEstimator::new(adaptation.congestion);
         let controller = RateController::new(adaptation.initial_rate, adaptation.rate);
-        let bucket = TokenBucket::new(
-            controller.rate(),
-            adaptation.bucket_capacity,
-            TimeMs::ZERO,
-        );
+        let bucket = TokenBucket::new(controller.rate(), adaptation.bucket_capacity, TimeMs::ZERO);
         let avg_tokens = Ewma::new(adaptation.token_alpha, 0.0);
         AdaptiveNode {
             inner,

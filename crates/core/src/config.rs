@@ -252,10 +252,7 @@ impl RateConfig {
                 "must not exceed high_age (§3.4: a considerable gap prevents oscillation)",
             ));
         }
-        for (name, v) in [
-            ("delta_dec", self.delta_dec),
-            ("delta_inc", self.delta_inc),
-        ] {
+        for (name, v) in [("delta_dec", self.delta_dec), ("delta_inc", self.delta_inc)] {
             if !v.is_finite() || !(0.0..1.0).contains(&v) {
                 return Err(ConfigError::new(name, "must be within [0, 1)"));
             }

@@ -1,7 +1,8 @@
-//! The gossip message exchanged between nodes.
+//! The gossip message exchanged between nodes, and the framed wire
+//! vocabulary of the pull-based recovery layer (`agb-recovery`).
 
 use agb_membership::MembershipDigest;
-use agb_types::NodeId;
+use agb_types::{EventId, NodeId};
 
 use crate::event::Event;
 use crate::minbuff::BuffAd;
@@ -69,6 +70,115 @@ impl GossipMessage {
     }
 }
 
+/// Compact advertisement of recently-seen event identifiers, piggybacked
+/// on gossip data messages by the recovery layer (`agb-recovery`).
+///
+/// Ids are far cheaper than events (16 bytes each), so a node can keep
+/// advertising an event long after purging it from its gossip buffer —
+/// which is exactly the window in which lpbcast loses atomicity and a
+/// pull-based repair can win it back.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IHaveDigest {
+    /// Recently-seen event ids, most recent last.
+    pub ids: Vec<EventId>,
+}
+
+impl IHaveDigest {
+    /// Approximate wire size in bytes (count + 12 bytes per id).
+    pub fn wire_size(&self) -> usize {
+        2 + 12 * self.ids.len()
+    }
+}
+
+/// Pull request for events the sender detected as missing after seeing
+/// them advertised in an [`IHaveDigest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraftRequest {
+    /// The requesting node.
+    pub sender: NodeId,
+    /// The missing event ids.
+    pub ids: Vec<EventId>,
+}
+
+impl GraftRequest {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        4 + 2 + 12 * self.ids.len()
+    }
+}
+
+/// Reply to a [`GraftRequest`], serving events from the responder's
+/// bounded retransmission cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retransmission {
+    /// The responding node.
+    pub sender: NodeId,
+    /// The recovered events (requested ids the responder still holds).
+    pub events: Vec<Event>,
+}
+
+impl Retransmission {
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        let events: usize = self.events.iter().map(Event::wire_size).sum();
+        4 + 4 + events
+    }
+}
+
+/// One frame on the wire when the recovery layer is active.
+///
+/// The recovery mechanism adds exactly one piggybacked digest to each
+/// data message and two *pull* frame kinds; harnesses that run without
+/// recovery only ever see [`GossipFrame::Gossip`] with `ihave: None`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GossipFrame {
+    /// A regular gossip data message, with an optional piggybacked
+    /// recently-seen digest.
+    Gossip {
+        /// The base protocol's message.
+        msg: GossipMessage,
+        /// The recovery layer's piggybacked digest, if active.
+        ihave: Option<IHaveDigest>,
+    },
+    /// A retransmission request for missing events.
+    Graft(GraftRequest),
+    /// A retransmission serving previously missed events.
+    Retransmit(Retransmission),
+}
+
+impl GossipFrame {
+    /// Wraps a plain gossip message (no recovery digest).
+    pub fn plain(msg: GossipMessage) -> Self {
+        GossipFrame::Gossip { msg, ihave: None }
+    }
+
+    /// The node that emitted this frame.
+    pub fn sender(&self) -> NodeId {
+        match self {
+            GossipFrame::Gossip { msg, .. } => msg.sender,
+            GossipFrame::Graft(g) => g.sender,
+            GossipFrame::Retransmit(r) => r.sender,
+        }
+    }
+
+    /// Whether this frame belongs to the recovery control plane (rather
+    /// than regular gossip data traffic).
+    pub fn is_recovery_control(&self) -> bool {
+        matches!(self, GossipFrame::Graft(_) | GossipFrame::Retransmit(_))
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        1 + match self {
+            GossipFrame::Gossip { msg, ihave } => {
+                msg.wire_size() + ihave.as_ref().map_or(0, IHaveDigest::wire_size)
+            }
+            GossipFrame::Graft(g) => g.wire_size(),
+            GossipFrame::Retransmit(r) => r.wire_size(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +220,48 @@ mod tests {
         ];
         assert_eq!(msg.min_buff(), Some(45));
         assert!(msg.is_adaptive());
+    }
+
+    #[test]
+    fn frame_sender_and_kind() {
+        let gossip = GossipFrame::plain(base());
+        assert_eq!(gossip.sender(), NodeId::new(0));
+        assert!(!gossip.is_recovery_control());
+
+        let graft = GossipFrame::Graft(GraftRequest {
+            sender: NodeId::new(4),
+            ids: vec![EventId::new(NodeId::new(1), 9)],
+        });
+        assert_eq!(graft.sender(), NodeId::new(4));
+        assert!(graft.is_recovery_control());
+
+        let retransmit = GossipFrame::Retransmit(Retransmission {
+            sender: NodeId::new(5),
+            events: vec![],
+        });
+        assert_eq!(retransmit.sender(), NodeId::new(5));
+        assert!(retransmit.is_recovery_control());
+    }
+
+    #[test]
+    fn frame_wire_sizes_grow_with_content() {
+        let empty = GossipFrame::plain(base());
+        let with_digest = GossipFrame::Gossip {
+            msg: base(),
+            ihave: Some(IHaveDigest {
+                ids: vec![EventId::new(NodeId::new(0), 0); 8],
+            }),
+        };
+        assert!(with_digest.wire_size() > empty.wire_size());
+
+        let small = GraftRequest {
+            sender: NodeId::new(0),
+            ids: vec![],
+        };
+        let big = GraftRequest {
+            sender: NodeId::new(0),
+            ids: vec![EventId::new(NodeId::new(0), 0); 4],
+        };
+        assert!(big.wire_size() > small.wire_size());
     }
 }

@@ -71,15 +71,13 @@ mod traits;
 
 pub use adaptive::AdaptiveNode;
 pub use buffer::{EventBuffer, PurgeReason, PurgedEvent};
-pub use config::{
-    AdaptationConfig, CongestionConfig, GossipConfig, MinBuffConfig, RateConfig,
-};
+pub use config::{AdaptationConfig, CongestionConfig, GossipConfig, MinBuffConfig, RateConfig};
 pub use congestion::CongestionEstimator;
 pub use event::Event;
-pub use header::GossipMessage;
+pub use header::{GossipFrame, GossipMessage, GraftRequest, IHaveDigest, Retransmission};
 pub use ids::EventIdBuffer;
 pub use lpbcast::{LpbcastNode, ReceiveReport};
 pub use minbuff::{BuffAd, KSmallestSet, MinBuffEstimator};
 pub use rate::{RateChange, RateChangeReason, RateController};
 pub use token_bucket::TokenBucket;
-pub use traits::{GossipProtocol, OfferOutcome, ProtocolEvent};
+pub use traits::{FrameProtocol, GossipProtocol, OfferOutcome, ProtocolEvent};

@@ -142,7 +142,8 @@ impl<S: GossipMembership> LpbcastNode<S> {
         self.next_seq += 1;
         let event = Event::new(id, payload);
         self.ids.insert(id);
-        self.out_events.push(ProtocolEvent::Admitted { id, at: now });
+        self.out_events
+            .push(ProtocolEvent::Admitted { id, at: now });
         self.out_events.push(ProtocolEvent::Delivered {
             event: event.clone(),
             from: self.id,

@@ -65,8 +65,7 @@ impl KSmallestSet {
         } else {
             self.entries.push(ad);
         }
-        self.entries
-            .sort_by_key(|e| (e.capacity, e.node));
+        self.entries.sort_by_key(|e| (e.capacity, e.node));
         self.entries.truncate(self.track);
     }
 
@@ -224,11 +223,11 @@ impl MinBuffEstimator {
     /// estimates over the window (current period included).
     pub fn estimate(&self) -> u32 {
         let current = self.period_estimate(&self.current);
-        let completed = self.completed.iter().filter_map(|s| self.period_estimate(s));
-        completed
-            .chain(current)
-            .min()
-            .unwrap_or(self.own_capacity)
+        let completed = self
+            .completed
+            .iter()
+            .filter_map(|s| self.period_estimate(s));
+        completed.chain(current).min().unwrap_or(self.own_capacity)
     }
 
     /// The advertisement to stamp on outgoing gossip: the current period and
@@ -370,7 +369,7 @@ mod tests {
         };
         let mut est = MinBuffEstimator::new(NodeId::new(0), 90, cfg);
         est.on_receive(0, &[ad(1, 5)]); // one pathological node
-        // 2nd smallest of {5, 90} is 90: the outlier alone cannot throttle.
+                                        // 2nd smallest of {5, 90} is 90: the outlier alone cannot throttle.
         assert_eq!(est.estimate(), 90);
         est.on_receive(0, &[ad(2, 45)]);
         // 2nd smallest of {5, 45, 90} is 45.

@@ -112,7 +112,10 @@ impl RateController {
             return self.apply(self.rate * (1.0 - self.config.delta_dec), reason);
         }
         if avg_age >= self.config.high_age && fully_used && bernoulli(rng, self.config.gamma) {
-            return self.apply(self.rate * (1.0 + self.config.delta_inc), RateChangeReason::Headroom);
+            return self.apply(
+                self.rate * (1.0 + self.config.delta_inc),
+                RateChangeReason::Headroom,
+            );
         }
         None
     }

@@ -59,8 +59,8 @@ impl TokenBucket {
             return;
         }
         self.last_refill = now;
-        self.tokens = (self.tokens + self.rate_per_sec * elapsed.as_secs_f64())
-            .min(self.max_tokens);
+        self.tokens =
+            (self.tokens + self.rate_per_sec * elapsed.as_secs_f64()).min(self.max_tokens);
     }
 
     /// Attempts to consume one token; refills first.

@@ -12,7 +12,7 @@ use agb_types::{DurationMs, EventId, NodeId, Payload, TimeMs};
 
 use crate::buffer::PurgeReason;
 use crate::event::Event;
-use crate::header::GossipMessage;
+use crate::header::{GossipFrame, GossipMessage};
 use crate::rate::RateChangeReason;
 
 /// Result of offering a message to the broadcast primitive.
@@ -92,6 +92,55 @@ pub enum ProtocolEvent {
         /// Rollover time.
         at: TimeMs,
     },
+    /// The recovery layer sent a `Graft` pull request for missing events
+    /// (`agb-recovery`).
+    RecoveryRequested {
+        /// The advertiser the request was sent to.
+        to: NodeId,
+        /// Number of missing ids requested.
+        ids: usize,
+        /// Request time.
+        at: TimeMs,
+    },
+    /// The recovery layer answered a `Graft` from its retransmission
+    /// cache.
+    RecoveryServed {
+        /// The requesting node.
+        to: NodeId,
+        /// Events found in the cache and retransmitted.
+        events: usize,
+        /// Requested ids no longer cached (the requester will retry
+        /// elsewhere).
+        missed: usize,
+        /// Serve time.
+        at: TimeMs,
+    },
+    /// A previously missing event arrived through a retransmission and was
+    /// delivered.
+    Recovered {
+        /// The recovered event's id.
+        id: EventId,
+        /// The node that served the retransmission.
+        from: NodeId,
+        /// Recovery time.
+        at: TimeMs,
+    },
+    /// A retransmitted event had already been received through regular
+    /// gossip — wasted recovery bandwidth, tracked as a duplicate.
+    RecoveryDuplicate {
+        /// The redundant event's id.
+        id: EventId,
+        /// Arrival time.
+        at: TimeMs,
+    },
+    /// Recovery of a missing event was abandoned after the retry budget
+    /// was exhausted.
+    RecoveryAbandoned {
+        /// The unrecoverable event's id.
+        id: EventId,
+        /// Abandon time.
+        at: TimeMs,
+    },
 }
 
 /// A gossip broadcast protocol node as a pure state machine.
@@ -154,6 +203,147 @@ pub trait GossipProtocol {
     /// The current group-minimum-buffer estimate (adaptive nodes only).
     fn min_buff_estimate(&self) -> Option<u32> {
         None
+    }
+}
+
+/// A gossip node driven at the *frame* level: regular gossip messages plus
+/// the recovery layer's pull frames ([`GossipFrame`]).
+///
+/// This is the interface the harnesses (simulator cluster, threaded
+/// runtime) actually drive. Every [`GossipProtocol`] is a `FrameProtocol`
+/// through the blanket impl below (recovery frames are ignored, outgoing
+/// messages carry no digest); `agb-recovery`'s `RecoverableNode` wraps any
+/// `GossipProtocol` and implements this trait with the full pull-based
+/// anti-entropy behavior.
+///
+/// Unlike [`GossipProtocol::on_receive`],
+/// [`on_receive`](FrameProtocol::on_receive) may return immediate reply
+/// frames: pull requests and retransmissions are request/response traffic,
+/// not periodic gossip.
+pub trait FrameProtocol {
+    /// This node's identity.
+    fn node_id(&self) -> NodeId;
+
+    /// Offers an application message for broadcast.
+    fn offer(&mut self, payload: Payload, now: TimeMs) -> OfferOutcome;
+
+    /// Runs one gossip round, emitting data frames (and any due recovery
+    /// retries).
+    fn on_round(&mut self, now: TimeMs) -> Vec<(NodeId, GossipFrame)>;
+
+    /// Ingests one frame; returns immediate reply frames (empty for plain
+    /// protocols).
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        frame: GossipFrame,
+        now: TimeMs,
+    ) -> Vec<(NodeId, GossipFrame)>;
+
+    /// Takes the protocol events accumulated since the last drain.
+    fn drain_events(&mut self) -> Vec<ProtocolEvent>;
+
+    /// Resizes the event buffer at runtime.
+    fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs);
+
+    /// Current event-buffer capacity.
+    fn buffer_capacity(&self) -> usize;
+
+    /// Current event-buffer occupancy.
+    fn buffer_len(&self) -> usize;
+
+    /// The current allowed sending rate in msgs/s, if throttled.
+    fn allowed_rate(&self) -> Option<f64>;
+
+    /// Messages waiting behind the throttle.
+    fn pending_len(&self) -> usize;
+
+    /// The configured gossip period `T`.
+    fn gossip_period(&self) -> DurationMs;
+
+    /// The current congestion signal `avgAge` (adaptive nodes only).
+    fn avg_age(&self) -> Option<f64> {
+        None
+    }
+
+    /// The current smoothed token level `avgTokens` (adaptive nodes only).
+    fn avg_tokens(&self) -> Option<f64> {
+        None
+    }
+
+    /// The current group-minimum-buffer estimate (adaptive nodes only).
+    fn min_buff_estimate(&self) -> Option<u32> {
+        None
+    }
+}
+
+impl<P: GossipProtocol> FrameProtocol for P {
+    fn node_id(&self) -> NodeId {
+        GossipProtocol::node_id(self)
+    }
+
+    fn offer(&mut self, payload: Payload, now: TimeMs) -> OfferOutcome {
+        GossipProtocol::offer(self, payload, now)
+    }
+
+    fn on_round(&mut self, now: TimeMs) -> Vec<(NodeId, GossipFrame)> {
+        GossipProtocol::on_round(self, now)
+            .into_iter()
+            .map(|(to, msg)| (to, GossipFrame::plain(msg)))
+            .collect()
+    }
+
+    fn on_receive(
+        &mut self,
+        from: NodeId,
+        frame: GossipFrame,
+        now: TimeMs,
+    ) -> Vec<(NodeId, GossipFrame)> {
+        if let GossipFrame::Gossip { msg, .. } = frame {
+            GossipProtocol::on_receive(self, from, msg, now);
+        }
+        // Plain protocols ignore recovery control frames.
+        Vec::new()
+    }
+
+    fn drain_events(&mut self) -> Vec<ProtocolEvent> {
+        GossipProtocol::drain_events(self)
+    }
+
+    fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs) {
+        GossipProtocol::set_buffer_capacity(self, capacity, now);
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        GossipProtocol::buffer_capacity(self)
+    }
+
+    fn buffer_len(&self) -> usize {
+        GossipProtocol::buffer_len(self)
+    }
+
+    fn allowed_rate(&self) -> Option<f64> {
+        GossipProtocol::allowed_rate(self)
+    }
+
+    fn pending_len(&self) -> usize {
+        GossipProtocol::pending_len(self)
+    }
+
+    fn gossip_period(&self) -> DurationMs {
+        GossipProtocol::gossip_period(self)
+    }
+
+    fn avg_age(&self) -> Option<f64> {
+        GossipProtocol::avg_age(self)
+    }
+
+    fn avg_tokens(&self) -> Option<f64> {
+        GossipProtocol::avg_tokens(self)
+    }
+
+    fn min_buff_estimate(&self) -> Option<u32> {
+        GossipProtocol::min_buff_estimate(self)
     }
 }
 

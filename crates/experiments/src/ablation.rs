@@ -94,7 +94,11 @@ pub fn run_variant(variant: &Variant, seed: u64) -> AblationRow {
         .atomic_fraction;
     AblationRow {
         label: variant.label.clone(),
-        oscillation: if osc_n == 0 { 0.0 } else { osc / f64::from(osc_n) },
+        oscillation: if osc_n == 0 {
+            0.0
+        } else {
+            osc / f64::from(osc_n)
+        },
         steady_allowed,
         ideal: MAX_RATE_SLOPE * scenario.shrink_to as f64,
         atomicity,
@@ -186,12 +190,7 @@ pub fn flow_control_comparison(seed: u64) -> Vec<FlowControlRow> {
     strategies
         .into_iter()
         .map(|(label, algorithm)| {
-            let cc = paper_cluster(
-                algorithm,
-                scenario.base_buffer,
-                scenario.offered,
-                seed,
-            );
+            let cc = paper_cluster(algorithm, scenario.base_buffer, scenario.offered, seed);
             let mut cluster = GossipCluster::build(cc);
             let mut schedule = ResizeSchedule::new();
             schedule.resize_group(scenario.t1, scenario.affected_nodes(), scenario.shrink_to);

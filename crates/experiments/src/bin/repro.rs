@@ -1,17 +1,15 @@
 //! Command-line reproduction driver: `repro <experiment> [seed]`.
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig9-runtime`, `ablation`, `all`. Set `AGB_QUICK=1` for short runs.
+//! `fig9-runtime`, `ablation`, `recovery`, `all`. Set `AGB_QUICK=1` for
+//! short runs.
 
-use agb_experiments::{ablation, fig2, fig4, fig6, fig7, fig8, fig9};
+use agb_experiments::{ablation, fig2, fig4, fig6, fig7, fig8, fig9, recovery};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let what = args.get(1).map(String::as_str).unwrap_or("all");
-    let seed: u64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     match what {
         "fig2" => run_fig2(seed),
@@ -22,6 +20,7 @@ fn main() {
         "fig9" => run_fig9(seed),
         "fig9-runtime" => run_fig9_runtime(seed),
         "ablation" => run_ablation(seed),
+        "recovery" => run_recovery(seed),
         "all" => {
             run_fig2(seed);
             run_fig4(seed);
@@ -34,10 +33,11 @@ fn main() {
             print!("{}", fig8::table_atomicity(&rows));
             run_fig9(seed);
             run_ablation(seed);
+            run_recovery(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|all] [seed]");
             std::process::exit(2);
         }
     }
@@ -100,4 +100,9 @@ fn run_fig9_runtime(seed: u64) {
 fn run_ablation(seed: u64) {
     let rows = ablation::run(seed);
     print!("{}", ablation::table(&rows));
+}
+
+fn run_recovery(seed: u64) {
+    let rows = recovery::run(seed);
+    print!("{}", recovery::table(&rows));
 }

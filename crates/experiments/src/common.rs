@@ -44,7 +44,7 @@ pub const MAX_RATE_SLOPE: f64 = 1.02;
 
 /// Whether quick mode is active (`AGB_QUICK=1`): shorter runs for CI.
 pub fn quick_mode() -> bool {
-    std::env::var("AGB_QUICK").map_or(false, |v| v == "1")
+    std::env::var("AGB_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// Measurement phases of one run.
@@ -177,7 +177,9 @@ pub fn run_measured(config: ClusterConfig, windows: Windows) -> RunOutcome {
 pub fn measure(cluster: &GossipCluster, windows: Windows) -> RunOutcome {
     let (from, to) = windows.measure_interval();
     let m = cluster.metrics();
-    let report = m.deliveries().atomicity(ATOMICITY_THRESHOLD, Some((from, to)));
+    let report = m
+        .deliveries()
+        .atomicity(ATOMICITY_THRESHOLD, Some((from, to)));
     let allowed_series = m.allowed().aggregate_series(DurationMs::from_secs(1), to);
     let in_window: Vec<f64> = allowed_series
         .iter()

@@ -46,9 +46,7 @@ pub fn run(seed: u64) -> Vec<Fig2Row> {
 /// Formats the rows as the paper's figure.
 pub fn table(rows: &[Fig2Row]) -> Table {
     let mut t = Table::new(
-        format!(
-            "Figure 2: reliability degradation (lpbcast, buffer = {FIG2_BUFFER} events)"
-        ),
+        format!("Figure 2: reliability degradation (lpbcast, buffer = {FIG2_BUFFER} events)"),
         &[
             "input rate (msg/s)",
             "msgs to >95% of receivers (%)",

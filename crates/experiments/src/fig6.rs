@@ -69,13 +69,7 @@ pub fn table(rows: &[Fig6Row]) -> Table {
         ],
     );
     for r in rows {
-        t.row_f64(&[
-            r.buffer as f64,
-            r.offered,
-            r.allowed,
-            r.input,
-            r.maximum,
-        ]);
+        t.row_f64(&[r.buffer as f64, r.offered, r.allowed, r.input, r.maximum]);
     }
     t
 }

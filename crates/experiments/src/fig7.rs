@@ -11,9 +11,7 @@
 use agb_metrics::Table;
 use agb_workload::Algorithm;
 
-use crate::common::{
-    paper_cluster, run_measured, RunOutcome, Windows, BUFFER_SWEEP, OFFERED_RATE,
-};
+use crate::common::{paper_cluster, run_measured, RunOutcome, Windows, BUFFER_SWEEP, OFFERED_RATE};
 
 /// One buffer point measured under both algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,11 +50,7 @@ pub fn table_input(rows: &[CompareRow]) -> Table {
         &["buffer (msg)", "lpbcast", "adaptive"],
     );
     for r in rows {
-        t.row_f64(&[
-            r.buffer as f64,
-            r.lpbcast.input_rate,
-            r.adaptive.input_rate,
-        ]);
+        t.row_f64(&[r.buffer as f64, r.lpbcast.input_rate, r.adaptive.input_rate]);
     }
     t
 }

@@ -212,7 +212,8 @@ pub fn run_runtime(config: &Fig9Config) -> std::io::Result<Fig9RuntimeResult> {
     let scale_f = f64::from(scale);
     let mut gossip = crate::common::paper_gossip(config.base_buffer);
     gossip.gossip_period = gossip.gossip_period / u64::from(scale);
-    let mut adaptation = crate::common::paper_adaptation(config.offered * scale_f / N_SENDERS as f64);
+    let mut adaptation =
+        crate::common::paper_adaptation(config.offered * scale_f / N_SENDERS as f64);
     adaptation.min_buff.sample_period = adaptation.min_buff.sample_period / u64::from(scale);
     adaptation.rate.max_rate *= scale_f;
 
@@ -227,6 +228,7 @@ pub fn run_runtime(config: &Fig9Config) -> std::io::Result<Fig9RuntimeResult> {
         payload_size: 8,
         transport: TransportKind::Udp,
         metrics_bin: DurationMs::from_millis(1_000 / u64::from(scale)),
+        recovery: None,
     };
     let cluster = RuntimeCluster::start(rc)?;
     let scaled = |ms: u64| std::time::Duration::from_millis(ms / u64::from(scale));

@@ -10,6 +10,7 @@
 //! | [`fig8`] | Fig. 8(a,b) | avg % receivers, % atomic — lpbcast vs adaptive |
 //! | [`fig9`] | Fig. 9(a,b) | dynamic buffer resize time series, sim + threaded runtime |
 //! | [`ablation`] | §3.4 | parameter sensitivity (γ, W, α, δ) |
+//! | [`recovery`] | — (beyond the paper) | atomicity under loss × buffer, pull-based recovery on/off |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -27,3 +28,4 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recovery;

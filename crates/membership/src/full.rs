@@ -129,7 +129,10 @@ mod tests {
         let single = FullView::new(1);
         assert!(single.sample(&mut rng, 4, NodeId::new(0)).is_empty());
         let pair = FullView::new(2);
-        assert_eq!(pair.sample(&mut rng, 4, NodeId::new(0)), vec![NodeId::new(1)]);
+        assert_eq!(
+            pair.sample(&mut rng, 4, NodeId::new(0)),
+            vec![NodeId::new(1)]
+        );
         assert!(pair.sample(&mut rng, 0, NodeId::new(0)).is_empty());
     }
 

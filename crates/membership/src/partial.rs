@@ -334,7 +334,11 @@ mod tests {
         pv.observe_sender(NodeId::new(3), &mut r);
         assert_eq!(pv.view_size(), 2);
         // The evicted peer keeps circulating through subs.
-        let total: Vec<NodeId> = pv.view().into_iter().chain(pv.subs().iter().copied()).collect();
+        let total: Vec<NodeId> = pv
+            .view()
+            .into_iter()
+            .chain(pv.subs().iter().copied())
+            .collect();
         for id in [NodeId::new(1), NodeId::new(2), NodeId::new(3)] {
             assert!(total.contains(&id), "{id} lost entirely");
         }

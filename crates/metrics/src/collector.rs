@@ -7,6 +7,7 @@ use agb_types::{DurationMs, NodeId, TimeMs};
 use crate::delivery::{AtomicityReport, DeliveryTracker};
 use crate::drop_age::DropAgeStats;
 use crate::rates::{AllowedRateTracker, RateMeter};
+use crate::recovery::RecoveryStats;
 
 /// Consumes every [`ProtocolEvent`] from every node and maintains all the
 /// aggregates the paper's figures need.
@@ -31,6 +32,7 @@ pub struct MetricsCollector {
     admitted: RateMeter,
     delivered: RateMeter,
     allowed: AllowedRateTracker,
+    recovery: RecoveryStats,
 }
 
 impl MetricsCollector {
@@ -44,6 +46,7 @@ impl MetricsCollector {
             admitted: RateMeter::new(bin),
             delivered: RateMeter::new(bin),
             allowed: AllowedRateTracker::new(),
+            recovery: RecoveryStats::new(bin),
         }
     }
 
@@ -65,7 +68,8 @@ impl MetricsCollector {
                 self.admitted.record(*at);
             }
             ProtocolEvent::Delivered { event, from: _, at } => {
-                self.deliveries.on_delivered(node, event.id(), event.age(), *at);
+                self.deliveries
+                    .on_delivered(node, event.id(), event.age(), *at);
                 self.delivered.record(*at);
             }
             ProtocolEvent::Dropped {
@@ -80,6 +84,23 @@ impl MetricsCollector {
                 self.allowed.on_change(node, *new, *at);
             }
             ProtocolEvent::PeriodRollover { .. } => {}
+            ProtocolEvent::RecoveryRequested { ids, at, .. } => {
+                self.recovery.on_requested(*ids, *at);
+            }
+            ProtocolEvent::RecoveryServed {
+                events, missed, at, ..
+            } => {
+                self.recovery.on_served(*events, *missed, *at);
+            }
+            ProtocolEvent::Recovered { .. } => {
+                self.recovery.on_recovered();
+            }
+            ProtocolEvent::RecoveryDuplicate { .. } => {
+                self.recovery.on_duplicate();
+            }
+            ProtocolEvent::RecoveryAbandoned { .. } => {
+                self.recovery.on_abandoned();
+            }
         }
     }
 
@@ -117,6 +138,16 @@ impl MetricsCollector {
     /// The allowed-rate step tracker.
     pub fn allowed(&self) -> &AllowedRateTracker {
         &self.allowed
+    }
+
+    /// Recovery-layer aggregates (zeros when recovery is disabled).
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Convenience: recovery control messages per delivered message.
+    pub fn recovery_overhead_ratio(&self) -> f64 {
+        self.recovery.overhead_ratio(self.delivered.total())
     }
 
     /// Convenience: atomicity (threshold 0.95, the paper's criterion) over
@@ -220,8 +251,14 @@ mod tests {
                 at: TimeMs::from_secs(5),
             },
         );
-        assert_eq!(m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(1)), 4.0);
-        assert_eq!(m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(6)), 3.0);
+        assert_eq!(
+            m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(1)),
+            4.0
+        );
+        assert_eq!(
+            m.allowed().rate_at(NodeId::new(2), TimeMs::from_secs(6)),
+            3.0
+        );
     }
 
     #[test]

@@ -114,8 +114,14 @@ impl DeliveryTracker {
         let rec = self.records.entry(id).or_insert_with(MessageRecord::new);
         if rec.receivers.insert(node) {
             rec.age_sum += u64::from(age);
-            rec.first_delivery = Some(rec.first_delivery.map_or(at, |t| if at < t { at } else { t }));
-            rec.last_delivery = Some(rec.last_delivery.map_or(at, |t| if at > t { at } else { t }));
+            rec.first_delivery = Some(
+                rec.first_delivery
+                    .map_or(at, |t| if at < t { at } else { t }),
+            );
+            rec.last_delivery = Some(
+                rec.last_delivery
+                    .map_or(at, |t| if at > t { at } else { t }),
+            );
         }
     }
 
@@ -134,10 +140,7 @@ impl DeliveryTracker {
         self.records.iter()
     }
 
-    fn windowed<'a>(
-        &'a self,
-        window: Option<(TimeMs, TimeMs)>,
-    ) -> impl Iterator<Item = &'a MessageRecord> {
+    fn windowed(&self, window: Option<(TimeMs, TimeMs)>) -> impl Iterator<Item = &MessageRecord> {
         self.records.values().filter(move |r| match window {
             None => true,
             Some((from, to)) => match r.admitted_at.or(r.first_delivery) {

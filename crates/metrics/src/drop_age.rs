@@ -55,7 +55,7 @@ impl DropAgeStats {
                 let b = at.as_millis() / self.bin.as_millis().max(1);
                 self.overflow_bins
                     .entry(b)
-                    .or_insert_with(RunningStats::new)
+                    .or_default()
                     .push(f64::from(age));
             }
             PurgeReason::AgeCap => self.age_cap.push(f64::from(age)),

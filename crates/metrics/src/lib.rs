@@ -13,7 +13,10 @@
 //!   delivered output and the adaptive controller's allowed rate over time
 //!   (Fig. 6, 7(a,b), 9(a));
 //! * **time series** ([`TimeSeries`]) — binned aggregation for the
-//!   time-axis plots.
+//!   time-axis plots;
+//! * **recovery** ([`RecoveryStats`]) — graft/retransmission counters and
+//!   the `recovery_overhead` series of the pull-based repair layer
+//!   (`agb-recovery`).
 //!
 //! [`MetricsCollector`] glues them together: feed it every
 //! [`ProtocolEvent`](agb_core::ProtocolEvent) drained from every node and
@@ -26,6 +29,7 @@ mod collector;
 mod delivery;
 mod drop_age;
 mod rates;
+mod recovery;
 mod report;
 mod series;
 
@@ -33,5 +37,6 @@ pub use collector::MetricsCollector;
 pub use delivery::{AtomicityReport, DeliveryTracker, MessageRecord};
 pub use drop_age::DropAgeStats;
 pub use rates::{AllowedRateTracker, RateMeter};
+pub use recovery::RecoveryStats;
 pub use report::{format_f64, Table};
 pub use series::TimeSeries;

@@ -132,7 +132,10 @@ impl AllowedRateTracker {
 
     /// Sets a node's rate at time zero, registering it for tracking.
     pub fn set_initial(&mut self, node: NodeId, rate: f64) {
-        self.steps.entry(node).or_default().insert(0, (TimeMs::ZERO, rate));
+        self.steps
+            .entry(node)
+            .or_default()
+            .insert(0, (TimeMs::ZERO, rate));
     }
 
     /// Records a rate change. Changes from nodes never registered with
@@ -228,11 +231,14 @@ mod tests {
         assert_eq!(t.aggregate_at(TimeMs::from_secs(10)), 4.5);
         assert_eq!(t.node_count(), 2);
         let series = t.aggregate_series(DurationMs::from_secs(5), TimeMs::from_secs(10));
-        assert_eq!(series, vec![
-            (TimeMs::ZERO, 6.0),
-            (TimeMs::from_secs(5), 6.0),
-            (TimeMs::from_secs(10), 4.5),
-        ]);
+        assert_eq!(
+            series,
+            vec![
+                (TimeMs::ZERO, 6.0),
+                (TimeMs::from_secs(5), 6.0),
+                (TimeMs::from_secs(10), 4.5),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Aggregates of the pull-based recovery layer (`agb-recovery`).
+
+use agb_types::{DurationMs, TimeMs};
+
+use crate::rates::RateMeter;
+
+/// Counters and overhead series for the recovery control plane, fed from
+/// the `ProtocolEvent::Recovery*` events.
+///
+/// "Overhead" counts recovery *control messages* (graft requests sent plus
+/// retransmissions served): the traffic the pull layer adds on top of
+/// regular gossip. [`overhead_ratio`](RecoveryStats::overhead_ratio)
+/// normalizes it against deliveries so experiments can report repair cost
+/// per useful delivery.
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    requests: u64,
+    requested_ids: u64,
+    serves: u64,
+    served_events: u64,
+    cache_misses: u64,
+    recovered: u64,
+    duplicates: u64,
+    abandoned: u64,
+    /// Frames actually put on the wire (grafts + non-empty serves);
+    /// empty-handed serves send nothing and count nothing here.
+    control_messages: u64,
+    overhead: RateMeter,
+}
+
+impl RecoveryStats {
+    /// Creates empty stats with the given time-bin width for the overhead
+    /// series.
+    pub fn new(bin: DurationMs) -> Self {
+        RecoveryStats {
+            requests: 0,
+            requested_ids: 0,
+            serves: 0,
+            served_events: 0,
+            cache_misses: 0,
+            recovered: 0,
+            duplicates: 0,
+            abandoned: 0,
+            control_messages: 0,
+            overhead: RateMeter::new(bin),
+        }
+    }
+
+    /// Records a sent graft request carrying `ids` missing ids.
+    pub fn on_requested(&mut self, ids: usize, at: TimeMs) {
+        self.requests += 1;
+        self.requested_ids += ids as u64;
+        self.control_messages += 1;
+        self.overhead.record(at);
+    }
+
+    /// Records a served graft: `events` retransmitted, `missed` ids not in
+    /// cache.
+    pub fn on_served(&mut self, events: usize, missed: usize, at: TimeMs) {
+        self.serves += 1;
+        self.served_events += events as u64;
+        self.cache_misses += missed as u64;
+        if events > 0 {
+            self.control_messages += 1;
+            self.overhead.record(at);
+        }
+    }
+
+    /// Records a recovered (previously missing, now delivered) event.
+    pub fn on_recovered(&mut self) {
+        self.recovered += 1;
+    }
+
+    /// Records a redundant retransmitted event.
+    pub fn on_duplicate(&mut self) {
+        self.duplicates += 1;
+    }
+
+    /// Records an abandoned recovery.
+    pub fn on_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// Graft request frames sent.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Missing ids requested across all grafts.
+    pub fn requested_ids(&self) -> u64 {
+        self.requested_ids
+    }
+
+    /// Graft requests answered (including empty-handed).
+    pub fn serves(&self) -> u64 {
+        self.serves
+    }
+
+    /// Events retransmitted from caches.
+    pub fn served_events(&self) -> u64 {
+        self.served_events
+    }
+
+    /// Requested ids that had already left the responder's cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Events delivered through retransmission that were tracked missing.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Retransmitted events that were already delivered (wasted repair
+    /// bandwidth).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Missing ids given up on after the retry budget.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
+    }
+
+    /// The `recovery_overhead` series: recovery control messages per
+    /// second, binned.
+    pub fn overhead_series(&self) -> Vec<(TimeMs, f64)> {
+        self.overhead.series()
+    }
+
+    /// Recovery control messages per second within `[from, to)`.
+    pub fn overhead_rate_in(&self, from: TimeMs, to: TimeMs) -> f64 {
+        self.overhead.rate_in(from, to)
+    }
+
+    /// Recovery control frames actually sent (grafts + non-empty
+    /// retransmissions).
+    pub fn control_messages(&self) -> u64 {
+        self.control_messages
+    }
+
+    /// Recovery control messages per delivered message — the headline
+    /// repair-cost number (`deliveries` from the collector's meter).
+    /// Consistent with [`overhead_series`](RecoveryStats::overhead_series):
+    /// empty-handed serves send no frame and cost nothing.
+    pub fn overhead_ratio(&self, deliveries: u64) -> f64 {
+        if deliveries == 0 {
+            return 0.0;
+        }
+        self.control_messages as f64 / deliveries as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = RecoveryStats::new(DurationMs::from_secs(1));
+        s.on_requested(3, TimeMs::ZERO);
+        s.on_requested(2, TimeMs::from_millis(100));
+        s.on_served(2, 1, TimeMs::from_millis(200));
+        s.on_served(0, 2, TimeMs::from_millis(300));
+        s.on_recovered();
+        s.on_duplicate();
+        s.on_abandoned();
+        assert_eq!(s.requests(), 2);
+        assert_eq!(s.requested_ids(), 5);
+        assert_eq!(s.serves(), 2);
+        assert_eq!(s.served_events(), 2);
+        assert_eq!(s.cache_misses(), 3);
+        assert_eq!(s.recovered(), 1);
+        assert_eq!(s.duplicates(), 1);
+        assert_eq!(s.abandoned(), 1);
+    }
+
+    #[test]
+    fn overhead_counts_control_messages() {
+        let mut s = RecoveryStats::new(DurationMs::from_secs(1));
+        s.on_requested(1, TimeMs::from_millis(100));
+        s.on_served(1, 0, TimeMs::from_millis(200));
+        // Empty-handed serves send no frame, so they add no overhead.
+        s.on_served(0, 1, TimeMs::from_millis(300));
+        let series = s.overhead_series();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].1, 2.0);
+        assert_eq!(s.overhead_rate_in(TimeMs::ZERO, TimeMs::from_secs(1)), 2.0);
+        // The ratio counts on-wire frames only (1 graft + 1 non-empty
+        // serve), matching the series.
+        assert_eq!(s.control_messages(), 2);
+        assert_eq!(s.overhead_ratio(4), 0.5);
+    }
+
+    #[test]
+    fn ratio_handles_zero_deliveries() {
+        let s = RecoveryStats::new(DurationMs::from_secs(1));
+        assert_eq!(s.overhead_ratio(0), 0.0);
+    }
+}

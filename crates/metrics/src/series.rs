@@ -44,7 +44,7 @@ impl TimeSeries {
     /// Adds a sample.
     pub fn push(&mut self, at: TimeMs, value: f64) {
         let b = at.as_millis() / self.bin.as_millis();
-        self.bins.entry(b).or_insert_with(RunningStats::new).push(value);
+        self.bins.entry(b).or_default().push(value);
     }
 
     /// `(bin_start, mean)` pairs in time order (occupied bins only).
@@ -101,8 +101,12 @@ mod tests {
         for sec in 0..10u64 {
             s.push(TimeMs::from_secs(sec), sec as f64);
         }
-        let m = s.mean_in(TimeMs::from_secs(2), TimeMs::from_secs(5)).unwrap();
+        let m = s
+            .mean_in(TimeMs::from_secs(2), TimeMs::from_secs(5))
+            .unwrap();
         assert_eq!(m, 3.0); // mean of 2, 3, 4
-        assert!(s.mean_in(TimeMs::from_secs(100), TimeMs::from_secs(200)).is_none());
+        assert!(s
+            .mean_in(TimeMs::from_secs(100), TimeMs::from_secs(200))
+            .is_none());
     }
 }

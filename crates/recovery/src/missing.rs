@@ -1,0 +1,250 @@
+//! Gap bookkeeping: which advertised events are we missing, who can serve
+//! them, and when is the next pull attempt due.
+
+use std::collections::{HashMap, VecDeque};
+
+use agb_types::{EventId, NodeId};
+
+#[derive(Debug, Clone)]
+struct MissingEntry {
+    /// Nodes that advertised the id (pull candidates), in discovery order.
+    advertisers: Vec<NodeId>,
+    /// Round-robin cursor over `advertisers`.
+    next_advertiser: usize,
+    /// Pull attempts made so far.
+    attempts: u32,
+    /// Round at which the next pull attempt is due.
+    due_round: u64,
+}
+
+/// A pull attempt scheduled by [`MissingTracker::take_due`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DueGraft {
+    /// The missing event.
+    pub id: EventId,
+    /// The advertiser to pull from this attempt.
+    pub from: NodeId,
+}
+
+/// Tracks missing event ids discovered through `IHave` digests.
+///
+/// Iteration order is the discovery order (not hash order), so the graft
+/// stream is a pure function of the input stream — the property the
+/// deterministic simulator's checksum tests rely on.
+#[derive(Debug, Clone)]
+pub struct MissingTracker {
+    entries: HashMap<EventId, MissingEntry>,
+    order: VecDeque<EventId>,
+    capacity: usize,
+    /// Lower bound on the earliest `due_round` of any tracked entry, so
+    /// the per-message due scan can bail out in O(1) when nothing can be
+    /// due yet (`u64::MAX` when no entries are tracked).
+    earliest_due: u64,
+}
+
+impl Default for MissingTracker {
+    fn default() -> Self {
+        MissingTracker::new()
+    }
+}
+
+impl MissingTracker {
+    /// Creates an unbounded tracker (tests and ad-hoc use).
+    pub fn new() -> Self {
+        MissingTracker::with_capacity(usize::MAX)
+    }
+
+    /// Creates a tracker holding at most `capacity` open gaps; once full,
+    /// newly advertised gaps are ignored until existing ones resolve or
+    /// are abandoned (the next advertisement re-opens them).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MissingTracker {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            earliest_due: u64::MAX,
+        }
+    }
+
+    /// Records that `advertiser` claims to have seen `id`. Returns whether
+    /// this opened a new gap entry; a full tracker refuses new gaps.
+    pub fn note(&mut self, id: EventId, advertiser: NodeId, round: u64) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(entry) => {
+                if !entry.advertisers.contains(&advertiser) {
+                    entry.advertisers.push(advertiser);
+                }
+                false
+            }
+            None => {
+                if self.entries.len() >= self.capacity {
+                    return false;
+                }
+                self.earliest_due = self.earliest_due.min(round);
+                self.entries.insert(
+                    id,
+                    MissingEntry {
+                        advertisers: vec![advertiser],
+                        next_advertiser: 0,
+                        attempts: 0,
+                        due_round: round,
+                    },
+                );
+                self.order.push_back(id);
+                true
+            }
+        }
+    }
+
+    /// Marks `id` as recovered (or otherwise received); returns whether it
+    /// was being tracked.
+    pub fn resolve(&mut self, id: EventId) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
+    /// Whether `id` is currently tracked as missing.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Number of tracked gaps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no gaps are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Collects up to `budget` due pull attempts for `round`, advancing
+    /// retry state; ids whose retry budget is exhausted are dropped and
+    /// returned as abandoned.
+    pub fn take_due(
+        &mut self,
+        round: u64,
+        budget: usize,
+        timeout_rounds: u32,
+        max_retries: u32,
+    ) -> (Vec<DueGraft>, Vec<EventId>) {
+        if self.entries.is_empty() || round < self.earliest_due || budget == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let mut due = Vec::new();
+        let mut abandoned = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.order.len());
+        let mut min_due = u64::MAX;
+        while let Some(id) = self.order.pop_front() {
+            let Some(entry) = self.entries.get_mut(&id) else {
+                continue; // resolved earlier; lazily dropped here
+            };
+            if entry.due_round > round || due.len() >= budget {
+                min_due = min_due.min(entry.due_round);
+                keep.push_back(id);
+                continue;
+            }
+            if entry.attempts >= max_retries {
+                self.entries.remove(&id);
+                abandoned.push(id);
+                continue;
+            }
+            let from = entry.advertisers[entry.next_advertiser % entry.advertisers.len()];
+            entry.next_advertiser = entry.next_advertiser.wrapping_add(1);
+            entry.attempts += 1;
+            entry.due_round = round + u64::from(timeout_rounds);
+            min_due = min_due.min(entry.due_round);
+            due.push(DueGraft { id, from });
+            keep.push_back(id);
+        }
+        self.order = keep;
+        self.earliest_due = min_due;
+        (due, abandoned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: u64) -> EventId {
+        EventId::new(NodeId::new(9), s)
+    }
+
+    #[test]
+    fn note_tracks_and_dedups_advertisers() {
+        let mut t = MissingTracker::new();
+        assert!(t.note(id(1), NodeId::new(2), 0));
+        assert!(!t.note(id(1), NodeId::new(2), 0));
+        assert!(!t.note(id(1), NodeId::new(3), 0));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(id(1)));
+    }
+
+    #[test]
+    fn due_grafts_round_robin_over_advertisers() {
+        let mut t = MissingTracker::new();
+        t.note(id(1), NodeId::new(2), 0);
+        t.note(id(1), NodeId::new(3), 0);
+        let (due, _) = t.take_due(0, 10, 2, 10);
+        assert_eq!(
+            due,
+            vec![DueGraft {
+                id: id(1),
+                from: NodeId::new(2)
+            }]
+        );
+        // Not due again until the timeout elapses.
+        let (due, _) = t.take_due(1, 10, 2, 10);
+        assert!(due.is_empty());
+        // Retry goes to the next advertiser.
+        let (due, _) = t.take_due(2, 10, 2, 10);
+        assert_eq!(
+            due,
+            vec![DueGraft {
+                id: id(1),
+                from: NodeId::new(3)
+            }]
+        );
+    }
+
+    #[test]
+    fn budget_bounds_and_preserves_order() {
+        let mut t = MissingTracker::new();
+        for s in 0..5 {
+            t.note(id(s), NodeId::new(1), 0);
+        }
+        let (due, _) = t.take_due(0, 2, 1, 10);
+        let got: Vec<EventId> = due.iter().map(|d| d.id).collect();
+        assert_eq!(got, vec![id(0), id(1)]);
+        let (due, _) = t.take_due(0, 10, 1, 10);
+        let got: Vec<EventId> = due.iter().map(|d| d.id).collect();
+        assert_eq!(
+            got,
+            vec![id(2), id(3), id(4)],
+            "skipped ids come first next"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_abandon() {
+        let mut t = MissingTracker::new();
+        t.note(id(1), NodeId::new(2), 0);
+        let (due, abandoned) = t.take_due(0, 10, 1, 1);
+        assert_eq!(due.len(), 1);
+        assert!(abandoned.is_empty());
+        let (due, abandoned) = t.take_due(5, 10, 1, 1);
+        assert!(due.is_empty());
+        assert_eq!(abandoned, vec![id(1)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn resolve_removes_entry() {
+        let mut t = MissingTracker::new();
+        t.note(id(1), NodeId::new(2), 0);
+        assert!(t.resolve(id(1)));
+        assert!(!t.resolve(id(1)));
+        let (due, abandoned) = t.take_due(10, 10, 1, 1);
+        assert!(due.is_empty() && abandoned.is_empty());
+    }
+}

@@ -6,9 +6,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use agb_core::{AdaptationConfig, AdaptiveNode, GossipConfig, GossipProtocol, LpbcastNode};
+use agb_core::{AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, LpbcastNode};
 use agb_membership::FullView;
 use agb_metrics::MetricsCollector;
+use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
@@ -50,6 +51,9 @@ pub struct RuntimeClusterConfig {
     pub transport: TransportKind,
     /// Metrics bin width.
     pub metrics_bin: DurationMs,
+    /// Pull-based recovery layer (`agb-recovery`): `Some` wraps every
+    /// node in a `RecoverableNode`.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl RuntimeClusterConfig {
@@ -69,6 +73,7 @@ impl RuntimeClusterConfig {
             payload_size: 16,
             transport: TransportKind::Channel,
             metrics_bin: DurationMs::from_millis(250),
+            recovery: None,
         }
     }
 }
@@ -148,21 +153,27 @@ impl RuntimeCluster {
     ) -> NodeHandle {
         let id = NodeId::new(i as u32);
         let rng: DetRng = seeds.rng_for("runtime-node", i as u64);
-        let protocol: Box<dyn GossipProtocol + Send> = if config.adaptive {
-            Box::new(AdaptiveNode::new(
-                id,
-                config.gossip.clone(),
-                config.adaptation.clone(),
-                FullView::new(config.n_nodes),
-                rng,
-            ))
+        let protocol: Box<dyn FrameProtocol + Send> = if config.adaptive {
+            boxed_frame_protocol(
+                AdaptiveNode::new(
+                    id,
+                    config.gossip.clone(),
+                    config.adaptation.clone(),
+                    FullView::new(config.n_nodes),
+                    rng,
+                ),
+                config.recovery.clone(),
+            )
         } else {
-            Box::new(LpbcastNode::new(
-                id,
-                config.gossip.clone(),
-                FullView::new(config.n_nodes),
-                rng,
-            ))
+            boxed_frame_protocol(
+                LpbcastNode::new(
+                    id,
+                    config.gossip.clone(),
+                    FullView::new(config.n_nodes),
+                    rng,
+                ),
+                config.recovery.clone(),
+            )
         };
         let is_sender = i < config.n_senders && per_sender > 0.0;
         if is_sender && config.adaptive {
@@ -242,6 +253,27 @@ mod tests {
     use super::*;
 
     #[test]
+    fn channel_cluster_with_recovery_disseminates() {
+        let mut config = RuntimeClusterConfig::quick(8, 5);
+        config.offered_rate = 10.0;
+        // Aggressive purging so the recovery layer has real gaps to repair
+        // if any datagram is missed; mainly this exercises the frame codec
+        // and reply path end to end.
+        config.gossip.age_cap = 3;
+        config.recovery = Some(RecoveryConfig::default());
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(1200));
+        let metrics = cluster.stop();
+        let report = metrics.deliveries().atomicity(0.95, None);
+        assert!(report.messages > 3, "only {} messages", report.messages);
+        assert!(
+            report.avg_receiver_fraction > 0.85,
+            "fraction {}",
+            report.avg_receiver_fraction
+        );
+    }
+
+    #[test]
     fn channel_cluster_disseminates() {
         let mut config = RuntimeClusterConfig::quick(8, 3);
         config.offered_rate = 10.0;
@@ -268,7 +300,9 @@ mod tests {
         cluster.run_for(Duration::from_millis(1500));
         let metrics = cluster.stop();
         // Congestion must have forced the allowed rate down.
-        let final_rate = metrics.allowed().rate_at(NodeId::new(0), TimeMs::from_secs(3600));
+        let final_rate = metrics
+            .allowed()
+            .rate_at(NodeId::new(0), TimeMs::from_secs(3600));
         assert!(
             final_rate < 200.0,
             "adaptive sender should have throttled, rate {final_rate}"

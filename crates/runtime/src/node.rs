@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use agb_core::GossipProtocol;
+use agb_core::FrameProtocol;
 use agb_metrics::MetricsCollector;
 use agb_types::{NodeId, Payload, TimeMs};
 use crossbeam::channel::{Receiver, Sender};
@@ -40,8 +40,8 @@ impl NodeHandle {
 
 /// Parameters for one node thread.
 pub struct NodeRuntime {
-    /// The protocol state machine to drive.
-    pub protocol: Box<dyn GossipProtocol + Send>,
+    /// The protocol state machine to drive (plain or recovery-wrapped).
+    pub protocol: Box<dyn FrameProtocol + Send>,
     /// Offered load in msgs/s (0 = pure receiver), constant pacing.
     pub offered_rate: f64,
     /// Payload attached to offered messages.
@@ -56,6 +56,7 @@ pub struct NodeRuntime {
 /// gossip round at the protocol's configured period, control commands, and
 /// constant-rate local offers. All protocol events are drained into the
 /// shared collector.
+#[allow(clippy::too_many_arguments)] // the node's full wiring, spelled out
 pub fn spawn_node<T: Transport>(
     id: NodeId,
     runtime: NodeRuntime,
@@ -133,12 +134,17 @@ fn node_loop<T: Transport>(
         let until_round = next_round.saturating_duration_since(now_instant);
         let slice = until_round.min(Duration::from_millis(5));
         if let Some(bytes) = transport.recv_timeout(slice) {
-            match wire::decode(&bytes) {
-                Ok(msg) => {
-                    let from = msg.sender;
-                    runtime
+            match wire::decode_frame(&bytes) {
+                Ok(frame) => {
+                    let from = frame.sender();
+                    let replies = runtime
                         .protocol
-                        .on_receive(from, msg, now_ms(Instant::now()));
+                        .on_receive(from, frame, now_ms(Instant::now()));
+                    for (to, reply) in replies {
+                        for frag in wire::split_frame_for_datagram(&reply, MAX_DATAGRAM) {
+                            transport.send(to, frag);
+                        }
+                    }
                 }
                 Err(_) => { /* corrupt datagram: drop, like the network would */ }
             }
@@ -147,8 +153,8 @@ fn node_loop<T: Transport>(
         // 4. Gossip round.
         if Instant::now() >= next_round {
             let out = runtime.protocol.on_round(now_ms(next_round));
-            for (to, msg) in out {
-                for frag in wire::split_for_datagram(&msg, MAX_DATAGRAM) {
+            for (to, frame) in out {
+                for frag in wire::split_frame_for_datagram(&frame, MAX_DATAGRAM) {
                     transport.send(to, frag);
                 }
             }

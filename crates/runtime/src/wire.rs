@@ -5,13 +5,26 @@
 //! serialization framework. The format is versioned with a magic byte so
 //! incompatible peers fail loudly instead of mis-decoding.
 
-use agb_core::{BuffAd, Event, GossipMessage};
+use agb_core::{
+    BuffAd, Event, GossipFrame, GossipMessage, GraftRequest, IHaveDigest, Retransmission,
+};
 use agb_membership::MembershipDigest;
 use agb_types::{EventId, NodeId, Payload};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Codec version magic; bump on format changes.
 const MAGIC: u8 = 0xA7;
+
+/// Frame-codec magic (recovery-capable framing); distinct from [`MAGIC`]
+/// so plain-message peers fail loudly instead of mis-decoding.
+const FRAME_MAGIC: u8 = 0xA8;
+
+/// Frame tag: gossip data message (optionally with piggybacked digest).
+const TAG_GOSSIP: u8 = 0;
+/// Frame tag: graft (pull) request.
+const TAG_GRAFT: u8 = 1;
+/// Frame tag: retransmission reply.
+const TAG_RETRANSMIT: u8 = 2;
 
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,14 +86,7 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
     for u in &msg.membership.unsubs {
         buf.put_u32_le(u.as_u32());
     }
-    buf.put_u32_le(msg.events.len() as u32);
-    for e in &msg.events {
-        buf.put_u32_le(e.id().origin().as_u32());
-        buf.put_u64_le(e.id().seq());
-        buf.put_u32_le(e.age());
-        buf.put_u32_le(e.payload().len() as u32);
-        buf.put_slice(e.payload());
-    }
+    put_events(&mut buf, &msg.events);
     buf.freeze()
 }
 
@@ -129,25 +135,10 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
     if buf.remaining() < n_unsubs * 4 {
         return Err(WireError::BadLength);
     }
-    let unsubs = (0..n_unsubs).map(|_| NodeId::new(buf.get_u32_le())).collect();
-    need(&buf, 4)?;
-    let n_events = buf.get_u32_le() as usize;
-    // Each event needs at least 20 bytes: reject absurd counts early.
-    if n_events > buf.remaining() / 20 + 1 {
-        return Err(WireError::BadLength);
-    }
-    let mut events = Vec::with_capacity(n_events);
-    for _ in 0..n_events {
-        need(&buf, 4 + 8 + 4 + 4)?;
-        let origin = NodeId::new(buf.get_u32_le());
-        let seq = buf.get_u64_le();
-        let age = buf.get_u32_le();
-        let plen = buf.get_u32_le() as usize;
-        need(&buf, plen)?;
-        let payload = Payload::copy_from_slice(&buf[..plen]);
-        buf.advance(plen);
-        events.push(Event::with_age(EventId::new(origin, seq), age, payload));
-    }
+    let unsubs = (0..n_unsubs)
+        .map(|_| NodeId::new(buf.get_u32_le()))
+        .collect();
+    let events = get_events(&mut buf)?;
     Ok(GossipMessage {
         sender,
         sample_period,
@@ -155,6 +146,269 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
         events,
         membership: MembershipDigest { subs, unsubs },
     })
+}
+
+fn put_event_ids(buf: &mut BytesMut, ids: &[EventId]) {
+    // RecoveryConfig::validate caps digest/graft sizes well below this;
+    // silent u16 wrap-around would corrupt the whole frame.
+    assert!(
+        ids.len() <= usize::from(u16::MAX),
+        "id list exceeds wire bound"
+    );
+    buf.put_u16_le(ids.len() as u16);
+    for id in ids {
+        buf.put_u32_le(id.origin().as_u32());
+        buf.put_u64_le(id.seq());
+    }
+}
+
+fn get_event_ids(buf: &mut &[u8]) -> Result<Vec<EventId>, WireError> {
+    need(buf, 2)?;
+    let n = buf.get_u16_le() as usize;
+    if buf.remaining() < n * 12 {
+        return Err(WireError::BadLength);
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let origin = NodeId::new(buf.get_u32_le());
+        let seq = buf.get_u64_le();
+        ids.push(EventId::new(origin, seq));
+    }
+    Ok(ids)
+}
+
+fn put_events(buf: &mut BytesMut, events: &[Event]) {
+    buf.put_u32_le(events.len() as u32);
+    for e in events {
+        buf.put_u32_le(e.id().origin().as_u32());
+        buf.put_u64_le(e.id().seq());
+        buf.put_u32_le(e.age());
+        buf.put_u32_le(e.payload().len() as u32);
+        buf.put_slice(e.payload());
+    }
+}
+
+fn get_events(buf: &mut &[u8]) -> Result<Vec<Event>, WireError> {
+    need(buf, 4)?;
+    let n_events = buf.get_u32_le() as usize;
+    // Each event needs at least 20 bytes: reject absurd counts early.
+    if n_events > buf.remaining() / 20 + 1 {
+        return Err(WireError::BadLength);
+    }
+    let mut events = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        need(buf, 4 + 8 + 4 + 4)?;
+        let origin = NodeId::new(buf.get_u32_le());
+        let seq = buf.get_u64_le();
+        let age = buf.get_u32_le();
+        let plen = buf.get_u32_le() as usize;
+        need(buf, plen)?;
+        let payload = Payload::copy_from_slice(&buf[..plen]);
+        buf.advance(plen);
+        events.push(Event::with_age(EventId::new(origin, seq), age, payload));
+    }
+    Ok(events)
+}
+
+/// Serializes a recovery-capable frame ([`GossipFrame`]).
+///
+/// Gossip frames embed the [`encode`]d message body unchanged, prefixed by
+/// the optional piggybacked digest; graft and retransmission frames are
+/// the recovery layer's pull traffic.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::{GossipFrame, GraftRequest};
+/// use agb_runtime::wire::{decode_frame, encode_frame};
+/// use agb_types::{EventId, NodeId};
+///
+/// let frame = GossipFrame::Graft(GraftRequest {
+///     sender: NodeId::new(2),
+///     ids: vec![EventId::new(NodeId::new(1), 7)],
+/// });
+/// assert_eq!(decode_frame(&encode_frame(&frame)).unwrap(), frame);
+/// ```
+pub fn encode_frame(frame: &GossipFrame) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + frame.wire_size());
+    buf.put_u8(FRAME_MAGIC);
+    match frame {
+        GossipFrame::Gossip { msg, ihave } => {
+            buf.put_u8(TAG_GOSSIP);
+            match ihave {
+                Some(digest) => {
+                    buf.put_u8(1);
+                    put_event_ids(&mut buf, &digest.ids);
+                }
+                None => buf.put_u8(0),
+            }
+            buf.put_slice(&encode(msg));
+        }
+        GossipFrame::Graft(graft) => {
+            buf.put_u8(TAG_GRAFT);
+            buf.put_u32_le(graft.sender.as_u32());
+            put_event_ids(&mut buf, &graft.ids);
+        }
+        GossipFrame::Retransmit(retransmission) => {
+            buf.put_u8(TAG_RETRANSMIT);
+            buf.put_u32_le(retransmission.sender.as_u32());
+            put_events(&mut buf, &retransmission.events);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a recovery-capable frame.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncated input, bad magic or tag bytes, or
+/// implausible lengths.
+pub fn decode_frame(bytes: &[u8]) -> Result<GossipFrame, WireError> {
+    let mut buf = bytes;
+    need(&buf, 2)?;
+    let magic = buf.get_u8();
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_GOSSIP => {
+            need(&buf, 1)?;
+            let ihave = match buf.get_u8() {
+                0 => None,
+                1 => Some(IHaveDigest {
+                    ids: get_event_ids(&mut buf)?,
+                }),
+                other => return Err(WireError::BadMagic(other)),
+            };
+            let msg = decode(buf)?;
+            Ok(GossipFrame::Gossip { msg, ihave })
+        }
+        TAG_GRAFT => {
+            need(&buf, 4)?;
+            let sender = NodeId::new(buf.get_u32_le());
+            let ids = get_event_ids(&mut buf)?;
+            Ok(GossipFrame::Graft(GraftRequest { sender, ids }))
+        }
+        TAG_RETRANSMIT => {
+            need(&buf, 4)?;
+            let sender = NodeId::new(buf.get_u32_le());
+            let events = get_events(&mut buf)?;
+            Ok(GossipFrame::Retransmit(Retransmission { sender, events }))
+        }
+        other => Err(WireError::BadMagic(other)),
+    }
+}
+
+/// Frame envelope bytes around an embedded gossip message: magic + tag +
+/// digest flag.
+const GOSSIP_FRAME_OVERHEAD: usize = 3;
+
+/// Splits a frame into datagrams no larger than `max_bytes` where
+/// possible, partitioning event lists ([`split_for_datagram`] semantics).
+/// The piggybacked digest travels with the first gossip fragment only —
+/// its size is reserved out of that budget, so fragments respect
+/// `max_bytes` even with large digests (an oversized digest falls back to
+/// dedicated digest-only frames). Graft frames are already small and go
+/// out whole.
+pub fn split_frame_for_datagram(frame: &GossipFrame, max_bytes: usize) -> Vec<Bytes> {
+    match frame {
+        GossipFrame::Gossip { msg, ihave } => {
+            let digest_size = ihave.as_ref().map_or(0, IHaveDigest::wire_size);
+            // Piggyback only while the digest leaves at least half the
+            // datagram for events; beyond that, ship it separately.
+            let piggyback = digest_size > 0 && GOSSIP_FRAME_OVERHEAD + digest_size <= max_bytes / 2;
+            let reserve = if piggyback {
+                GOSSIP_FRAME_OVERHEAD + digest_size
+            } else {
+                GOSSIP_FRAME_OVERHEAD
+            };
+            let fragments = split_for_datagram(msg, max_bytes.saturating_sub(reserve));
+            let mut out = Vec::with_capacity(fragments.len() + 1);
+            for (i, fragment) in fragments.iter().enumerate() {
+                let mut buf = BytesMut::with_capacity(8 + reserve + fragment.len());
+                buf.put_u8(FRAME_MAGIC);
+                buf.put_u8(TAG_GOSSIP);
+                match ihave {
+                    Some(digest) if piggyback && i == 0 => {
+                        buf.put_u8(1);
+                        put_event_ids(&mut buf, &digest.ids);
+                    }
+                    _ => buf.put_u8(0),
+                }
+                buf.put_slice(fragment);
+                out.push(buf.freeze());
+            }
+            if let (Some(digest), false) = (ihave, piggyback) {
+                if !digest.ids.is_empty() {
+                    out.extend(split_digest_frames(msg.sender, digest, max_bytes));
+                }
+            }
+            out
+        }
+        GossipFrame::Graft(_) => vec![encode_frame(frame)],
+        GossipFrame::Retransmit(retransmission) => {
+            let encoded = encode_frame(frame);
+            if encoded.len() <= max_bytes || retransmission.events.len() <= 1 {
+                return vec![encoded];
+            }
+            let overhead = 2 + 4 + 4;
+            let mut out = Vec::new();
+            let mut chunk: Vec<Event> = Vec::new();
+            let mut used = overhead;
+            for event in &retransmission.events {
+                let cost = 20 + event.payload().len();
+                if !chunk.is_empty() && used + cost > max_bytes {
+                    out.push(encode_frame(&GossipFrame::Retransmit(Retransmission {
+                        sender: retransmission.sender,
+                        events: std::mem::take(&mut chunk),
+                    })));
+                    used = overhead;
+                }
+                chunk.push(event.clone());
+                used += cost;
+            }
+            if !chunk.is_empty() {
+                out.push(encode_frame(&GossipFrame::Retransmit(Retransmission {
+                    sender: retransmission.sender,
+                    events: chunk,
+                })));
+            }
+            out
+        }
+    }
+}
+
+/// Ships a digest too large to piggyback in dedicated event-less gossip
+/// frames, each within `max_bytes` (chunking the id list as needed). The
+/// embedded message carries the sender only — the adaptive header and
+/// membership digest already rode the event fragments, and replicating
+/// them here could push a frame past the bound.
+fn split_digest_frames(sender: NodeId, digest: &IHaveDigest, max_bytes: usize) -> Vec<Bytes> {
+    let header = GossipMessage {
+        sender,
+        sample_period: 0,
+        min_buffs: Vec::new(),
+        events: Vec::new(),
+        membership: MembershipDigest::default(),
+    };
+    let encoded_header = encode(&header);
+    let base = GOSSIP_FRAME_OVERHEAD + encoded_header.len() + 2;
+    let per_chunk = (max_bytes.saturating_sub(base) / 12).max(1);
+    digest
+        .ids
+        .chunks(per_chunk)
+        .map(|ids| {
+            let mut buf = BytesMut::with_capacity(base + 12 * ids.len());
+            buf.put_u8(FRAME_MAGIC);
+            buf.put_u8(TAG_GOSSIP);
+            buf.put_u8(1);
+            put_event_ids(&mut buf, ids);
+            buf.put_slice(&encoded_header);
+            buf.freeze()
+        })
+        .collect()
 }
 
 /// Splits a message into fragments no larger than `max_bytes` on the wire
@@ -316,5 +570,219 @@ mod tests {
         let msg = sample_msg();
         let frags = split_for_datagram(&msg, 64 * 1024);
         assert_eq!(frags.len(), 1);
+    }
+
+    fn sample_digest() -> IHaveDigest {
+        IHaveDigest {
+            ids: vec![
+                EventId::new(NodeId::new(1), 7),
+                EventId::new(NodeId::new(2), 0),
+            ],
+        }
+    }
+
+    #[test]
+    fn frame_roundtrips_all_variants() {
+        let frames = [
+            GossipFrame::plain(sample_msg()),
+            GossipFrame::Gossip {
+                msg: sample_msg(),
+                ihave: Some(sample_digest()),
+            },
+            GossipFrame::Graft(GraftRequest {
+                sender: NodeId::new(9),
+                ids: sample_digest().ids,
+            }),
+            GossipFrame::Retransmit(Retransmission {
+                sender: NodeId::new(4),
+                events: sample_msg().events,
+            }),
+        ];
+        for frame in frames {
+            assert_eq!(decode_frame(&encode_frame(&frame)).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn frame_codec_rejects_plain_message_magic() {
+        let bytes = encode(&sample_msg());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(WireError::BadMagic(MAGIC))
+        ));
+        // And vice versa: frames are not plain messages.
+        let frame_bytes = encode_frame(&GossipFrame::plain(sample_msg()));
+        assert!(matches!(
+            decode(&frame_bytes),
+            Err(WireError::BadMagic(FRAME_MAGIC))
+        ));
+    }
+
+    #[test]
+    fn frame_rejects_truncation_at_every_length() {
+        let bytes = encode_frame(&GossipFrame::Gossip {
+            msg: sample_msg(),
+            ihave: Some(sample_digest()),
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "decoding a {cut}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_bad_tag() {
+        let bytes = vec![FRAME_MAGIC, 9];
+        assert_eq!(decode_frame(&bytes), Err(WireError::BadMagic(9)));
+    }
+
+    #[test]
+    fn gossip_frame_split_carries_digest_once() {
+        let mut msg = sample_msg();
+        msg.events = (0..100)
+            .map(|s| {
+                Event::with_age(
+                    EventId::new(NodeId::new(1), s),
+                    1,
+                    Payload::from_static(b"0123456789abcdef"),
+                )
+            })
+            .collect();
+        let frame = GossipFrame::Gossip {
+            msg: msg.clone(),
+            ihave: Some(sample_digest()),
+        };
+        let frags = split_frame_for_datagram(&frame, 512);
+        assert!(frags.len() > 1);
+        let mut events = Vec::new();
+        let mut digests = 0;
+        for (i, f) in frags.iter().enumerate() {
+            assert!(f.len() <= 512, "fragment of {} bytes", f.len());
+            let GossipFrame::Gossip { msg: m, ihave } = decode_frame(f).unwrap() else {
+                panic!("expected gossip fragment");
+            };
+            if ihave.is_some() {
+                assert_eq!(i, 0, "digest only on the first fragment");
+                digests += 1;
+            }
+            events.extend(m.events);
+        }
+        assert_eq!(digests, 1);
+        assert_eq!(events, msg.events);
+    }
+
+    #[test]
+    fn retransmit_split_preserves_events() {
+        let events: Vec<Event> = (0..50)
+            .map(|s| {
+                Event::with_age(
+                    EventId::new(NodeId::new(3), s),
+                    2,
+                    Payload::from_static(b"0123456789abcdef0123456789abcdef"),
+                )
+            })
+            .collect();
+        let frame = GossipFrame::Retransmit(Retransmission {
+            sender: NodeId::new(3),
+            events: events.clone(),
+        });
+        let frags = split_frame_for_datagram(&frame, 256);
+        assert!(frags.len() > 1);
+        let mut recovered = Vec::new();
+        for f in &frags {
+            assert!(f.len() <= 256, "fragment of {} bytes", f.len());
+            let GossipFrame::Retransmit(r) = decode_frame(f).unwrap() else {
+                panic!("expected retransmit fragment");
+            };
+            assert_eq!(r.sender, NodeId::new(3));
+            recovered.extend(r.events);
+        }
+        assert_eq!(recovered, events);
+    }
+
+    #[test]
+    fn oversized_digest_never_breaks_the_datagram_bound() {
+        // A digest too big to piggyback (512 ids ≈ 6 KB vs a 512-byte
+        // datagram) must ship in dedicated chunked frames, with every
+        // fragment within the bound and no id lost.
+        let mut msg = sample_msg();
+        msg.events = (0..40)
+            .map(|s| {
+                Event::with_age(
+                    EventId::new(NodeId::new(1), s),
+                    1,
+                    Payload::from_static(b"0123456789abcdef"),
+                )
+            })
+            .collect();
+        let digest = IHaveDigest {
+            ids: (0..512).map(|s| EventId::new(NodeId::new(9), s)).collect(),
+        };
+        let frame = GossipFrame::Gossip {
+            msg: msg.clone(),
+            ihave: Some(digest.clone()),
+        };
+        let frags = split_frame_for_datagram(&frame, 512);
+        let mut events = Vec::new();
+        let mut ids = Vec::new();
+        for f in &frags {
+            assert!(
+                f.len() <= 512,
+                "fragment of {} bytes exceeds bound",
+                f.len()
+            );
+            let GossipFrame::Gossip { msg: m, ihave } = decode_frame(f).unwrap() else {
+                panic!("expected gossip fragment");
+            };
+            events.extend(m.events);
+            if let Some(d) = ihave {
+                ids.extend(d.ids);
+            }
+        }
+        assert_eq!(events, msg.events);
+        assert_eq!(ids, digest.ids);
+    }
+
+    #[test]
+    fn piggybacked_digest_size_is_reserved_from_the_bound() {
+        // With a digest that does piggyback, the first fragment must not
+        // exceed max_bytes (the digest's bytes are reserved out of the
+        // event budget).
+        let mut msg = sample_msg();
+        msg.events = (0..100)
+            .map(|s| {
+                Event::with_age(
+                    EventId::new(NodeId::new(1), s),
+                    1,
+                    Payload::from_static(b"0123456789abcdef"),
+                )
+            })
+            .collect();
+        let frame = GossipFrame::Gossip {
+            msg,
+            ihave: Some(IHaveDigest {
+                ids: (0..16).map(|s| EventId::new(NodeId::new(9), s)).collect(),
+            }),
+        };
+        for f in split_frame_for_datagram(&frame, 512) {
+            assert!(
+                f.len() <= 512,
+                "fragment of {} bytes exceeds bound",
+                f.len()
+            );
+        }
+    }
+
+    #[test]
+    fn small_frames_stay_whole() {
+        let graft = GossipFrame::Graft(GraftRequest {
+            sender: NodeId::new(1),
+            ids: sample_digest().ids,
+        });
+        assert_eq!(split_frame_for_datagram(&graft, 16).len(), 1);
+        let gossip = GossipFrame::plain(sample_msg());
+        assert_eq!(split_frame_for_datagram(&gossip, 64 * 1024).len(), 1);
     }
 }

@@ -9,15 +9,19 @@ use agb_types::{EventId, NodeId, Payload};
 use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (0u32..64, 0u64..10_000, 0u32..64, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
-        |(origin, seq, age, payload)| {
+    (
+        0u32..64,
+        0u64..10_000,
+        0u32..64,
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(origin, seq, age, payload)| {
             Event::with_age(
                 EventId::new(NodeId::new(origin), seq),
                 age,
                 Payload::from(payload),
             )
-        },
-    )
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = GossipMessage> {
@@ -29,22 +33,24 @@ fn arb_message() -> impl Strategy<Value = GossipMessage> {
         proptest::collection::vec(0u32..64, 0..6),
         proptest::collection::vec(0u32..64, 0..6),
     )
-        .prop_map(|(sender, period, ads, events, subs, unsubs)| GossipMessage {
-            sender: NodeId::new(sender),
-            sample_period: period,
-            min_buffs: ads
-                .into_iter()
-                .map(|(node, capacity)| BuffAd {
-                    node: NodeId::new(node),
-                    capacity,
-                })
-                .collect(),
-            events,
-            membership: MembershipDigest {
-                subs: subs.into_iter().map(NodeId::new).collect(),
-                unsubs: unsubs.into_iter().map(NodeId::new).collect(),
+        .prop_map(
+            |(sender, period, ads, events, subs, unsubs)| GossipMessage {
+                sender: NodeId::new(sender),
+                sample_period: period,
+                min_buffs: ads
+                    .into_iter()
+                    .map(|(node, capacity)| BuffAd {
+                        node: NodeId::new(node),
+                        capacity,
+                    })
+                    .collect(),
+                events,
+                membership: MembershipDigest {
+                    subs: subs.into_iter().map(NodeId::new).collect(),
+                    unsubs: unsubs.into_iter().map(NodeId::new).collect(),
+                },
             },
-        })
+        )
 }
 
 proptest! {
@@ -88,5 +94,76 @@ proptest! {
                 prop_assert_eq!(m.events.len(), 1, "only oversized singletons may exceed max");
             }
         }
+    }
+}
+
+fn arb_frame() -> impl Strategy<Value = agb_core::GossipFrame> {
+    use agb_core::{GossipFrame, GraftRequest, IHaveDigest, Retransmission};
+    (
+        arb_message(),
+        proptest::option::of(proptest::collection::vec((0u32..64, 0u64..10_000), 0..32)),
+        0u8..3,
+        0u32..64,
+        proptest::collection::vec(arb_event(), 0..8),
+    )
+        .prop_map(|(msg, digest, kind, sender, events)| {
+            let ids = |pairs: Vec<(u32, u64)>| -> Vec<EventId> {
+                pairs
+                    .into_iter()
+                    .map(|(o, s)| EventId::new(NodeId::new(o), s))
+                    .collect()
+            };
+            match kind {
+                0 => GossipFrame::Gossip {
+                    msg,
+                    ihave: digest.map(|d| IHaveDigest { ids: ids(d) }),
+                },
+                1 => GossipFrame::Graft(GraftRequest {
+                    sender: NodeId::new(sender),
+                    ids: digest.map(ids).unwrap_or_default(),
+                }),
+                _ => GossipFrame::Retransmit(Retransmission {
+                    sender: NodeId::new(sender),
+                    events,
+                }),
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrip_is_identity(frame in arb_frame()) {
+        use agb_runtime::wire::{decode_frame, encode_frame};
+        let decoded = decode_frame(&encode_frame(&frame)).expect("roundtrip");
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = agb_runtime::wire::decode_frame(&bytes); // must return Err, not panic
+    }
+
+    #[test]
+    fn frame_fragmentation_preserves_events(frame in arb_frame(), max in 128usize..2048) {
+        use agb_core::GossipFrame;
+        use agb_runtime::wire::{decode_frame, split_frame_for_datagram};
+        let frags = split_frame_for_datagram(&frame, max);
+        prop_assert!(!frags.is_empty());
+        let mut events = Vec::new();
+        for f in &frags {
+            match decode_frame(f).expect("fragment decodes") {
+                GossipFrame::Gossip { msg, .. } => events.extend(msg.events),
+                GossipFrame::Retransmit(r) => events.extend(r.events),
+                GossipFrame::Graft(_) => {}
+            }
+        }
+        let original = match &frame {
+            GossipFrame::Gossip { msg, .. } => msg.events.clone(),
+            GossipFrame::Retransmit(r) => r.events.clone(),
+            GossipFrame::Graft(_) => vec![],
+        };
+        prop_assert_eq!(events, original);
     }
 }

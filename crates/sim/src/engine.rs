@@ -106,7 +106,12 @@ impl<'a, M> SimCtx<'a, M> {
     /// # Panics
     ///
     /// Panics if `period` is zero (a zero period would livelock the engine).
-    pub fn set_periodic_timer(&mut self, timer: TimerId, first_after: DurationMs, period: DurationMs) {
+    pub fn set_periodic_timer(
+        &mut self,
+        timer: TimerId,
+        first_after: DurationMs,
+        period: DurationMs,
+    ) {
         assert!(!period.is_zero(), "periodic timer period must be non-zero");
         self.timer_reqs.push(TimerRequest::Set {
             timer,
@@ -121,6 +126,11 @@ impl<'a, M> SimCtx<'a, M> {
     }
 }
 
+/// A scheduled control action against one node.
+type NodeControlFn<N> = Box<dyn FnOnce(&mut N, TimeMs)>;
+/// A scheduled control action against the whole node slice.
+type GlobalControlFn<N> = Box<dyn FnOnce(&mut [N], TimeMs)>;
+
 enum EventKind<N: SimNode> {
     Deliver {
         from: NodeId,
@@ -134,10 +144,10 @@ enum EventKind<N: SimNode> {
     },
     NodeControl {
         node: NodeId,
-        f: Box<dyn FnOnce(&mut N, TimeMs)>,
+        f: NodeControlFn<N>,
     },
     GlobalControl {
-        f: Box<dyn FnOnce(&mut [N], TimeMs)>,
+        f: GlobalControlFn<N>,
     },
     SetDown {
         node: NodeId,
@@ -330,7 +340,8 @@ impl<N: SimNode> Simulation<N> {
 
     /// Schedules a closure to run against all nodes at virtual time `at`.
     pub fn schedule_control(&mut self, at: TimeMs, f: impl FnOnce(&mut [N], TimeMs) + 'static) {
-        self.queue.push(at, EventKind::GlobalControl { f: Box::new(f) });
+        self.queue
+            .push(at, EventKind::GlobalControl { f: Box::new(f) });
     }
 
     /// Schedules a crash: from `at` on, the node receives no messages and
@@ -342,7 +353,8 @@ impl<N: SimNode> Simulation<N> {
 
     /// Schedules a recovery from a previous crash.
     pub fn schedule_recover(&mut self, at: TimeMs, node: NodeId) {
-        self.queue.push(at, EventKind::SetDown { node, down: false });
+        self.queue
+            .push(at, EventKind::SetDown { node, down: false });
     }
 
     /// Runs the simulation until virtual time `t` (inclusive), then sets the
@@ -536,14 +548,8 @@ impl<N: SimNode> Simulation<N> {
             }
             match deliver_at {
                 Some(at) => {
-                    self.queue.push(
-                        at,
-                        EventKind::Deliver {
-                            from: id,
-                            to,
-                            msg,
-                        },
-                    );
+                    self.queue
+                        .push(at, EventKind::Deliver { from: id, to, msg });
                 }
                 None => {
                     self.stats.drops += 1;
@@ -600,7 +606,7 @@ mod tests {
 
         fn on_message(&mut self, from: NodeId, msg: u64, ctx: &mut SimCtx<'_, u64>) {
             self.received.push((from, msg));
-            if msg % 2 == 0 && ctx.self_id() == NodeId::new(1) {
+            if msg.is_multiple_of(2) && ctx.self_id() == NodeId::new(1) {
                 ctx.send(from, msg * 10);
             }
         }
@@ -629,7 +635,10 @@ mod tests {
         let received = &sim.node(NodeId::new(1)).received;
         assert_eq!(received, &[(NodeId::new(0), 1), (NodeId::new(0), 2)]);
         // Echo of "2" arrives at node 0 at t=210.
-        assert_eq!(sim.node(NodeId::new(0)).received, vec![(NodeId::new(1), 20)]);
+        assert_eq!(
+            sim.node(NodeId::new(0)).received,
+            vec![(NodeId::new(1), 20)]
+        );
     }
 
     #[test]

@@ -314,7 +314,10 @@ mod tests {
             }],
         };
         let mut net = NetworkModel::new(config, rng());
-        assert_eq!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO), None);
+        assert_eq!(
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO),
+            None
+        );
         assert!(net
             .route(NodeId::new(1), NodeId::new(2), TimeMs::ZERO)
             .is_some());
@@ -326,13 +329,18 @@ mod tests {
     #[test]
     fn set_config_takes_effect() {
         let mut net = NetworkModel::new(NetworkConfig::perfect(DurationMs::ZERO), rng());
-        assert!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO).is_some());
+        assert!(net
+            .route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO)
+            .is_some());
         net.set_config(NetworkConfig {
             latency: LatencyModel::Constant(DurationMs::ZERO),
             loss: 1.0,
             partitions: vec![],
         });
-        assert_eq!(net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO), None);
+        assert_eq!(
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO),
+            None
+        );
         assert_eq!(net.config().loss, 1.0);
     }
 }

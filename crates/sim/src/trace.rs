@@ -127,7 +127,12 @@ impl Tracer for CountingTracer {
             }
             TraceEvent::Timer { node, timer, at } => {
                 self.timers += 1;
-                self.mix([3, u64::from(node.as_u32()), u64::from(timer), at.as_millis()]);
+                self.mix([
+                    3,
+                    u64::from(node.as_u32()),
+                    u64::from(timer),
+                    at.as_millis(),
+                ]);
             }
         }
     }

@@ -155,7 +155,7 @@ impl DurationMs {
 
 impl fmt::Display for DurationMs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0 >= 1_000 && self.0 % 100 == 0 {
+        if self.0 >= 1_000 && self.0.is_multiple_of(100) {
             write!(f, "{:.1}s", self.as_secs_f64())
         } else {
             write!(f, "{}ms", self.0)

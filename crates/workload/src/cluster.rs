@@ -4,10 +4,12 @@ use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 
 use agb_core::{
-    AdaptationConfig, AdaptiveNode, GossipConfig, GossipMessage, GossipProtocol, LpbcastNode,
+    AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, GossipFrame, GossipProtocol,
+    LpbcastNode,
 };
 use agb_membership::{FullView, PartialView, PartialViewConfig, PeerSampler};
 use agb_metrics::MetricsCollector;
+use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_sim::{NetStats, NetworkConfig, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId};
 use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
 use rand::RngExt;
@@ -95,6 +97,10 @@ pub struct ClusterConfig {
     pub max_backlog: usize,
     /// Gossip-round phasing (see [`PhaseModel`]).
     pub phases: PhaseModel,
+    /// Pull-based recovery layer (`agb-recovery`): `Some` wraps every node
+    /// in a `RecoverableNode`, `None` runs push-only gossip as the paper
+    /// does.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl ClusterConfig {
@@ -116,7 +122,16 @@ impl ClusterConfig {
             metrics_bin: DurationMs::from_secs(1),
             max_backlog: 2,
             phases: PhaseModel::Synchronized,
+            recovery: None,
         }
+    }
+
+    /// A lossy-LAN scenario: default latency jitter plus independent
+    /// per-message loss — the regime the recovery layer exists for.
+    pub fn lossy(n_nodes: usize, seed: u64, loss: f64) -> Self {
+        let mut c = ClusterConfig::new(n_nodes, seed);
+        c.network = NetworkConfig::lossy(loss);
+        c
     }
 
     fn per_sender_rate(&self) -> f64 {
@@ -133,8 +148,11 @@ const ARRIVAL: TimerId = TimerId(2);
 
 /// One simulated host: a protocol state machine plus (optionally) a sender
 /// application, draining its protocol events into the shared collector.
+///
+/// Nodes are driven at the frame level ([`FrameProtocol`]) so the same
+/// cluster hosts plain protocols and recovery-wrapped ones.
 pub struct ClusterNode {
-    protocol: Box<dyn GossipProtocol>,
+    protocol: Box<dyn FrameProtocol>,
     sender: Option<SenderProcess>,
     metrics: Rc<RefCell<MetricsCollector>>,
     payload: Payload,
@@ -154,7 +172,7 @@ impl ClusterNode {
     }
 
     /// The wrapped protocol (for inspection by tests and scenario hooks).
-    pub fn protocol(&self) -> &dyn GossipProtocol {
+    pub fn protocol(&self) -> &dyn FrameProtocol {
         self.protocol.as_ref()
     }
 
@@ -171,9 +189,9 @@ impl ClusterNode {
 }
 
 impl SimNode for ClusterNode {
-    type Msg = GossipMessage;
+    type Msg = GossipFrame;
 
-    fn on_start(&mut self, ctx: &mut SimCtx<'_, GossipMessage>) {
+    fn on_start(&mut self, ctx: &mut SimCtx<'_, GossipFrame>) {
         ctx.set_periodic_timer(ROUND, self.phase, self.period);
         if let Some(sender) = &self.sender {
             let delay = sender.next_at().since(ctx.now());
@@ -181,7 +199,7 @@ impl SimNode for ClusterNode {
         }
     }
 
-    fn on_timer(&mut self, timer: TimerId, ctx: &mut SimCtx<'_, GossipMessage>) {
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut SimCtx<'_, GossipFrame>) {
         match timer {
             ROUND => {
                 let out = self.protocol.on_round(ctx.now());
@@ -207,8 +225,11 @@ impl SimNode for ClusterNode {
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: GossipMessage, ctx: &mut SimCtx<'_, GossipMessage>) {
-        self.protocol.on_receive(from, msg, ctx.now());
+    fn on_message(&mut self, from: NodeId, frame: GossipFrame, ctx: &mut SimCtx<'_, GossipFrame>) {
+        let replies = self.protocol.on_receive(from, frame, ctx.now());
+        for (to, reply) in replies {
+            ctx.send(to, reply);
+        }
         self.drain();
     }
 }
@@ -258,11 +279,7 @@ impl GossipCluster {
         for i in 0..config.n_nodes {
             let id = NodeId::new(i as u32);
             let mut gossip = config.gossip.clone();
-            if let Some(&(_, cap)) = config
-                .buffer_overrides
-                .iter()
-                .find(|&&(n, _)| n == id)
-            {
+            if let Some(&(_, cap)) = config.buffer_overrides.iter().find(|&&(n, _)| n == id) {
                 gossip.max_events = cap;
             }
             if let Algorithm::LpbcastStatic { rate_per_sender } = config.algorithm {
@@ -270,35 +287,37 @@ impl GossipCluster {
             }
 
             let proto_rng: DetRng = seeds.rng_for("protocol", i as u64);
-            let protocol: Box<dyn GossipProtocol> = match (&config.algorithm, &config.membership) {
-                (Algorithm::Adaptive, MembershipKind::Full) => Box::new(AdaptiveNode::new(
-                    id,
-                    gossip,
-                    config.adaptation.clone(),
-                    FullView::new(config.n_nodes),
-                    proto_rng,
-                )),
-                (Algorithm::Adaptive, MembershipKind::Partial(pv)) => {
-                    let mut boot_rng: DetRng = seeds.rng_for("bootstrap", i as u64);
-                    let view = bootstrap_view(id, config.n_nodes, *pv, &mut boot_rng);
-                    Box::new(AdaptiveNode::new(
+            let recovery = config.recovery.clone();
+            let protocol: Box<dyn FrameProtocol> = match (&config.algorithm, &config.membership) {
+                (Algorithm::Adaptive, MembershipKind::Full) => boxed_frame_protocol_local(
+                    AdaptiveNode::new(
                         id,
                         gossip,
                         config.adaptation.clone(),
-                        view,
+                        FullView::new(config.n_nodes),
                         proto_rng,
-                    ))
+                    ),
+                    recovery,
+                ),
+                (Algorithm::Adaptive, MembershipKind::Partial(pv)) => {
+                    let mut boot_rng: DetRng = seeds.rng_for("bootstrap", i as u64);
+                    let view = bootstrap_view(id, config.n_nodes, *pv, &mut boot_rng);
+                    boxed_frame_protocol_local(
+                        AdaptiveNode::new(id, gossip, config.adaptation.clone(), view, proto_rng),
+                        recovery,
+                    )
                 }
-                (_, MembershipKind::Full) => Box::new(LpbcastNode::new(
-                    id,
-                    gossip,
-                    FullView::new(config.n_nodes),
-                    proto_rng,
-                )),
+                (_, MembershipKind::Full) => boxed_frame_protocol_local(
+                    LpbcastNode::new(id, gossip, FullView::new(config.n_nodes), proto_rng),
+                    recovery,
+                ),
                 (_, MembershipKind::Partial(pv)) => {
                     let mut boot_rng: DetRng = seeds.rng_for("bootstrap", i as u64);
                     let view = bootstrap_view(id, config.n_nodes, *pv, &mut boot_rng);
-                    Box::new(LpbcastNode::new(id, gossip, view, proto_rng))
+                    boxed_frame_protocol_local(
+                        LpbcastNode::new(id, gossip, view, proto_rng),
+                        recovery,
+                    )
                 }
             };
 
@@ -435,6 +454,15 @@ impl GossipCluster {
     }
 }
 
+/// Boxes for the (single-threaded) simulator, delegating the recovery
+/// wiring to the shared `agb-recovery` helper.
+fn boxed_frame_protocol_local<P: GossipProtocol + Send + 'static>(
+    node: P,
+    recovery: Option<RecoveryConfig>,
+) -> Box<dyn FrameProtocol> {
+    boxed_frame_protocol(node, recovery)
+}
+
 fn bootstrap_view(
     id: NodeId,
     n_nodes: usize,
@@ -520,7 +548,10 @@ mod tests {
         config.buffer_overrides = vec![(NodeId::new(3), 7)];
         let cluster = GossipCluster::build(config);
         assert_eq!(cluster.node(NodeId::new(3)).protocol().buffer_capacity(), 7);
-        assert_eq!(cluster.node(NodeId::new(4)).protocol().buffer_capacity(), 30);
+        assert_eq!(
+            cluster.node(NodeId::new(4)).protocol().buffer_capacity(),
+            30
+        );
     }
 
     #[test]

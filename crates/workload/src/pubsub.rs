@@ -126,10 +126,7 @@ impl PubSubSystem {
                 .enumerate()
                 .map(|(local, global)| {
                     let k = subscriptions[global].len().max(1);
-                    (
-                        NodeId::new(local as u32),
-                        (config.total_buffer / k).max(1),
-                    )
+                    (NodeId::new(local as u32), (config.total_buffer / k).max(1))
                 })
                 .collect();
             clusters.push(TopicCluster {
@@ -231,7 +228,9 @@ impl PubSubSystem {
             if !all.contains(&tc.topic) {
                 continue;
             }
-            let Some(local) = tc.local(node) else { continue };
+            let Some(local) = tc.local(node) else {
+                continue;
+            };
             if tc.topic == topic {
                 let mut churn = crate::schedule::ChurnSchedule::new();
                 churn.recover(at, local);

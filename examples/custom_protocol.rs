@@ -74,11 +74,8 @@ impl FloodNode {
                 self.congestion.on_purged(&purged);
             }
         }
-        self.congestion.scan(
-            &self.buffer,
-            self.min_buff.estimate() as usize,
-            overflowed,
-        );
+        self.congestion
+            .scan(&self.buffer, self.min_buff.estimate() as usize, overflowed);
     }
 
     /// Integration point 3: adjust the sender each round.

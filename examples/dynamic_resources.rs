@@ -29,7 +29,7 @@ fn main() {
     println!("time(s)  aggregate-allowed(msg/s)  min-buff-estimate@sender0");
     let mut t = TimeMs::ZERO;
     while t < TimeMs::from_secs(240) {
-        t = t + DurationMs::from_secs(10);
+        t += DurationMs::from_secs(10);
         cluster.run_until(t);
         let est = cluster
             .node(NodeId::new(0))

@@ -18,6 +18,7 @@
 //! |--------|-------|----------|
 //! | [`core`] | `agb-core` | lpbcast (Fig. 1), token bucket (Fig. 3), the adaptive mechanism (Fig. 5), §6 extensions |
 //! | [`membership`] | `agb-membership` | full & partial (lpbcast) peer sampling |
+//! | [`recovery`] | `agb-recovery` | pull-based anti-entropy: `IHave` digests, `Graft` pulls, bounded retransmission cache |
 //! | [`sim`] | `agb-sim` | deterministic discrete-event network simulator |
 //! | [`workload`] | `agb-workload` | sender models, cluster builder, pub/sub scenarios, schedules |
 //! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
@@ -47,6 +48,34 @@
 //! assert!(report.avg_receiver_fraction > 0.95);
 //! ```
 //!
+//! # Recovery
+//!
+//! Push-only gossip loses atomicity when events are purged before full
+//! dissemination (aggressive age caps, small buffers, message loss). The
+//! [`recovery`] layer adds the retransmission-request path lpbcast assumes:
+//! set [`ClusterConfig::recovery`](workload::ClusterConfig) to
+//! `Some(RecoveryConfig::default())` and every node piggybacks `IHave`
+//! digests, pulls missing events with `Graft` requests, and serves them
+//! from a bounded retransmission cache. The repair cost is reported by
+//! `metrics().recovery()` and the `recovery_overhead` series:
+//!
+//! ```
+//! use adaptive_gossip::recovery::RecoveryConfig;
+//! use adaptive_gossip::types::TimeMs;
+//! use adaptive_gossip::workload::{Algorithm, ClusterConfig, GossipCluster};
+//!
+//! let mut config = ClusterConfig::lossy(20, 42, 0.2); // 20% message loss
+//! config.n_senders = 2;
+//! config.offered_rate = 4.0;
+//! config.gossip.age_cap = 3; // aggressive purging
+//! config.recovery = Some(RecoveryConfig::default());
+//! let mut cluster = GossipCluster::build(config);
+//! cluster.run_until(TimeMs::from_secs(30));
+//! let metrics = cluster.metrics();
+//! assert!(metrics.recovery().recovered() > 0);
+//! assert!(metrics.recovery_overhead_ratio() < 1.0);
+//! ```
+//!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction inventory.
 
@@ -56,6 +85,7 @@ pub use agb_core as core;
 pub use agb_experiments as experiments;
 pub use agb_membership as membership;
 pub use agb_metrics as metrics;
+pub use agb_recovery as recovery;
 pub use agb_runtime as runtime;
 pub use agb_sim as sim;
 pub use agb_types as types;

@@ -20,10 +20,9 @@ fn lpbcast_is_reliable_under_capacity() {
     let mut cluster = GossipCluster::build(base(24, 1, Algorithm::Lpbcast, 60, 8.0));
     cluster.run_until(TimeMs::from_secs(60));
     let m = cluster.metrics();
-    let report = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(5), TimeMs::from_secs(45))),
-    );
+    let report = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(5), TimeMs::from_secs(45))));
     assert!(report.messages > 100, "messages: {}", report.messages);
     assert!(
         report.atomic_fraction > 0.95,
@@ -38,10 +37,9 @@ fn lpbcast_degrades_when_overloaded() {
     let mut cluster = GossipCluster::build(base(24, 2, Algorithm::Lpbcast, 12, 40.0));
     cluster.run_until(TimeMs::from_secs(60));
     let m = cluster.metrics();
-    let report = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(5), TimeMs::from_secs(45))),
-    );
+    let report = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(5), TimeMs::from_secs(45))));
     assert!(
         report.atomic_fraction < 0.5,
         "overloaded lpbcast should lose atomicity, got {}",
@@ -57,10 +55,9 @@ fn adaptive_preserves_atomicity_when_overloaded() {
     let mut cluster = GossipCluster::build(base(24, 3, Algorithm::Adaptive, 12, 40.0));
     cluster.run_until(TimeMs::from_secs(120));
     let m = cluster.metrics();
-    let report = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(60), TimeMs::from_secs(105))),
-    );
+    let report = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(60), TimeMs::from_secs(105))));
     assert!(report.messages > 20, "messages: {}", report.messages);
     assert!(
         report.atomic_fraction > 0.9,
@@ -158,16 +155,18 @@ fn message_loss_is_absorbed_by_redundancy() {
     let mut cluster = GossipCluster::build(c);
     cluster.run_until(TimeMs::from_secs(60));
     let m = cluster.metrics();
-    let report = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(5), TimeMs::from_secs(45))),
-    );
+    let report = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(5), TimeMs::from_secs(45))));
     assert!(
         report.avg_receiver_fraction > 0.95,
         "10% loss should be absorbed, got {}",
         report.avg_receiver_fraction
     );
-    assert!(cluster.sim_stats().drops > 0, "loss model must have dropped");
+    assert!(
+        cluster.sim_stats().drops > 0,
+        "loss model must have dropped"
+    );
 }
 
 #[test]
@@ -183,10 +182,9 @@ fn partition_heals_and_dissemination_resumes() {
     cluster.run_until(TimeMs::from_secs(60));
     let m = cluster.metrics();
     // Messages admitted well after healing disseminate fully.
-    let after = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(25), TimeMs::from_secs(45))),
-    );
+    let after = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(25), TimeMs::from_secs(45))));
     assert!(
         after.avg_receiver_fraction > 0.95,
         "post-partition traffic should be fine, got {}",

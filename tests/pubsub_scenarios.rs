@@ -27,10 +27,9 @@ fn overlapping_topics_both_deliver() {
     sys.run_until(TimeMs::from_secs(60));
     for t in [TopicId::new(0), TopicId::new(1)] {
         let m = sys.topic_metrics(t).expect("topic");
-        let r = m.deliveries().atomicity(
-            0.95,
-            Some((TimeMs::ZERO, TimeMs::from_secs(45))),
-        );
+        let r = m
+            .deliveries()
+            .atomicity(0.95, Some((TimeMs::ZERO, TimeMs::from_secs(45))));
         assert!(r.messages > 50, "topic {t}: {} msgs", r.messages);
         assert!(
             r.avg_receiver_fraction > 0.9,
@@ -54,10 +53,9 @@ fn subscription_churn_rebalances_buffers_and_keeps_delivering() {
     assert_eq!(sys.subscriptions(NodeId::new(10)).len(), 2);
     // Topic 0 kept functioning throughout the churn.
     let m = sys.topic_metrics(TopicId::new(0)).expect("topic 0");
-    let r = m.deliveries().atomicity(
-        0.95,
-        Some((TimeMs::from_secs(20), TimeMs::from_secs(60))),
-    );
+    let r = m
+        .deliveries()
+        .atomicity(0.95, Some((TimeMs::from_secs(20), TimeMs::from_secs(60))));
     assert!(
         r.avg_receiver_fraction > 0.9,
         "fraction {}",
@@ -73,10 +71,9 @@ fn smaller_budgets_split_further_still_work_with_adaptation() {
     sys.run_until(TimeMs::from_secs(80));
     for t in [TopicId::new(0), TopicId::new(1)] {
         let m = sys.topic_metrics(t).expect("topic");
-        let r = m.deliveries().atomicity(
-            0.95,
-            Some((TimeMs::from_secs(30), TimeMs::from_secs(65))),
-        );
+        let r = m
+            .deliveries()
+            .atomicity(0.95, Some((TimeMs::from_secs(30), TimeMs::from_secs(65))));
         assert!(
             r.atomic_fraction > 0.85,
             "topic {t}: adaptive should hold atomicity, got {}",

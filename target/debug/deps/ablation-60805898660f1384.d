@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-60805898660f1384.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/ablation-60805898660f1384: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-81768e5a200415b8.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-81768e5a200415b8.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

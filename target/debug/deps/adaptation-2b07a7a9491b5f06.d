@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptation-2b07a7a9491b5f06.d: tests/adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptation-2b07a7a9491b5f06.rmeta: tests/adaptation.rs Cargo.toml
+
+tests/adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

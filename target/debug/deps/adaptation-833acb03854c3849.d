@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptation-833acb03854c3849.d: tests/adaptation.rs
+
+/root/repo/target/debug/deps/libadaptation-833acb03854c3849.rmeta: tests/adaptation.rs
+
+tests/adaptation.rs:

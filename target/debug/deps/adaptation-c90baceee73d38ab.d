@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptation-c90baceee73d38ab.d: tests/adaptation.rs
+
+/root/repo/target/debug/deps/adaptation-c90baceee73d38ab: tests/adaptation.rs
+
+tests/adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_gossip-0d8c94290b7cd275.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_gossip-0d8c94290b7cd275.rmeta: src/lib.rs
+
+src/lib.rs:

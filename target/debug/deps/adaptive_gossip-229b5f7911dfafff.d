@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adaptive_gossip-229b5f7911dfafff.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_gossip-229b5f7911dfafff.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_gossip-229b5f7911dfafff.rmeta: src/lib.rs
+
+src/lib.rs:

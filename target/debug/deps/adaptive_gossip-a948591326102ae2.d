@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_gossip-a948591326102ae2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadaptive_gossip-a948591326102ae2.rmeta: src/lib.rs
+
+src/lib.rs:

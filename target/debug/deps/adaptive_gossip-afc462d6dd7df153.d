@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_gossip-afc462d6dd7df153.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_gossip-afc462d6dd7df153.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_gossip-f65feb56e8c6cd7c.d: src/lib.rs
+
+/root/repo/target/debug/deps/adaptive_gossip-f65feb56e8c6cd7c: src/lib.rs
+
+src/lib.rs:

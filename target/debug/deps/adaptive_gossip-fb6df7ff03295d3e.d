@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_gossip-fb6df7ff03295d3e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_gossip-fb6df7ff03295d3e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

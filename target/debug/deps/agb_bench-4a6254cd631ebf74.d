@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agb_bench-4a6254cd631ebf74.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagb_bench-4a6254cd631ebf74.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agb_bench-9d07005c3a153783.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/agb_bench-9d07005c3a153783: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agb_bench-a173784c2c5936ae.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagb_bench-a173784c2c5936ae.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_bench-ed7ce23b83f9d481.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_bench-ed7ce23b83f9d481.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

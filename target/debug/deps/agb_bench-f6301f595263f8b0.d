@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/agb_bench-f6301f595263f8b0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagb_bench-f6301f595263f8b0.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libagb_bench-f6301f595263f8b0.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

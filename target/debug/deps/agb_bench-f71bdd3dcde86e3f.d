@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_bench-f71bdd3dcde86e3f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_bench-f71bdd3dcde86e3f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/agb_core-2b37be0e6e85c5e9.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_core-2b37be0e6e85c5e9.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/congestion.rs:
+crates/core/src/event.rs:
+crates/core/src/header.rs:
+crates/core/src/ids.rs:
+crates/core/src/lpbcast.rs:
+crates/core/src/minbuff.rs:
+crates/core/src/rate.rs:
+crates/core/src/token_bucket.rs:
+crates/core/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/agb_core-b4129b7d4a1ac415.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+/root/repo/target/debug/deps/libagb_core-b4129b7d4a1ac415.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+/root/repo/target/debug/deps/libagb_core-b4129b7d4a1ac415.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/congestion.rs:
+crates/core/src/event.rs:
+crates/core/src/header.rs:
+crates/core/src/ids.rs:
+crates/core/src/lpbcast.rs:
+crates/core/src/minbuff.rs:
+crates/core/src/rate.rs:
+crates/core/src/token_bucket.rs:
+crates/core/src/traits.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/agb_experiments-1267e56242b060c3.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/calibrate.rs crates/experiments/src/common.rs crates/experiments/src/fig2.rs crates/experiments/src/fig4.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/recovery.rs
+
+/root/repo/target/debug/deps/libagb_experiments-1267e56242b060c3.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/calibrate.rs crates/experiments/src/common.rs crates/experiments/src/fig2.rs crates/experiments/src/fig4.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/recovery.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/calibrate.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/recovery.rs:

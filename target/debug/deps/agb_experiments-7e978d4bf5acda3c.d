@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/agb_experiments-7e978d4bf5acda3c.d: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/calibrate.rs crates/experiments/src/common.rs crates/experiments/src/fig2.rs crates/experiments/src/fig4.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_experiments-7e978d4bf5acda3c.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablation.rs crates/experiments/src/calibrate.rs crates/experiments/src/common.rs crates/experiments/src/fig2.rs crates/experiments/src/fig4.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/fig8.rs crates/experiments/src/fig9.rs crates/experiments/src/recovery.rs Cargo.toml
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablation.rs:
+crates/experiments/src/calibrate.rs:
+crates/experiments/src/common.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig4.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/fig8.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

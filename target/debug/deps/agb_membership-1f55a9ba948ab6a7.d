@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agb_membership-1f55a9ba948ab6a7.d: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/debug/deps/libagb_membership-1f55a9ba948ab6a7.rlib: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/debug/deps/libagb_membership-1f55a9ba948ab6a7.rmeta: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/digest.rs:
+crates/membership/src/full.rs:
+crates/membership/src/gossiper.rs:
+crates/membership/src/partial.rs:
+crates/membership/src/sampler.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agb_membership-460fdc67d41a8dbe.d: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/debug/deps/agb_membership-460fdc67d41a8dbe: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/digest.rs:
+crates/membership/src/full.rs:
+crates/membership/src/gossiper.rs:
+crates/membership/src/partial.rs:
+crates/membership/src/sampler.rs:

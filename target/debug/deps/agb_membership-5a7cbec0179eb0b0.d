@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agb_membership-5a7cbec0179eb0b0.d: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_membership-5a7cbec0179eb0b0.rmeta: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs Cargo.toml
+
+crates/membership/src/lib.rs:
+crates/membership/src/digest.rs:
+crates/membership/src/full.rs:
+crates/membership/src/gossiper.rs:
+crates/membership/src/partial.rs:
+crates/membership/src/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agb_membership-fb57c8bef0c3f347.d: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/debug/deps/libagb_membership-fb57c8bef0c3f347.rmeta: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/digest.rs:
+crates/membership/src/full.rs:
+crates/membership/src/gossiper.rs:
+crates/membership/src/partial.rs:
+crates/membership/src/sampler.rs:

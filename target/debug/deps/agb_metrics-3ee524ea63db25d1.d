@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/agb_metrics-3ee524ea63db25d1.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_metrics-3ee524ea63db25d1.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/delivery.rs:
+crates/metrics/src/drop_age.rs:
+crates/metrics/src/rates.rs:
+crates/metrics/src/recovery.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agb_metrics-8d7fcd303d596a96.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs
+
+/root/repo/target/debug/deps/libagb_metrics-8d7fcd303d596a96.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/delivery.rs:
+crates/metrics/src/drop_age.rs:
+crates/metrics/src/rates.rs:
+crates/metrics/src/recovery.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agb_recovery-346bcc836a324a0b.d: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/debug/deps/libagb_recovery-346bcc836a324a0b.rlib: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/debug/deps/libagb_recovery-346bcc836a324a0b.rmeta: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/cache.rs:
+crates/recovery/src/config.rs:
+crates/recovery/src/missing.rs:
+crates/recovery/src/node.rs:

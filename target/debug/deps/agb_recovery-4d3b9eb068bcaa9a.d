@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_recovery-4d3b9eb068bcaa9a.d: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/debug/deps/libagb_recovery-4d3b9eb068bcaa9a.rmeta: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/cache.rs:
+crates/recovery/src/config.rs:
+crates/recovery/src/missing.rs:
+crates/recovery/src/node.rs:

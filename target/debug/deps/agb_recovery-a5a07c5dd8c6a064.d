@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_recovery-a5a07c5dd8c6a064.d: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/debug/deps/libagb_recovery-a5a07c5dd8c6a064.rmeta: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/cache.rs:
+crates/recovery/src/config.rs:
+crates/recovery/src/missing.rs:
+crates/recovery/src/node.rs:

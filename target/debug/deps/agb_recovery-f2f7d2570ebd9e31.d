@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agb_recovery-f2f7d2570ebd9e31.d: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_recovery-f2f7d2570ebd9e31.rmeta: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs Cargo.toml
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/cache.rs:
+crates/recovery/src/config.rs:
+crates/recovery/src/missing.rs:
+crates/recovery/src/node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agb_runtime-5670a7fe1643b666.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_runtime-5670a7fe1643b666.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/node.rs:
+crates/runtime/src/transport.rs:
+crates/runtime/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_runtime-5d8ac51c1f5c2a1e.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/debug/deps/libagb_runtime-5d8ac51c1f5c2a1e.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/node.rs:
+crates/runtime/src/transport.rs:
+crates/runtime/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_runtime-7663e6768d982c68.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/debug/deps/libagb_runtime-7663e6768d982c68.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/node.rs:
+crates/runtime/src/transport.rs:
+crates/runtime/src/wire.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agb_runtime-dac11216319758c3.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/debug/deps/libagb_runtime-dac11216319758c3.rlib: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/debug/deps/libagb_runtime-dac11216319758c3.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/node.rs:
+crates/runtime/src/transport.rs:
+crates/runtime/src/wire.rs:

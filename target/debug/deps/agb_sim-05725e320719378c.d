@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agb_sim-05725e320719378c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libagb_sim-05725e320719378c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libagb_sim-05725e320719378c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/network.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/trace.rs:

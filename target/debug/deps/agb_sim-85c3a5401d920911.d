@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_sim-85c3a5401d920911.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/agb_sim-85c3a5401d920911: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/network.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agb_sim-9b846a1debfb2038.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_sim-9b846a1debfb2038.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/network.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_sim-ae61bab5055bd35f.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libagb_sim-ae61bab5055bd35f.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/network.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agb_types-5d2f350c6feb9e28.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libagb_types-5d2f350c6feb9e28.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:

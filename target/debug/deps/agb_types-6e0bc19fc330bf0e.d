@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/agb_types-6e0bc19fc330bf0e.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libagb_types-6e0bc19fc330bf0e.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:

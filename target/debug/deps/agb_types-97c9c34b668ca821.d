@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/agb_types-97c9c34b668ca821.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libagb_types-97c9c34b668ca821.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/debug/deps/libagb_types-97c9c34b668ca821.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/agb_types-e44e7fcce70cd0fc.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_types-e44e7fcce70cd0fc.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/agb_workload-0bc3586b2481862e.d: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagb_workload-0bc3586b2481862e.rmeta: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/cluster.rs:
+crates/workload/src/pubsub.rs:
+crates/workload/src/schedule.rs:
+crates/workload/src/senders.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

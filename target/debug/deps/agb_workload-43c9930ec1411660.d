@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_workload-43c9930ec1411660.d: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/debug/deps/libagb_workload-43c9930ec1411660.rmeta: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cluster.rs:
+crates/workload/src/pubsub.rs:
+crates/workload/src/schedule.rs:
+crates/workload/src/senders.rs:

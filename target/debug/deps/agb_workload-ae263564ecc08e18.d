@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/agb_workload-ae263564ecc08e18.d: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/debug/deps/libagb_workload-ae263564ecc08e18.rlib: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/debug/deps/libagb_workload-ae263564ecc08e18.rmeta: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cluster.rs:
+crates/workload/src/pubsub.rs:
+crates/workload/src/schedule.rs:
+crates/workload/src/senders.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agb_workload-e70afdeac707a6d2.d: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/debug/deps/agb_workload-e70afdeac707a6d2: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cluster.rs:
+crates/workload/src/pubsub.rs:
+crates/workload/src/schedule.rs:
+crates/workload/src/senders.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-4ae34b61c964be2f.d: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4ae34b61c964be2f.rlib: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4ae34b61c964be2f.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-5481fddbc33a4f56.d: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-5481fddbc33a4f56.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-740c4af2d503d230.d: compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-740c4af2d503d230.rmeta: compat/bytes/src/lib.rs Cargo.toml
+
+compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-8bf966010f32839e.d: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-8bf966010f32839e: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

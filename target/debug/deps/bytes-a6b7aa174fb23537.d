@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a6b7aa174fb23537.d: compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a6b7aa174fb23537.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

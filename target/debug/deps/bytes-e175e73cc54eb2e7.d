@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-e175e73cc54eb2e7.d: compat/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-e175e73cc54eb2e7.rmeta: compat/bytes/src/lib.rs Cargo.toml
+
+compat/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7a16737b6b4922be.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7a16737b6b4922be.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-937c75a419db47c8.d: compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-937c75a419db47c8.rmeta: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

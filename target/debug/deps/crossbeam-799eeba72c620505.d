@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-799eeba72c620505.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-799eeba72c620505.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-dfa39aa7c47b2138.d: compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-dfa39aa7c47b2138.rmeta: compat/crossbeam/src/lib.rs
+
+compat/crossbeam/src/lib.rs:

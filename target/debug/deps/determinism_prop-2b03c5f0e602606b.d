@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism_prop-2b03c5f0e602606b.d: crates/sim/tests/determinism_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism_prop-2b03c5f0e602606b.rmeta: crates/sim/tests/determinism_prop.rs Cargo.toml
+
+crates/sim/tests/determinism_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_prop-d54b84733556bb6c.d: crates/sim/tests/determinism_prop.rs
+
+/root/repo/target/debug/deps/libdeterminism_prop-d54b84733556bb6c.rmeta: crates/sim/tests/determinism_prop.rs
+
+crates/sim/tests/determinism_prop.rs:

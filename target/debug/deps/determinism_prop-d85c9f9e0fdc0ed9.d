@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism_prop-d85c9f9e0fdc0ed9.d: crates/sim/tests/determinism_prop.rs
+
+/root/repo/target/debug/deps/determinism_prop-d85c9f9e0fdc0ed9: crates/sim/tests/determinism_prop.rs
+
+crates/sim/tests/determinism_prop.rs:

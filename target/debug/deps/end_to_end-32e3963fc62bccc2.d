@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-32e3963fc62bccc2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-32e3963fc62bccc2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

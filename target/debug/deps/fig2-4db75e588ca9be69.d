@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-4db75e588ca9be69.d: crates/bench/benches/fig2.rs
+
+/root/repo/target/debug/deps/libfig2-4db75e588ca9be69.rmeta: crates/bench/benches/fig2.rs
+
+crates/bench/benches/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-9dc8c0a4086619ec.d: crates/bench/benches/fig2.rs
+
+/root/repo/target/debug/deps/fig2-9dc8c0a4086619ec: crates/bench/benches/fig2.rs
+
+crates/bench/benches/fig2.rs:

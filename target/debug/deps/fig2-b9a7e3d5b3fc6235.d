@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2-b9a7e3d5b3fc6235.d: crates/bench/benches/fig2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2-b9a7e3d5b3fc6235.rmeta: crates/bench/benches/fig2.rs Cargo.toml
+
+crates/bench/benches/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4-50c4d0070312134c.d: crates/bench/benches/fig4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4-50c4d0070312134c.rmeta: crates/bench/benches/fig4.rs Cargo.toml
+
+crates/bench/benches/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

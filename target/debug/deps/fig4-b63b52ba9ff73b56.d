@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b63b52ba9ff73b56.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/debug/deps/libfig4-b63b52ba9ff73b56.rmeta: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

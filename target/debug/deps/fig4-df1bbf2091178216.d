@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-df1bbf2091178216.d: crates/bench/benches/fig4.rs
+
+/root/repo/target/debug/deps/fig4-df1bbf2091178216: crates/bench/benches/fig4.rs
+
+crates/bench/benches/fig4.rs:

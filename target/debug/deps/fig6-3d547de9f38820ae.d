@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-3d547de9f38820ae.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-3d547de9f38820ae.rmeta: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

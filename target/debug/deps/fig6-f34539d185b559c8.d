@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f34539d185b559c8.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f34539d185b559c8: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

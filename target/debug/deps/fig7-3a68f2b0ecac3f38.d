@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-3a68f2b0ecac3f38.d: crates/bench/benches/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-3a68f2b0ecac3f38.rmeta: crates/bench/benches/fig7.rs Cargo.toml
+
+crates/bench/benches/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b7722e9f0f0cf6f9.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-b7722e9f0f0cf6f9.rmeta: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

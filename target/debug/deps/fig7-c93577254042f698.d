@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-c93577254042f698.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/debug/deps/fig7-c93577254042f698: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c161e1d0318653e1.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-c161e1d0318653e1.rmeta: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-dec2250363c2347a.d: crates/bench/benches/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-dec2250363c2347a.rmeta: crates/bench/benches/fig8.rs Cargo.toml
+
+crates/bench/benches/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-e22962157cdd8512.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/debug/deps/fig8-e22962157cdd8512: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-33fd33c280d17221.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/debug/deps/fig9-33fd33c280d17221: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-59a02d4943ac9414.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-59a02d4943ac9414.rmeta: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_smoke-4fc905882ce7dbae.d: tests/figures_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_smoke-4fc905882ce7dbae.rmeta: tests/figures_smoke.rs Cargo.toml
+
+tests/figures_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-80205b2b84a8eb2d.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/figures_smoke-80205b2b84a8eb2d: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

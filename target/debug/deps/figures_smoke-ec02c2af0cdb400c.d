@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures_smoke-ec02c2af0cdb400c.d: tests/figures_smoke.rs
+
+/root/repo/target/debug/deps/libfigures_smoke-ec02c2af0cdb400c.rmeta: tests/figures_smoke.rs
+
+tests/figures_smoke.rs:

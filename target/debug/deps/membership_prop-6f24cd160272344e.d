@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership_prop-6f24cd160272344e.d: crates/membership/tests/membership_prop.rs
+
+/root/repo/target/debug/deps/libmembership_prop-6f24cd160272344e.rmeta: crates/membership/tests/membership_prop.rs
+
+crates/membership/tests/membership_prop.rs:

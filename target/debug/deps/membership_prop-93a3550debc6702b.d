@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/membership_prop-93a3550debc6702b.d: crates/membership/tests/membership_prop.rs
+
+/root/repo/target/debug/deps/membership_prop-93a3550debc6702b: crates/membership/tests/membership_prop.rs
+
+crates/membership/tests/membership_prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/membership_prop-a210199635207eb7.d: crates/membership/tests/membership_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmembership_prop-a210199635207eb7.rmeta: crates/membership/tests/membership_prop.rs Cargo.toml
+
+crates/membership/tests/membership_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_prop-5a1c23382ce544e7.d: crates/metrics/tests/metrics_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_prop-5a1c23382ce544e7.rmeta: crates/metrics/tests/metrics_prop.rs Cargo.toml
+
+crates/metrics/tests/metrics_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_prop-9375895f1b466dc4.d: crates/metrics/tests/metrics_prop.rs
+
+/root/repo/target/debug/deps/libmetrics_prop-9375895f1b466dc4.rmeta: crates/metrics/tests/metrics_prop.rs
+
+crates/metrics/tests/metrics_prop.rs:

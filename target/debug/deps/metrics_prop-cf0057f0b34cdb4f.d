@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_prop-cf0057f0b34cdb4f.d: crates/metrics/tests/metrics_prop.rs
+
+/root/repo/target/debug/deps/metrics_prop-cf0057f0b34cdb4f: crates/metrics/tests/metrics_prop.rs
+
+crates/metrics/tests/metrics_prop.rs:

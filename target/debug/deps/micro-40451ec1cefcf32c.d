@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-40451ec1cefcf32c.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-40451ec1cefcf32c: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

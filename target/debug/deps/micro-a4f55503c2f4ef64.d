@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-a4f55503c2f4ef64.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-a4f55503c2f4ef64.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

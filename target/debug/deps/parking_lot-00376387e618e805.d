@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-00376387e618e805.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-00376387e618e805: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

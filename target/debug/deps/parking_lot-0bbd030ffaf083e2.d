@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-0bbd030ffaf083e2.d: compat/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-0bbd030ffaf083e2.rmeta: compat/parking_lot/src/lib.rs Cargo.toml
+
+compat/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

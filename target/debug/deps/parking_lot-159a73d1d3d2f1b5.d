@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-159a73d1d3d2f1b5.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-159a73d1d3d2f1b5.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-48ca009aad82c21b.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-48ca009aad82c21b.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

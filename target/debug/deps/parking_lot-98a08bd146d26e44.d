@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-98a08bd146d26e44.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-98a08bd146d26e44.rlib: compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-98a08bd146d26e44.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

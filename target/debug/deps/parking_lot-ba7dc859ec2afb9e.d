@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-ba7dc859ec2afb9e.d: compat/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-ba7dc859ec2afb9e.rmeta: compat/parking_lot/src/lib.rs Cargo.toml
+
+compat/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

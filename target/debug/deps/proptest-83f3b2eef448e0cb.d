@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-83f3b2eef448e0cb.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-83f3b2eef448e0cb.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

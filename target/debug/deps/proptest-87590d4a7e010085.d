@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-87590d4a7e010085.d: compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-87590d4a7e010085.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

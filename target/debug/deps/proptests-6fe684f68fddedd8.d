@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6fe684f68fddedd8.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-6fe684f68fddedd8.rmeta: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

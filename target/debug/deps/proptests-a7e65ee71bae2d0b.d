@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-a7e65ee71bae2d0b.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-a7e65ee71bae2d0b.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c6a74dfead6f921a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c6a74dfead6f921a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pubsub_scenarios-14e0e42aa0056a39.d: tests/pubsub_scenarios.rs
+
+/root/repo/target/debug/deps/pubsub_scenarios-14e0e42aa0056a39: tests/pubsub_scenarios.rs
+
+tests/pubsub_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pubsub_scenarios-70167a330c2c3648.d: tests/pubsub_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpubsub_scenarios-70167a330c2c3648.rmeta: tests/pubsub_scenarios.rs Cargo.toml
+
+tests/pubsub_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

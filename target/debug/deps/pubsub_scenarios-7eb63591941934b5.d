@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pubsub_scenarios-7eb63591941934b5.d: tests/pubsub_scenarios.rs
+
+/root/repo/target/debug/deps/libpubsub_scenarios-7eb63591941934b5.rmeta: tests/pubsub_scenarios.rs
+
+tests/pubsub_scenarios.rs:

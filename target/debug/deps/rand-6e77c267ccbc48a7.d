@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6e77c267ccbc48a7.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-6e77c267ccbc48a7.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c840dd4839a3d780.d: compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-c840dd4839a3d780.rmeta: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-3207e1f57321834f.d: crates/bench/benches/recovery.rs
+
+/root/repo/target/debug/deps/librecovery-3207e1f57321834f.rmeta: crates/bench/benches/recovery.rs
+
+crates/bench/benches/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-61580b6a1fcea145.d: crates/bench/benches/recovery.rs
+
+/root/repo/target/debug/deps/recovery-61580b6a1fcea145: crates/bench/benches/recovery.rs
+
+crates/bench/benches/recovery.rs:

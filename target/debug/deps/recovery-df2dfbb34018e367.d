@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-df2dfbb34018e367.d: crates/bench/benches/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-df2dfbb34018e367.rmeta: crates/bench/benches/recovery.rs Cargo.toml
+
+crates/bench/benches/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

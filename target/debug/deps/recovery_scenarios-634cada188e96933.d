@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_scenarios-634cada188e96933.d: tests/recovery_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_scenarios-634cada188e96933.rmeta: tests/recovery_scenarios.rs Cargo.toml
+
+tests/recovery_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_scenarios-6b6877b530f8e448.d: tests/recovery_scenarios.rs
+
+/root/repo/target/debug/deps/recovery_scenarios-6b6877b530f8e448: tests/recovery_scenarios.rs
+
+tests/recovery_scenarios.rs:

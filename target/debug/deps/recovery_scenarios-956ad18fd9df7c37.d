@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_scenarios-956ad18fd9df7c37.d: tests/recovery_scenarios.rs
+
+/root/repo/target/debug/deps/librecovery_scenarios-956ad18fd9df7c37.rmeta: tests/recovery_scenarios.rs
+
+tests/recovery_scenarios.rs:

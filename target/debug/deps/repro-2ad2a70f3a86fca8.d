@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2ad2a70f3a86fca8.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-2ad2a70f3a86fca8.rmeta: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

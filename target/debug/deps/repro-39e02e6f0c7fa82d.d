@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-39e02e6f0c7fa82d.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-39e02e6f0c7fa82d.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

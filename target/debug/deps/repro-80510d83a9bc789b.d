@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-80510d83a9bc789b.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-80510d83a9bc789b: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

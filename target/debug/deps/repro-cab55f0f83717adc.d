@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cab55f0f83717adc.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cab55f0f83717adc: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

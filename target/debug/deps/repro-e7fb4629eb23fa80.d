@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e7fb4629eb23fa80.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-e7fb4629eb23fa80.rmeta: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-ec2d4e06ae43a77b.d: crates/experiments/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-ec2d4e06ae43a77b.rmeta: crates/experiments/src/bin/repro.rs Cargo.toml
+
+crates/experiments/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_cluster-551ef9b4f9c4db67.d: tests/runtime_cluster.rs
+
+/root/repo/target/debug/deps/runtime_cluster-551ef9b4f9c4db67: tests/runtime_cluster.rs
+
+tests/runtime_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_cluster-8eef77374a8478ff.d: tests/runtime_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_cluster-8eef77374a8478ff.rmeta: tests/runtime_cluster.rs Cargo.toml
+
+tests/runtime_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

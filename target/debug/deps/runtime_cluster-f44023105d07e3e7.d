@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_cluster-f44023105d07e3e7.d: tests/runtime_cluster.rs
+
+/root/repo/target/debug/deps/libruntime_cluster-f44023105d07e3e7.rmeta: tests/runtime_cluster.rs
+
+tests/runtime_cluster.rs:

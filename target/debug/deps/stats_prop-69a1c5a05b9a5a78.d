@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stats_prop-69a1c5a05b9a5a78.d: crates/types/tests/stats_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstats_prop-69a1c5a05b9a5a78.rmeta: crates/types/tests/stats_prop.rs Cargo.toml
+
+crates/types/tests/stats_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_prop-d9076d740aafe859.d: crates/types/tests/stats_prop.rs
+
+/root/repo/target/debug/deps/libstats_prop-d9076d740aafe859.rmeta: crates/types/tests/stats_prop.rs
+
+crates/types/tests/stats_prop.rs:

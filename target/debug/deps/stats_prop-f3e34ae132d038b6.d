@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_prop-f3e34ae132d038b6.d: crates/types/tests/stats_prop.rs
+
+/root/repo/target/debug/deps/stats_prop-f3e34ae132d038b6: crates/types/tests/stats_prop.rs
+
+crates/types/tests/stats_prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_prop-5610d1b3aa316060.d: crates/runtime/tests/wire_prop.rs
+
+/root/repo/target/debug/deps/libwire_prop-5610d1b3aa316060.rmeta: crates/runtime/tests/wire_prop.rs
+
+crates/runtime/tests/wire_prop.rs:

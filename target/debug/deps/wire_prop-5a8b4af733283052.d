@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_prop-5a8b4af733283052.d: crates/runtime/tests/wire_prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_prop-5a8b4af733283052.rmeta: crates/runtime/tests/wire_prop.rs Cargo.toml
+
+crates/runtime/tests/wire_prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

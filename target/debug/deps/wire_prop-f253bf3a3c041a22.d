@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_prop-f253bf3a3c041a22.d: crates/runtime/tests/wire_prop.rs
+
+/root/repo/target/debug/deps/wire_prop-f253bf3a3c041a22: crates/runtime/tests/wire_prop.rs
+
+crates/runtime/tests/wire_prop.rs:

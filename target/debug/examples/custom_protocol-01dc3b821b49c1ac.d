@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_protocol-01dc3b821b49c1ac.d: examples/custom_protocol.rs
+
+/root/repo/target/debug/examples/custom_protocol-01dc3b821b49c1ac: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

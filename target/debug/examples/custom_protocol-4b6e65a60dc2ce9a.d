@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_protocol-4b6e65a60dc2ce9a.d: examples/custom_protocol.rs
+
+/root/repo/target/debug/examples/libcustom_protocol-4b6e65a60dc2ce9a.rmeta: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

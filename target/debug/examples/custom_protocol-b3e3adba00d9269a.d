@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_protocol-b3e3adba00d9269a.d: examples/custom_protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_protocol-b3e3adba00d9269a.rmeta: examples/custom_protocol.rs Cargo.toml
+
+examples/custom_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_resources-2484eb6dbb963dbe.d: examples/dynamic_resources.rs
+
+/root/repo/target/debug/examples/libdynamic_resources-2484eb6dbb963dbe.rmeta: examples/dynamic_resources.rs
+
+examples/dynamic_resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_resources-a9af4ec9732b6e0d.d: examples/dynamic_resources.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_resources-a9af4ec9732b6e0d.rmeta: examples/dynamic_resources.rs Cargo.toml
+
+examples/dynamic_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

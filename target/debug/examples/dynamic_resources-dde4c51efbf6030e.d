@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_resources-dde4c51efbf6030e.d: examples/dynamic_resources.rs
+
+/root/repo/target/debug/examples/dynamic_resources-dde4c51efbf6030e: examples/dynamic_resources.rs
+
+examples/dynamic_resources.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lossy_recovery-b454decc4a801e2d.d: examples/lossy_recovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblossy_recovery-b454decc4a801e2d.rmeta: examples/lossy_recovery.rs Cargo.toml
+
+examples/lossy_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

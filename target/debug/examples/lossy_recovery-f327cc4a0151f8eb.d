@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_recovery-f327cc4a0151f8eb.d: examples/lossy_recovery.rs
+
+/root/repo/target/debug/examples/liblossy_recovery-f327cc4a0151f8eb.rmeta: examples/lossy_recovery.rs
+
+examples/lossy_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lossy_recovery-f8b434d860a82018.d: examples/lossy_recovery.rs
+
+/root/repo/target/debug/examples/lossy_recovery-f8b434d860a82018: examples/lossy_recovery.rs
+
+examples/lossy_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pubsub_topics-37c258a50dcec933.d: examples/pubsub_topics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpubsub_topics-37c258a50dcec933.rmeta: examples/pubsub_topics.rs Cargo.toml
+
+examples/pubsub_topics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pubsub_topics-9bb4f81554ecf29e.d: examples/pubsub_topics.rs
+
+/root/repo/target/debug/examples/pubsub_topics-9bb4f81554ecf29e: examples/pubsub_topics.rs
+
+examples/pubsub_topics.rs:

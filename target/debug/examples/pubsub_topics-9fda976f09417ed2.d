@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pubsub_topics-9fda976f09417ed2.d: examples/pubsub_topics.rs
+
+/root/repo/target/debug/examples/libpubsub_topics-9fda976f09417ed2.rmeta: examples/pubsub_topics.rs
+
+examples/pubsub_topics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2ce7ee87465399a2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2ce7ee87465399a2: examples/quickstart.rs
+
+examples/quickstart.rs:

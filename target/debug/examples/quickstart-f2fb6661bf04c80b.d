@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f2fb6661bf04c80b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-f2fb6661bf04c80b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

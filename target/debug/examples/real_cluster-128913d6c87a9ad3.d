@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_cluster-128913d6c87a9ad3.d: examples/real_cluster.rs
+
+/root/repo/target/debug/examples/libreal_cluster-128913d6c87a9ad3.rmeta: examples/real_cluster.rs
+
+examples/real_cluster.rs:

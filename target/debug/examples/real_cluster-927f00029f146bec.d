@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/real_cluster-927f00029f146bec.d: examples/real_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreal_cluster-927f00029f146bec.rmeta: examples/real_cluster.rs Cargo.toml
+
+examples/real_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

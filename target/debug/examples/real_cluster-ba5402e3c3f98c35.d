@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/real_cluster-ba5402e3c3f98c35.d: examples/real_cluster.rs
+
+/root/repo/target/debug/examples/real_cluster-ba5402e3c3f98c35: examples/real_cluster.rs
+
+examples/real_cluster.rs:

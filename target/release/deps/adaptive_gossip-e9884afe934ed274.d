@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adaptive_gossip-e9884afe934ed274.d: src/lib.rs
+
+/root/repo/target/release/deps/libadaptive_gossip-e9884afe934ed274.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadaptive_gossip-e9884afe934ed274.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/agb_bench-9301faf5cfaeb51d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libagb_bench-9301faf5cfaeb51d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libagb_bench-9301faf5cfaeb51d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/agb_core-c2f58e64b3249f67.d: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+/root/repo/target/release/deps/libagb_core-c2f58e64b3249f67.rlib: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+/root/repo/target/release/deps/libagb_core-c2f58e64b3249f67.rmeta: crates/core/src/lib.rs crates/core/src/adaptive.rs crates/core/src/buffer.rs crates/core/src/config.rs crates/core/src/congestion.rs crates/core/src/event.rs crates/core/src/header.rs crates/core/src/ids.rs crates/core/src/lpbcast.rs crates/core/src/minbuff.rs crates/core/src/rate.rs crates/core/src/token_bucket.rs crates/core/src/traits.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adaptive.rs:
+crates/core/src/buffer.rs:
+crates/core/src/config.rs:
+crates/core/src/congestion.rs:
+crates/core/src/event.rs:
+crates/core/src/header.rs:
+crates/core/src/ids.rs:
+crates/core/src/lpbcast.rs:
+crates/core/src/minbuff.rs:
+crates/core/src/rate.rs:
+crates/core/src/token_bucket.rs:
+crates/core/src/traits.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/agb_membership-ce9eb54aa1a15994.d: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/release/deps/libagb_membership-ce9eb54aa1a15994.rlib: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+/root/repo/target/release/deps/libagb_membership-ce9eb54aa1a15994.rmeta: crates/membership/src/lib.rs crates/membership/src/digest.rs crates/membership/src/full.rs crates/membership/src/gossiper.rs crates/membership/src/partial.rs crates/membership/src/sampler.rs
+
+crates/membership/src/lib.rs:
+crates/membership/src/digest.rs:
+crates/membership/src/full.rs:
+crates/membership/src/gossiper.rs:
+crates/membership/src/partial.rs:
+crates/membership/src/sampler.rs:

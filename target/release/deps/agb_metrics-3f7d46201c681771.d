@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/agb_metrics-3f7d46201c681771.d: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs
+
+/root/repo/target/release/deps/libagb_metrics-3f7d46201c681771.rlib: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs
+
+/root/repo/target/release/deps/libagb_metrics-3f7d46201c681771.rmeta: crates/metrics/src/lib.rs crates/metrics/src/collector.rs crates/metrics/src/delivery.rs crates/metrics/src/drop_age.rs crates/metrics/src/rates.rs crates/metrics/src/recovery.rs crates/metrics/src/report.rs crates/metrics/src/series.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/collector.rs:
+crates/metrics/src/delivery.rs:
+crates/metrics/src/drop_age.rs:
+crates/metrics/src/rates.rs:
+crates/metrics/src/recovery.rs:
+crates/metrics/src/report.rs:
+crates/metrics/src/series.rs:

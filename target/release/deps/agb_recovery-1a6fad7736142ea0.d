@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/agb_recovery-1a6fad7736142ea0.d: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/release/deps/libagb_recovery-1a6fad7736142ea0.rlib: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+/root/repo/target/release/deps/libagb_recovery-1a6fad7736142ea0.rmeta: crates/recovery/src/lib.rs crates/recovery/src/cache.rs crates/recovery/src/config.rs crates/recovery/src/missing.rs crates/recovery/src/node.rs
+
+crates/recovery/src/lib.rs:
+crates/recovery/src/cache.rs:
+crates/recovery/src/config.rs:
+crates/recovery/src/missing.rs:
+crates/recovery/src/node.rs:

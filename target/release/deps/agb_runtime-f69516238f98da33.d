@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/agb_runtime-f69516238f98da33.d: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/release/deps/libagb_runtime-f69516238f98da33.rlib: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+/root/repo/target/release/deps/libagb_runtime-f69516238f98da33.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cluster.rs crates/runtime/src/node.rs crates/runtime/src/transport.rs crates/runtime/src/wire.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cluster.rs:
+crates/runtime/src/node.rs:
+crates/runtime/src/transport.rs:
+crates/runtime/src/wire.rs:

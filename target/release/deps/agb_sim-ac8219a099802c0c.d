@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/agb_sim-ac8219a099802c0c.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libagb_sim-ac8219a099802c0c.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libagb_sim-ac8219a099802c0c.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/network.rs crates/sim/src/queue.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/network.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/trace.rs:

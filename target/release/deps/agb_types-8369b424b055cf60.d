@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/agb_types-8369b424b055cf60.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libagb_types-8369b424b055cf60.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+/root/repo/target/release/deps/libagb_types-8369b424b055cf60.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/id.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/id.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:

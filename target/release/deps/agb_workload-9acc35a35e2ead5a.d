@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/agb_workload-9acc35a35e2ead5a.d: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/release/deps/libagb_workload-9acc35a35e2ead5a.rlib: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+/root/repo/target/release/deps/libagb_workload-9acc35a35e2ead5a.rmeta: crates/workload/src/lib.rs crates/workload/src/cluster.rs crates/workload/src/pubsub.rs crates/workload/src/schedule.rs crates/workload/src/senders.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/cluster.rs:
+crates/workload/src/pubsub.rs:
+crates/workload/src/schedule.rs:
+crates/workload/src/senders.rs:

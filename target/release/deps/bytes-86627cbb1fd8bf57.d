@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-86627cbb1fd8bf57.d: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-86627cbb1fd8bf57.rlib: compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-86627cbb1fd8bf57.rmeta: compat/bytes/src/lib.rs
+
+compat/bytes/src/lib.rs:

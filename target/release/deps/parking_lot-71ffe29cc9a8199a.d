@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-71ffe29cc9a8199a.d: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71ffe29cc9a8199a.rlib: compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-71ffe29cc9a8199a.rmeta: compat/parking_lot/src/lib.rs
+
+compat/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_tmp-2aa90e7ee564c3fa.d: tests/probe_tmp.rs
+
+/root/repo/target/release/deps/probe_tmp-2aa90e7ee564c3fa: tests/probe_tmp.rs
+
+tests/probe_tmp.rs:

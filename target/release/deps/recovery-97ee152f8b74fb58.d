@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery-97ee152f8b74fb58.d: crates/bench/benches/recovery.rs
+
+/root/repo/target/release/deps/recovery-97ee152f8b74fb58: crates/bench/benches/recovery.rs
+
+crates/bench/benches/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-032620b86cfe05e3.d: crates/experiments/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-032620b86cfe05e3: crates/experiments/src/bin/repro.rs
+
+crates/experiments/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lossy_recovery-5ff5676b4848ef30.d: examples/lossy_recovery.rs
+
+/root/repo/target/release/examples/lossy_recovery-5ff5676b4848ef30: examples/lossy_recovery.rs
+
+examples/lossy_recovery.rs:

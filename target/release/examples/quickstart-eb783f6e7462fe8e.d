@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-eb783f6e7462fe8e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-eb783f6e7462fe8e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/real_cluster-0b35a3e30e5269fe.d: examples/real_cluster.rs
+
+/root/repo/target/release/examples/real_cluster-0b35a3e30e5269fe: examples/real_cluster.rs
+
+examples/real_cluster.rs:

@@ -296,6 +296,18 @@ impl<S: GossipMembership> GossipProtocol for AdaptiveNode<S> {
     fn min_buff_estimate(&self) -> Option<u32> {
         Some(self.min_buff.estimate())
     }
+
+    fn membership_view(&self) -> Vec<NodeId> {
+        self.inner.membership_view()
+    }
+
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipMessage)> {
+        self.inner.leave(now)
+    }
+
+    fn evict_peer(&mut self, node: NodeId) {
+        self.inner.evict_peer(node);
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,7 @@ impl<S: GossipMembership> LpbcastNode<S> {
     /// collection, admission of throttled messages, and gossip emission.
     pub fn run_round(&mut self, now: TimeMs) -> Vec<(NodeId, GossipMessage)> {
         self.round += 1;
+        self.membership.on_round();
         self.events.increment_ages();
         let expired = self.events.purge_age_cap(self.config.age_cap);
         self.record_purges(expired, now);
@@ -313,6 +314,46 @@ impl<S: GossipMembership> GossipProtocol for LpbcastNode<S> {
 
     fn gossip_period(&self) -> DurationMs {
         self.config.gossip_period
+    }
+
+    fn membership_view(&self) -> Vec<NodeId> {
+        self.membership.view()
+    }
+
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipMessage)> {
+        let _ = now;
+        let targets = self
+            .membership
+            .sample(&mut self.rng, self.config.fanout, self.id);
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        // The farewell flushes the remaining buffer (a leaver must not take
+        // undisseminated events with it) and carries the node's own
+        // TTL-bounded unsubscription instead of the usual digest;
+        // receivers drop the leaver from their views and keep propagating
+        // the removal until the rumor's TTL runs out.
+        let events = self.events.snapshot();
+        let farewell = self.membership.make_leave_digest();
+        targets
+            .into_iter()
+            .map(|t| {
+                (
+                    t,
+                    GossipMessage {
+                        sender: self.id,
+                        sample_period: 0,
+                        min_buffs: Vec::new(),
+                        events: events.clone(),
+                        membership: farewell.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn evict_peer(&mut self, node: NodeId) {
+        self.membership.evict(node, &mut self.rng);
     }
 }
 
@@ -560,6 +601,59 @@ mod tests {
             targets.dedup();
             assert_eq!(targets.len(), 4);
         }
+    }
+
+    #[test]
+    fn leave_flushes_buffer_and_carries_own_unsubscription() {
+        use agb_membership::{PartialView, PartialViewConfig};
+        let mut rng = DetRng::seed_from_u64(9);
+        let view = PartialView::with_initial_peers(
+            NodeId::new(0),
+            PartialViewConfig::default(),
+            (1..=6u32).map(NodeId::new),
+            &mut rng,
+        );
+        let mut n = LpbcastNode::new(
+            NodeId::new(0),
+            GossipConfig::default(),
+            view,
+            DetRng::seed_from_u64(1),
+        );
+        n.broadcast_now(Payload::from_static(b"x"), TimeMs::ZERO);
+        let out = GossipProtocol::leave(&mut n, TimeMs::from_secs(1));
+        assert_eq!(out.len(), 4, "farewell goes to F peers");
+        for (_, msg) in &out {
+            assert_eq!(msg.events.len(), 1, "buffer flushed into farewell");
+            assert_eq!(msg.membership.unsubs.len(), 1);
+            assert_eq!(msg.membership.unsubs[0].node, NodeId::new(0));
+            assert!(msg.membership.unsubs[0].ttl > 0);
+            assert!(msg.membership.subs.is_empty());
+        }
+    }
+
+    #[test]
+    fn evict_peer_removes_from_partial_view() {
+        use agb_membership::{PartialView, PartialViewConfig};
+        let mut rng = DetRng::seed_from_u64(9);
+        let view = PartialView::with_initial_peers(
+            NodeId::new(0),
+            PartialViewConfig::default(),
+            [NodeId::new(1), NodeId::new(2)],
+            &mut rng,
+        );
+        let mut n = LpbcastNode::new(
+            NodeId::new(0),
+            GossipConfig::default(),
+            view,
+            DetRng::seed_from_u64(1),
+        );
+        assert!(GossipProtocol::membership_view(&n).contains(&NodeId::new(2)));
+        GossipProtocol::evict_peer(&mut n, NodeId::new(2));
+        assert!(!GossipProtocol::membership_view(&n).contains(&NodeId::new(2)));
+        // Full views are static: eviction is a no-op there.
+        let mut full = default_node(0);
+        GossipProtocol::evict_peer(&mut full, NodeId::new(2));
+        assert!(GossipProtocol::membership_view(&full).contains(&NodeId::new(2)));
     }
 
     #[test]

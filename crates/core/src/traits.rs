@@ -204,6 +204,29 @@ pub trait GossipProtocol {
     fn min_buff_estimate(&self) -> Option<u32> {
         None
     }
+
+    /// Snapshot of the node's current membership view (diagnostics and
+    /// churn-convergence probes).
+    fn membership_view(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Gracefully leaves the group: returns farewell messages that flush
+    /// the node's buffered events and carry its own unsubscription, so
+    /// partial views across the group drop it through normal digest
+    /// propagation (lpbcast's unsubscribe path). The harness must transmit
+    /// the messages and then stop driving the node.
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipMessage)> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Evicts a peer this node believes dead from its membership view,
+    /// propagating the removal where the membership service supports it
+    /// (the failure-detector hook of churn scenarios).
+    fn evict_peer(&mut self, node: NodeId) {
+        let _ = node;
+    }
 }
 
 /// A gossip node driven at the *frame* level: regular gossip messages plus
@@ -275,6 +298,23 @@ pub trait FrameProtocol {
     fn min_buff_estimate(&self) -> Option<u32> {
         None
     }
+
+    /// Snapshot of the node's current membership view.
+    fn membership_view(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Gracefully leaves the group (see [`GossipProtocol::leave`]); the
+    /// returned frames must be transmitted before the node stops.
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipFrame)> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Evicts a peer believed dead from the membership view.
+    fn evict_peer(&mut self, node: NodeId) {
+        let _ = node;
+    }
 }
 
 impl<P: GossipProtocol> FrameProtocol for P {
@@ -344,6 +384,21 @@ impl<P: GossipProtocol> FrameProtocol for P {
 
     fn min_buff_estimate(&self) -> Option<u32> {
         GossipProtocol::min_buff_estimate(self)
+    }
+
+    fn membership_view(&self) -> Vec<NodeId> {
+        GossipProtocol::membership_view(self)
+    }
+
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipFrame)> {
+        GossipProtocol::leave(self, now)
+            .into_iter()
+            .map(|(to, msg)| (to, GossipFrame::plain(msg)))
+            .collect()
+    }
+
+    fn evict_peer(&mut self, node: NodeId) {
+        GossipProtocol::evict_peer(self, node);
     }
 }
 

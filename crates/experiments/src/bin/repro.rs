@@ -1,10 +1,10 @@
 //! Command-line reproduction driver: `repro <experiment> [seed]`.
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig9-runtime`, `ablation`, `recovery`, `all`. Set `AGB_QUICK=1` for
-//! short runs.
+//! `fig9-runtime`, `ablation`, `recovery`, `churn`, `all`. Set
+//! `AGB_QUICK=1` for short runs.
 
-use agb_experiments::{ablation, fig2, fig4, fig6, fig7, fig8, fig9, recovery};
+use agb_experiments::{ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, recovery};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,6 +21,7 @@ fn main() {
         "fig9-runtime" => run_fig9_runtime(seed),
         "ablation" => run_ablation(seed),
         "recovery" => run_recovery(seed),
+        "churn" => run_churn(seed),
         "all" => {
             run_fig2(seed);
             run_fig4(seed);
@@ -34,10 +35,11 @@ fn main() {
             run_fig9(seed);
             run_ablation(seed);
             run_recovery(seed);
+            run_churn(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|all] [seed]");
             std::process::exit(2);
         }
     }
@@ -105,4 +107,12 @@ fn run_ablation(seed: u64) {
 fn run_recovery(seed: u64) {
     let rows = recovery::run(seed);
     print!("{}", recovery::table(&rows));
+}
+
+fn run_churn(seed: u64) {
+    let rows = churn::run(seed);
+    print!("{}", churn::table(&rows));
+    // Stable digest of the whole sweep: the CI smoke job replays the same
+    // seed and compares this line verbatim.
+    println!("  churn summary hash: {:#018x}", churn::summary_hash(&rows));
 }

@@ -11,6 +11,7 @@
 //! | [`fig9`] | Fig. 9(a,b) | dynamic buffer resize time series, sim + threaded runtime |
 //! | [`ablation`] | §3.4 | parameter sensitivity (γ, W, α, δ) |
 //! | [`recovery`] | — (beyond the paper) | atomicity under loss × buffer, pull-based recovery on/off |
+//! | [`churn`] | — (beyond the paper) | delivery among correct nodes under scripted churn (`agb-chaos`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -21,6 +22,7 @@
 
 pub mod ablation;
 pub mod calibrate;
+pub mod churn;
 pub mod common;
 pub mod fig2;
 pub mod fig4;

@@ -2,6 +2,23 @@
 
 use agb_types::NodeId;
 
+/// One unsubscription rumor: the departed node plus the remaining
+/// time-to-live in gossip rounds.
+///
+/// lpbcast removes unsubscriptions "after a certain time" precisely so a
+/// node that later *re*-subscribes is not ghost-evicted forever by its own
+/// stale departure rumor. The TTL travels on the wire and every holder
+/// ages it once per round, so a rumor is globally extinct at most
+/// `ttl` rounds after it was issued — rejoin after eviction works without
+/// synchronized clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unsubscription {
+    /// The node that left (or was evicted as dead).
+    pub node: NodeId,
+    /// Remaining lifetime in gossip rounds.
+    pub ttl: u32,
+}
+
 /// Subscriptions and unsubscriptions carried in a gossip message header,
 /// as in lpbcast.
 ///
@@ -10,12 +27,12 @@ use agb_types::NodeId;
 /// # Example
 ///
 /// ```
-/// use agb_membership::MembershipDigest;
+/// use agb_membership::{MembershipDigest, Unsubscription};
 /// use agb_types::NodeId;
 ///
 /// let d = MembershipDigest {
 ///     subs: vec![NodeId::new(1)],
-///     unsubs: vec![],
+///     unsubs: vec![Unsubscription { node: NodeId::new(2), ttl: 10 }],
 /// };
 /// assert!(!d.is_empty());
 /// assert!(MembershipDigest::default().is_empty());
@@ -24,8 +41,8 @@ use agb_types::NodeId;
 pub struct MembershipDigest {
     /// Nodes known to have (re-)subscribed recently.
     pub subs: Vec<NodeId>,
-    /// Nodes known to have unsubscribed recently.
-    pub unsubs: Vec<NodeId>,
+    /// Nodes known to have unsubscribed recently, with remaining TTLs.
+    pub unsubs: Vec<Unsubscription>,
 }
 
 impl MembershipDigest {
@@ -34,9 +51,15 @@ impl MembershipDigest {
         self.subs.is_empty() && self.unsubs.is_empty()
     }
 
-    /// Number of node ids carried (wire-size accounting).
+    /// Number of entries carried.
     pub fn len(&self) -> usize {
         self.subs.len() + self.unsubs.len()
+    }
+
+    /// Approximate wire size in bytes (4 per subscription, 8 per
+    /// unsubscription: node id + TTL).
+    pub fn wire_size(&self) -> usize {
+        4 * self.subs.len() + 8 * self.unsubs.len()
     }
 }
 
@@ -49,15 +72,20 @@ mod tests {
         let d = MembershipDigest::default();
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
+        assert_eq!(d.wire_size(), 0);
     }
 
     #[test]
     fn len_counts_both_buffers() {
         let d = MembershipDigest {
             subs: vec![NodeId::new(1), NodeId::new(2)],
-            unsubs: vec![NodeId::new(3)],
+            unsubs: vec![Unsubscription {
+                node: NodeId::new(3),
+                ttl: 5,
+            }],
         };
         assert_eq!(d.len(), 3);
+        assert_eq!(d.wire_size(), 16);
         assert!(!d.is_empty());
     }
 }

@@ -24,6 +24,25 @@ pub trait GossipMembership: PeerSampler {
     fn observe_gossip(&mut self, sender: NodeId, digest: &MembershipDigest, rng: &mut DetRng) {
         let _ = (sender, digest, rng);
     }
+
+    /// Evicts a peer believed dead: removed from the view and propagated
+    /// as an unsubscription so the rest of the group forgets it too.
+    ///
+    /// Static views ([`FullView`]) ignore this — the closed-group
+    /// experiments model crashed nodes as silent, not departed.
+    fn evict(&mut self, node: NodeId, rng: &mut DetRng) {
+        let _ = (node, rng);
+    }
+
+    /// Hook called once per gossip round (ages unsubscription rumors on
+    /// partial views; no-op for static views).
+    fn on_round(&mut self) {}
+
+    /// The digest announcing this node's own graceful departure (empty
+    /// for static views).
+    fn make_leave_digest(&self) -> MembershipDigest {
+        MembershipDigest::default()
+    }
 }
 
 impl GossipMembership for FullView {}
@@ -36,6 +55,18 @@ impl GossipMembership for PartialView {
     fn observe_gossip(&mut self, sender: NodeId, digest: &MembershipDigest, rng: &mut DetRng) {
         self.observe_sender(sender, rng);
         self.merge_digest(digest, rng);
+    }
+
+    fn evict(&mut self, node: NodeId, rng: &mut DetRng) {
+        self.observe_unsubscription(node, rng);
+    }
+
+    fn on_round(&mut self) {
+        PartialView::on_round(self);
+    }
+
+    fn make_leave_digest(&self) -> MembershipDigest {
+        PartialView::make_leave_digest(self)
     }
 }
 
@@ -50,6 +81,21 @@ mod tests {
         let view = FullView::new(5);
         let mut rng = DetRng::seed_from_u64(0);
         assert!(view.make_digest(&mut rng).is_empty());
+    }
+
+    #[test]
+    fn evict_removes_and_propagates_on_partial_views() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let mut view = PartialView::new(NodeId::new(0), PartialViewConfig::default());
+        view.observe_sender(NodeId::new(3), &mut rng);
+        assert!(view.contains(NodeId::new(3)));
+        GossipMembership::evict(&mut view, NodeId::new(3), &mut rng);
+        assert!(!view.contains(NodeId::new(3)));
+        assert!(view.has_unsub(NodeId::new(3)));
+        // Full views are static: eviction is a no-op.
+        let mut full = FullView::new(4);
+        GossipMembership::evict(&mut full, NodeId::new(3), &mut rng);
+        assert!(full.contains(NodeId::new(3)));
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod gossiper;
 mod partial;
 mod sampler;
 
-pub use digest::MembershipDigest;
+pub use digest::{MembershipDigest, Unsubscription};
 pub use full::FullView;
 pub use gossiper::GossipMembership;
 pub use partial::{PartialView, PartialViewConfig};

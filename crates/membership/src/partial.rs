@@ -10,7 +10,7 @@ use agb_types::{DetRng, NodeId};
 use rand::seq::index;
 use rand::RngExt;
 
-use crate::digest::MembershipDigest;
+use crate::digest::{MembershipDigest, Unsubscription};
 use crate::sampler::PeerSampler;
 
 /// Size bounds for [`PartialView`].
@@ -27,6 +27,12 @@ pub struct PartialViewConfig {
     pub digest_subs: usize,
     /// See `digest_subs`.
     pub digest_unsubs: usize,
+    /// Lifetime of a locally-issued unsubscription rumor, in gossip
+    /// rounds. The remaining TTL travels on the wire and every holder ages
+    /// it per round, so the rumor is globally extinct after at most this
+    /// many rounds — long enough to inform the group, short enough that a
+    /// rejoining node is not ghost-evicted forever.
+    pub unsub_ttl: u32,
 }
 
 impl Default for PartialViewConfig {
@@ -38,6 +44,7 @@ impl Default for PartialViewConfig {
             max_unsubs: 20,
             digest_subs: 5,
             digest_unsubs: 5,
+            unsub_ttl: 10,
         }
     }
 }
@@ -67,7 +74,7 @@ pub struct PartialView {
     config: PartialViewConfig,
     view: Vec<NodeId>,
     subs: Vec<NodeId>,
-    unsubs: Vec<NodeId>,
+    unsubs: Vec<Unsubscription>,
 }
 
 impl PartialView {
@@ -137,17 +144,39 @@ impl PartialView {
         if node == self.self_id {
             return;
         }
-        self.unsubs.retain(|&u| u != node);
+        self.unsubs.retain(|u| u.node != node);
         self.add_to_view(node, rng);
         Self::add_bounded(&mut self.subs, self.config.max_subs, node, rng);
     }
 
-    /// Records that `node` has left: removed from view/subs, buffered in
-    /// unsubs for further propagation.
+    /// Records a locally-observed departure of `node` (graceful leave or
+    /// failure-detector eviction): removed from view/subs, buffered in
+    /// unsubs with a fresh TTL for further propagation.
     pub fn observe_unsubscription(&mut self, node: NodeId, rng: &mut DetRng) {
+        self.observe_unsubscription_with_ttl(node, self.config.unsub_ttl, rng);
+    }
+
+    fn observe_unsubscription_with_ttl(&mut self, node: NodeId, ttl: u32, rng: &mut DetRng) {
         self.view.retain(|&v| v != node);
         self.subs.retain(|&s| s != node);
-        Self::add_bounded(&mut self.unsubs, self.config.max_unsubs, node, rng);
+        if ttl == 0 {
+            return;
+        }
+        if let Some(existing) = self.unsubs.iter_mut().find(|u| u.node == node) {
+            // Both copies descend from rumors with a bounded global
+            // budget; keeping the larger remaining TTL is safe and avoids
+            // double-buffering.
+            existing.ttl = existing.ttl.max(ttl);
+            return;
+        }
+        if self.config.max_unsubs == 0 {
+            return;
+        }
+        if self.unsubs.len() >= self.config.max_unsubs {
+            let evict = rng.random_range(0..self.unsubs.len());
+            self.unsubs.swap_remove(evict);
+        }
+        self.unsubs.push(Unsubscription { node, ttl });
     }
 
     /// Merges a digest received in a gossip message.
@@ -155,9 +184,9 @@ impl PartialView {
     /// The gossip *sender* is handled separately via
     /// [`PartialView::observe_sender`].
     pub fn merge_digest(&mut self, digest: &MembershipDigest, rng: &mut DetRng) {
-        for &u in &digest.unsubs {
-            if u != self.self_id {
-                self.observe_unsubscription(u, rng);
+        for u in &digest.unsubs {
+            if u.node != self.self_id && u.ttl > 0 {
+                self.observe_unsubscription_with_ttl(u.node, u.ttl, rng);
             }
         }
         for &s in &digest.subs {
@@ -166,9 +195,21 @@ impl PartialView {
     }
 
     /// Notes that we heard from `sender` directly — direct evidence of
-    /// liveness, so it enters the view.
+    /// liveness, so it enters the view; a buffered unsubscription for the
+    /// sender is stale by definition (rejoin after eviction/leave) and is
+    /// dropped rather than re-propagated.
     pub fn observe_sender(&mut self, sender: NodeId, rng: &mut DetRng) {
+        self.unsubs.retain(|u| u.node != sender);
         self.add_to_view(sender, rng);
+    }
+
+    /// Ages the unsubscription buffer by one gossip round, expiring spent
+    /// rumors. Called once per round by the hosting protocol.
+    pub fn on_round(&mut self) {
+        for u in &mut self.unsubs {
+            u.ttl = u.ttl.saturating_sub(1);
+        }
+        self.unsubs.retain(|u| u.ttl > 0);
     }
 
     /// Builds the digest to piggyback on an outgoing gossip message:
@@ -177,8 +218,20 @@ impl PartialView {
     pub fn make_digest(&self, rng: &mut DetRng) -> MembershipDigest {
         let mut subs = sample_subset(&self.subs, self.config.digest_subs.saturating_sub(1), rng);
         subs.push(self.self_id);
-        let unsubs = sample_subset(&self.unsubs, self.config.digest_unsubs, rng);
+        let unsubs = sample_unsubs(&self.unsubs, self.config.digest_unsubs, rng);
         MembershipDigest { subs, unsubs }
+    }
+
+    /// The farewell digest of a gracefully leaving node: its own
+    /// unsubscription with a full TTL.
+    pub fn make_leave_digest(&self) -> MembershipDigest {
+        MembershipDigest {
+            subs: Vec::new(),
+            unsubs: vec![Unsubscription {
+                node: self.self_id,
+                ttl: self.config.unsub_ttl,
+            }],
+        }
     }
 
     /// The buffered subscriptions (test/diagnostic access).
@@ -187,12 +240,28 @@ impl PartialView {
     }
 
     /// The buffered unsubscriptions (test/diagnostic access).
-    pub fn unsubs(&self) -> &[NodeId] {
+    pub fn unsubs(&self) -> &[Unsubscription] {
         &self.unsubs
+    }
+
+    /// Whether an unsubscription rumor for `node` is currently buffered.
+    pub fn has_unsub(&self, node: NodeId) -> bool {
+        self.unsubs.iter().any(|u| u.node == node)
     }
 }
 
 fn sample_subset(list: &[NodeId], amount: usize, rng: &mut DetRng) -> Vec<NodeId> {
+    if list.is_empty() || amount == 0 {
+        return Vec::new();
+    }
+    let amount = amount.min(list.len());
+    index::sample(rng, list.len(), amount)
+        .iter()
+        .map(|i| list[i])
+        .collect()
+}
+
+fn sample_unsubs(list: &[Unsubscription], amount: usize, rng: &mut DetRng) -> Vec<Unsubscription> {
     if list.is_empty() || amount == 0 {
         return Vec::new();
     }
@@ -250,6 +319,7 @@ mod tests {
             max_unsubs: 8,
             digest_subs: 3,
             digest_unsubs: 3,
+            unsub_ttl: 10,
         }
     }
 
@@ -295,7 +365,7 @@ mod tests {
         pv.observe_unsubscription(NodeId::new(5), &mut r);
         assert!(!pv.contains(NodeId::new(5)));
         assert!(!pv.subs().contains(&NodeId::new(5)));
-        assert!(pv.unsubs().contains(&NodeId::new(5)));
+        assert!(pv.has_unsub(NodeId::new(5)));
     }
 
     #[test]
@@ -303,10 +373,10 @@ mod tests {
         let mut r = rng();
         let mut pv = PartialView::new(NodeId::new(0), config(10));
         pv.observe_unsubscription(NodeId::new(7), &mut r);
-        assert!(pv.unsubs().contains(&NodeId::new(7)));
+        assert!(pv.has_unsub(NodeId::new(7)));
         pv.observe_subscription(NodeId::new(7), &mut r);
         assert!(pv.contains(NodeId::new(7)));
-        assert!(!pv.unsubs().contains(&NodeId::new(7)));
+        assert!(!pv.has_unsub(NodeId::new(7)));
     }
 
     #[test]
@@ -381,10 +451,73 @@ mod tests {
         pv.merge_digest(
             &MembershipDigest {
                 subs: vec![],
-                unsubs: vec![NodeId::new(1)],
+                unsubs: vec![Unsubscription {
+                    node: NodeId::new(1),
+                    ttl: 5,
+                }],
             },
             &mut r,
         );
         assert!(pv.unsubs().is_empty());
+    }
+
+    #[test]
+    fn unsub_ttl_ages_out_and_relays_remaining_budget() {
+        let mut r = rng();
+        let mut pv = PartialView::new(NodeId::new(0), config(10));
+        pv.observe_unsubscription(NodeId::new(5), &mut r);
+        assert_eq!(pv.unsubs()[0].ttl, 10);
+        for expected in (1..10).rev() {
+            pv.on_round();
+            assert_eq!(pv.unsubs()[0].ttl, expected, "ttl decrements per round");
+            // Relayed digests carry the *remaining* budget, not a fresh one.
+            let d = pv.make_digest(&mut r);
+            assert!(d.unsubs.iter().all(|u| u.ttl == expected));
+        }
+        pv.on_round();
+        assert!(pv.unsubs().is_empty(), "rumor expired");
+    }
+
+    #[test]
+    fn merged_unsub_keeps_incoming_budget() {
+        let mut r = rng();
+        let mut pv = PartialView::new(NodeId::new(0), config(10));
+        pv.merge_digest(
+            &MembershipDigest {
+                subs: vec![],
+                unsubs: vec![Unsubscription {
+                    node: NodeId::new(3),
+                    ttl: 4,
+                }],
+            },
+            &mut r,
+        );
+        assert_eq!(pv.unsubs()[0].ttl, 4, "no TTL refresh on relay");
+        // A zero-TTL rumor is dead on arrival: not buffered, not applied.
+        pv.observe_sender(NodeId::new(6), &mut r);
+        pv.merge_digest(
+            &MembershipDigest {
+                subs: vec![],
+                unsubs: vec![Unsubscription {
+                    node: NodeId::new(6),
+                    ttl: 0,
+                }],
+            },
+            &mut r,
+        );
+        assert!(pv.contains(NodeId::new(6)));
+        assert!(!pv.has_unsub(NodeId::new(6)));
+    }
+
+    #[test]
+    fn direct_contact_clears_stale_unsub() {
+        let mut r = rng();
+        let mut pv = PartialView::new(NodeId::new(0), config(10));
+        pv.observe_unsubscription(NodeId::new(4), &mut r);
+        assert!(pv.has_unsub(NodeId::new(4)));
+        // The "departed" node gossips to us directly: the rumor is stale.
+        pv.observe_sender(NodeId::new(4), &mut r);
+        assert!(pv.contains(NodeId::new(4)));
+        assert!(!pv.has_unsub(NodeId::new(4)));
     }
 }

@@ -2,6 +2,7 @@
 
 use agb_membership::{
     FullView, GossipMembership, MembershipDigest, PartialView, PartialViewConfig, PeerSampler,
+    Unsubscription,
 };
 use agb_types::{DetRng, NodeId};
 use proptest::prelude::*;
@@ -31,13 +32,14 @@ proptest! {
     }
 
     /// Partial views never exceed their bounds and never contain self,
-    /// under arbitrary interleavings of subscriptions, unsubscriptions and
-    /// digest merges.
+    /// under arbitrary interleavings of subscriptions, unsubscriptions,
+    /// evictions, round aging and digest merges (randomized
+    /// join/leave/eviction sequences).
     #[test]
     fn partial_view_invariants(
         seed in any::<u64>(),
         max_view in 1usize..16,
-        ops in proptest::collection::vec((0u8..3, 0u32..32), 0..120),
+        ops in proptest::collection::vec((0u8..5, 0u32..32, 1u32..11), 0..120),
     ) {
         let me = NodeId::new(99);
         let config = PartialViewConfig {
@@ -46,19 +48,22 @@ proptest! {
             max_unsubs: 8,
             digest_subs: 3,
             digest_unsubs: 3,
+            unsub_ttl: 10,
         };
         let mut rng = DetRng::seed_from_u64(seed);
         let mut view = PartialView::new(me, config);
-        for (op, node) in ops {
+        for (op, node, ttl) in ops {
             let node = NodeId::new(node);
             match op {
                 0 => view.observe_subscription(node, &mut rng),
                 1 => view.observe_unsubscription(node, &mut rng),
+                2 => GossipMembership::evict(&mut view, node, &mut rng),
+                3 => view.on_round(),
                 _ => view.observe_gossip(
                     node,
                     &MembershipDigest {
                         subs: vec![node, me],
-                        unsubs: vec![],
+                        unsubs: vec![Unsubscription { node: NodeId::new(node.as_u32() / 2), ttl }],
                     },
                     &mut rng,
                 ),
@@ -67,11 +72,86 @@ proptest! {
             prop_assert!(!view.contains(me), "view must never contain self");
             prop_assert!(view.subs().len() <= 8);
             prop_assert!(view.unsubs().len() <= 8);
+            // Unsub rumors never outlive their TTL budget and never name
+            // self.
+            for u in view.unsubs() {
+                prop_assert!(u.ttl >= 1 && u.ttl <= 10);
+                prop_assert!(u.node != me);
+            }
             // subs/unsubs are disjoint.
             for s in view.subs() {
-                prop_assert!(!view.unsubs().contains(s));
+                prop_assert!(!view.has_unsub(*s));
+            }
+            // Nothing unsubscribed can linger in the view.
+            for u in view.unsubs() {
+                prop_assert!(!view.contains(u.node));
             }
         }
+    }
+
+    /// A stable joiner that keeps gossiping is eventually included: no
+    /// randomized prefix of join/leave/evict churn can lock it out
+    /// forever, because direct liveness evidence clears stale rumors and
+    /// unsub TTLs expire.
+    #[test]
+    fn stable_joiner_is_eventually_included(
+        seed in any::<u64>(),
+        churn in proptest::collection::vec((0u8..3, 0u32..16), 0..60),
+    ) {
+        let me = NodeId::new(99);
+        let joiner = NodeId::new(7);
+        let config = PartialViewConfig {
+            max_view: 12,
+            max_subs: 8,
+            max_unsubs: 8,
+            digest_subs: 3,
+            digest_unsubs: 3,
+            unsub_ttl: 10,
+        };
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut view = PartialView::new(me, config);
+        // Arbitrary churn, including evictions of the joiner itself.
+        for (op, node) in churn {
+            let node = NodeId::new(node);
+            match op {
+                0 => view.observe_subscription(node, &mut rng),
+                1 => view.observe_unsubscription(node, &mut rng),
+                _ => GossipMembership::evict(&mut view, node, &mut rng),
+            }
+        }
+        // The joiner then gossips to us for enough rounds to outlive every
+        // rumor; each round we also age buffers as the protocol does.
+        let digest = MembershipDigest { subs: vec![joiner], unsubs: vec![] };
+        for _ in 0..11 {
+            view.on_round();
+            view.observe_gossip(joiner, &digest, &mut rng);
+        }
+        prop_assert!(
+            view.contains(joiner),
+            "stable joiner locked out: view {:?}, unsubs {:?}",
+            view.view(),
+            view.unsubs()
+        );
+        prop_assert!(!view.has_unsub(joiner));
+    }
+
+    /// Unsubscription rumors die: after `unsub_ttl` rounds with no fresh
+    /// evidence, the buffer is empty regardless of the churn prefix.
+    #[test]
+    fn unsub_rumors_expire_within_ttl(
+        seed in any::<u64>(),
+        departures in proptest::collection::vec(0u32..32, 1..16),
+    ) {
+        let config = PartialViewConfig { unsub_ttl: 6, ..PartialViewConfig::default() };
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut view = PartialView::new(NodeId::new(99), config);
+        for d in departures {
+            view.observe_unsubscription(NodeId::new(d), &mut rng);
+        }
+        for _ in 0..6 {
+            view.on_round();
+        }
+        prop_assert!(view.unsubs().is_empty(), "rumors survived their TTL");
     }
 
     /// Digests are bounded and always re-advertise the owner.

@@ -4,6 +4,7 @@
 use agb_core::ProtocolEvent;
 use agb_types::{DurationMs, NodeId, TimeMs};
 
+use crate::churn::{CatchUpTracker, MembershipTimeline};
 use crate::delivery::{AtomicityReport, DeliveryTracker};
 use crate::drop_age::DropAgeStats;
 use crate::rates::{AllowedRateTracker, RateMeter};
@@ -33,6 +34,8 @@ pub struct MetricsCollector {
     delivered: RateMeter,
     allowed: AllowedRateTracker,
     recovery: RecoveryStats,
+    timeline: MembershipTimeline,
+    catch_up: CatchUpTracker,
 }
 
 impl MetricsCollector {
@@ -47,6 +50,8 @@ impl MetricsCollector {
             delivered: RateMeter::new(bin),
             allowed: AllowedRateTracker::new(),
             recovery: RecoveryStats::new(bin),
+            timeline: MembershipTimeline::new(n_nodes),
+            catch_up: CatchUpTracker::default(),
         }
     }
 
@@ -71,6 +76,7 @@ impl MetricsCollector {
                 self.deliveries
                     .on_delivered(node, event.id(), event.age(), *at);
                 self.delivered.record(*at);
+                self.catch_up.on_delivery(node, *at);
             }
             ProtocolEvent::Dropped {
                 id: _,
@@ -92,8 +98,9 @@ impl MetricsCollector {
             } => {
                 self.recovery.on_served(*events, *missed, *at);
             }
-            ProtocolEvent::Recovered { .. } => {
+            ProtocolEvent::Recovered { at, .. } => {
                 self.recovery.on_recovered();
+                self.catch_up.on_recovered(node, *at);
             }
             ProtocolEvent::RecoveryDuplicate { .. } => {
                 self.recovery.on_duplicate();
@@ -143,6 +150,42 @@ impl MetricsCollector {
     /// Recovery-layer aggregates (zeros when recovery is disabled).
     pub fn recovery(&self) -> &RecoveryStats {
         &self.recovery
+    }
+
+    /// Records a membership transition (node up/down) at `at` — called by
+    /// the scenario driver as it schedules churn.
+    pub fn record_membership(&mut self, node: NodeId, at: TimeMs, up: bool) {
+        self.timeline.record(node, at, up);
+        if up {
+            self.catch_up.mark_restart(node, at);
+        }
+    }
+
+    /// Marks a node absent from the start of the run (late joiner).
+    pub fn mark_absent_from_start(&mut self, node: NodeId) {
+        self.timeline.set_absent_from_start(node);
+    }
+
+    /// The recorded up/down timeline.
+    pub fn membership_timeline(&self) -> &MembershipTimeline {
+        &self.timeline
+    }
+
+    /// Post-rejoin catch-up measurements.
+    pub fn catch_up(&self) -> &CatchUpTracker {
+        &self.catch_up
+    }
+
+    /// Convenience: atomicity among correct nodes (threshold 0.95) over an
+    /// admission-time window, with `horizon` as the per-message
+    /// dissemination allowance.
+    pub fn correct_atomicity_95(
+        &self,
+        window: Option<(TimeMs, TimeMs)>,
+        horizon: DurationMs,
+    ) -> AtomicityReport {
+        self.deliveries
+            .correct_atomicity(0.95, window, &self.timeline, horizon)
     }
 
     /// Convenience: recovery control messages per delivered message.

@@ -140,14 +140,23 @@ impl DeliveryTracker {
         self.records.iter()
     }
 
+    /// Windowed records in a deterministic (id-sorted) order, so
+    /// float aggregation over them is reproducible regardless of hash-map
+    /// iteration order.
     fn windowed(&self, window: Option<(TimeMs, TimeMs)>) -> impl Iterator<Item = &MessageRecord> {
-        self.records.values().filter(move |r| match window {
-            None => true,
-            Some((from, to)) => match r.admitted_at.or(r.first_delivery) {
-                Some(t) => t >= from && t < to,
-                None => false,
-            },
-        })
+        let mut selected: Vec<(&EventId, &MessageRecord)> = self
+            .records
+            .iter()
+            .filter(move |(_, r)| match window {
+                None => true,
+                Some((from, to)) => match r.admitted_at.or(r.first_delivery) {
+                    Some(t) => t >= from && t < to,
+                    None => false,
+                },
+            })
+            .collect();
+        selected.sort_by_key(|&(id, _)| *id);
+        selected.into_iter().map(|(_, r)| r)
     }
 
     /// Atomicity over messages admitted within `window` (or all).
@@ -220,6 +229,62 @@ impl DeliveryTracker {
             .collect();
         out.sort_by_key(|&(t, _)| t);
         out
+    }
+
+    /// Atomicity measured **among correct nodes**: for each message, the
+    /// eligible receiver set is the nodes that stayed up throughout
+    /// `[admission, admission + horizon]` according to `timeline`; the
+    /// delivery fraction and the `threshold` criterion are computed against
+    /// that set instead of the nominal group size.
+    ///
+    /// This is the churn experiments' headline metric: a crashed node
+    /// cannot be expected to deliver, so it must not count against the
+    /// protocol — while a node that stayed up and still missed the message
+    /// must.
+    ///
+    /// Messages whose eligible set is empty (everyone churned) are skipped.
+    pub fn correct_atomicity(
+        &self,
+        threshold: f64,
+        window: Option<(TimeMs, TimeMs)>,
+        timeline: &crate::MembershipTimeline,
+        horizon: agb_types::DurationMs,
+    ) -> AtomicityReport {
+        let mut messages = 0usize;
+        let mut fraction_sum = 0.0f64;
+        let mut atomic = 0usize;
+        for rec in self.windowed(window) {
+            let Some(t0) = rec.admitted_at.or(rec.first_delivery) else {
+                continue;
+            };
+            let eligible = timeline.correct_nodes(t0, t0 + horizon);
+            if eligible.is_empty() {
+                continue;
+            }
+            let reached = eligible
+                .iter()
+                .filter(|n| rec.receivers.contains(n))
+                .count();
+            messages += 1;
+            let frac = reached as f64 / eligible.len() as f64;
+            fraction_sum += frac;
+            if frac > threshold {
+                atomic += 1;
+            }
+        }
+        AtomicityReport {
+            messages,
+            avg_receiver_fraction: if messages == 0 {
+                0.0
+            } else {
+                fraction_sum / messages as f64
+            },
+            atomic_fraction: if messages == 0 {
+                0.0
+            } else {
+                atomic as f64 / messages as f64
+            },
+        }
     }
 
     /// Mean delivery age (hops) across all windowed messages' deliveries.
@@ -325,6 +390,44 @@ mod tests {
         t.on_delivered(NodeId::new(0), id(0, 1), 6, TimeMs::ZERO);
         assert!((t.mean_delivery_age(None) - 4.0).abs() < 1e-12);
         assert!((t.record(id(0, 0)).unwrap().mean_delivery_age() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_atomicity_excludes_churned_nodes() {
+        use crate::MembershipTimeline;
+        let mut t = DeliveryTracker::new(4);
+        let mut tl = MembershipTimeline::new(4);
+        // Node 3 is down for the whole dissemination window of message 0.
+        tl.record(NodeId::new(3), TimeMs::from_secs(1), false);
+        tl.record(NodeId::new(3), TimeMs::from_secs(60), true);
+        t.on_admitted(id(0, 0), TimeMs::from_secs(5));
+        for n in 0..3 {
+            t.on_delivered(NodeId::new(n), id(0, 0), 1, TimeMs::from_secs(6));
+        }
+        // Raw atomicity counts node 3 as a miss...
+        let raw = t.atomicity(0.95, None);
+        assert!((raw.avg_receiver_fraction - 0.75).abs() < 1e-12);
+        assert_eq!(raw.atomic_fraction, 0.0);
+        // ...the correct-node report does not.
+        let correct = t.correct_atomicity(0.95, None, &tl, agb_types::DurationMs::from_secs(10));
+        assert_eq!(correct.messages, 1);
+        assert_eq!(correct.avg_receiver_fraction, 1.0);
+        assert_eq!(correct.atomic_fraction, 1.0);
+    }
+
+    #[test]
+    fn correct_atomicity_still_counts_up_nodes_that_missed() {
+        use crate::MembershipTimeline;
+        let mut t = DeliveryTracker::new(4);
+        let tl = MembershipTimeline::new(4);
+        t.on_admitted(id(0, 0), TimeMs::from_secs(5));
+        for n in 0..3 {
+            t.on_delivered(NodeId::new(n), id(0, 0), 1, TimeMs::from_secs(6));
+        }
+        // All four nodes stayed up: node 3's miss is a real miss.
+        let correct = t.correct_atomicity(0.95, None, &tl, agb_types::DurationMs::from_secs(10));
+        assert!((correct.avg_receiver_fraction - 0.75).abs() < 1e-12);
+        assert_eq!(correct.atomic_fraction, 0.0);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   time-axis plots;
 //! * **recovery** ([`RecoveryStats`]) — graft/retransmission counters and
 //!   the `recovery_overhead` series of the pull-based repair layer
-//!   (`agb-recovery`).
+//!   (`agb-recovery`);
+//! * **churn** ([`MembershipTimeline`], [`CatchUpTracker`]) — per-node
+//!   up/down intervals, delivery ratios among *correct* nodes, and
+//!   post-rejoin catch-up latency for the fault-injection scenarios
+//!   (`agb-chaos`).
 //!
 //! [`MetricsCollector`] glues them together: feed it every
 //! [`ProtocolEvent`](agb_core::ProtocolEvent) drained from every node and
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod collector;
 mod delivery;
 mod drop_age;
@@ -33,6 +38,7 @@ mod recovery;
 mod report;
 mod series;
 
+pub use churn::{CatchUpRecord, CatchUpTracker, MembershipTimeline};
 pub use collector::MetricsCollector;
 pub use delivery::{AtomicityReport, DeliveryTracker, MessageRecord};
 pub use drop_age::DropAgeStats;

@@ -420,6 +420,24 @@ impl<P: GossipProtocol> FrameProtocol for RecoverableNode<P> {
     fn min_buff_estimate(&self) -> Option<u32> {
         GossipProtocol::min_buff_estimate(&self.inner)
     }
+
+    fn membership_view(&self) -> Vec<NodeId> {
+        GossipProtocol::membership_view(&self.inner)
+    }
+
+    fn leave(&mut self, now: TimeMs) -> Vec<(NodeId, GossipFrame)> {
+        let msgs = GossipProtocol::leave(&mut self.inner, now);
+        self.sync();
+        // Farewell frames advertise nothing: the leaver will not be around
+        // to serve grafts.
+        msgs.into_iter()
+            .map(|(to, msg)| (to, GossipFrame::plain(msg)))
+            .collect()
+    }
+
+    fn evict_peer(&mut self, node: NodeId) {
+        GossipProtocol::evict_peer(&mut self.inner, node);
+    }
 }
 
 /// Boxes a protocol node for frame-level driving, wrapping it in the

@@ -2,7 +2,7 @@
 //! deployment ("60 processes ... deployed on 60 workstations").
 
 use std::io;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -75,6 +75,37 @@ impl RuntimeClusterConfig {
             metrics_bin: DurationMs::from_millis(250),
             recovery: None,
         }
+    }
+}
+
+/// Builds one node's protocol state machine (initial spawn and the
+/// restart-with-state-loss factory share this).
+fn build_protocol(
+    config: &RuntimeClusterConfig,
+    id: NodeId,
+    rng: DetRng,
+) -> Box<dyn FrameProtocol + Send> {
+    if config.adaptive {
+        boxed_frame_protocol(
+            AdaptiveNode::new(
+                id,
+                config.gossip.clone(),
+                config.adaptation.clone(),
+                FullView::new(config.n_nodes),
+                rng,
+            ),
+            config.recovery.clone(),
+        )
+    } else {
+        boxed_frame_protocol(
+            LpbcastNode::new(
+                id,
+                config.gossip.clone(),
+                FullView::new(config.n_nodes),
+                rng,
+            ),
+            config.recovery.clone(),
+        )
     }
 }
 
@@ -153,34 +184,23 @@ impl RuntimeCluster {
     ) -> NodeHandle {
         let id = NodeId::new(i as u32);
         let rng: DetRng = seeds.rng_for("runtime-node", i as u64);
-        let protocol: Box<dyn FrameProtocol + Send> = if config.adaptive {
-            boxed_frame_protocol(
-                AdaptiveNode::new(
-                    id,
-                    config.gossip.clone(),
-                    config.adaptation.clone(),
-                    FullView::new(config.n_nodes),
-                    rng,
-                ),
-                config.recovery.clone(),
-            )
-        } else {
-            boxed_frame_protocol(
-                LpbcastNode::new(
-                    id,
-                    config.gossip.clone(),
-                    FullView::new(config.n_nodes),
-                    rng,
-                ),
-                config.recovery.clone(),
-            )
-        };
+        let protocol = build_protocol(config, id, rng);
         let is_sender = i < config.n_senders && per_sender > 0.0;
         if is_sender && config.adaptive {
             metrics
                 .lock()
                 .set_initial_rate(id, config.adaptation.initial_rate);
         }
+        // Restart-with-state-loss factory: fresh RNG stream per rebuild so
+        // a restarted node does not replay its pre-crash randomness.
+        let rebuild_config = config.clone();
+        let rebuild_seeds = *seeds;
+        let rebuild_epoch = Arc::new(AtomicU64::new(1));
+        let rebuild: Box<dyn Fn() -> Box<dyn FrameProtocol + Send> + Send> = Box::new(move || {
+            let e = rebuild_epoch.fetch_add(1, Ordering::Relaxed);
+            let rng: DetRng = rebuild_seeds.rng_for("runtime-restart", i as u64 + (e << 32));
+            build_protocol(&rebuild_config, id, rng)
+        });
         let (tx, rx) = unbounded();
         spawn_node(
             id,
@@ -189,6 +209,7 @@ impl RuntimeCluster {
                 offered_rate: if is_sender { per_sender } else { 0.0 },
                 payload: payload.clone(),
                 max_backlog: 2,
+                rebuild: Some(rebuild),
             },
             transport,
             Arc::clone(metrics),
@@ -224,6 +245,39 @@ impl RuntimeCluster {
         for n in nodes {
             self.resize(n, capacity);
         }
+    }
+
+    /// Crash-stops one node (state kept); returns `false` if it already
+    /// exited.
+    pub fn crash(&self, node: NodeId) -> bool {
+        self.metrics
+            .lock()
+            .record_membership(node, self.elapsed(), false);
+        self.handles[node.index()].command(Command::Crash)
+    }
+
+    /// Recovers a crashed node, state intact.
+    pub fn recover(&self, node: NodeId) -> bool {
+        self.metrics
+            .lock()
+            .record_membership(node, self.elapsed(), true);
+        self.handles[node.index()].command(Command::Recover)
+    }
+
+    /// Restarts one node with state loss (fresh protocol state machine).
+    pub fn restart(&self, node: NodeId) -> bool {
+        self.metrics
+            .lock()
+            .record_membership(node, self.elapsed(), true);
+        self.handles[node.index()].command(Command::Restart)
+    }
+
+    /// Gracefully removes one node: farewell frames, then silence.
+    pub fn leave(&self, node: NodeId) -> bool {
+        self.metrics
+            .lock()
+            .record_membership(node, self.elapsed(), false);
+        self.handles[node.index()].command(Command::Leave)
     }
 
     /// Lets the cluster run for `d` of wall-clock time.
@@ -307,6 +361,48 @@ mod tests {
             final_rate < 200.0,
             "adaptive sender should have throttled, rate {final_rate}"
         );
+    }
+
+    #[test]
+    fn crash_recover_restart_lifecycle() {
+        let mut config = RuntimeClusterConfig::quick(6, 21);
+        config.offered_rate = 20.0;
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(300));
+        // Crash a receiver, let traffic flow past it, then restart it with
+        // state loss.
+        assert!(cluster.crash(NodeId::new(5)));
+        cluster.run_for(Duration::from_millis(300));
+        assert!(cluster.restart(NodeId::new(5)));
+        cluster.run_for(Duration::from_millis(500));
+        let metrics = cluster.stop();
+        // The timeline recorded the outage and the catch-up tracker saw the
+        // node deliver again after the restart.
+        let tl = metrics.membership_timeline();
+        assert!(tl.has_churn());
+        let restarts = metrics.catch_up().records();
+        assert_eq!(restarts.len(), 1);
+        assert!(
+            restarts[0].first_delivery.is_some(),
+            "restarted node must deliver again"
+        );
+        let report = metrics.deliveries().atomicity(0.95, None);
+        assert!(report.messages > 3);
+    }
+
+    #[test]
+    fn leave_command_goes_silent() {
+        let mut config = RuntimeClusterConfig::quick(4, 33);
+        config.offered_rate = 10.0;
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(200));
+        assert!(cluster.leave(NodeId::new(3)));
+        cluster.run_for(Duration::from_millis(400));
+        let metrics = cluster.stop();
+        // Node 3 is down in the recorded timeline from the leave on.
+        assert!(!metrics
+            .membership_timeline()
+            .up_at(NodeId::new(3), TimeMs::from_secs(3600)));
     }
 
     #[test]

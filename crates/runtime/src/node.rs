@@ -21,6 +21,19 @@ pub enum Command {
     Offer(Payload),
     /// Resize the event buffer (the Figure 9 runtime experiment).
     Resize(usize),
+    /// Crash-stop: the node stops gossiping, receiving and offering, but
+    /// keeps its state for a later [`Command::Recover`].
+    Crash,
+    /// Resume after a [`Command::Crash`], state intact.
+    Recover,
+    /// Restart with state loss: the protocol state machine is rebuilt from
+    /// the node's factory (see [`NodeRuntime::rebuild`]) and the node
+    /// resumes. Falls back to [`Command::Recover`] when no factory is
+    /// installed.
+    Restart,
+    /// Graceful leave: emit farewell frames (flushing the buffer and, with
+    /// partial views, propagating the unsubscription), then go silent.
+    Leave,
 }
 
 /// Handle to a spawned node thread.
@@ -48,6 +61,9 @@ pub struct NodeRuntime {
     pub payload: Payload,
     /// Blocking-application backlog bound.
     pub max_backlog: usize,
+    /// Factory rebuilding the protocol from scratch, used by
+    /// [`Command::Restart`] to model restart-with-state-loss.
+    pub rebuild: Option<Box<dyn Fn() -> Box<dyn FrameProtocol + Send> + Send>>,
 }
 
 /// Spawns the node's event loop on a dedicated OS thread.
@@ -100,6 +116,9 @@ fn node_loop<T: Transport>(
     let mut next_offer = offer_gap.map(|g| epoch + g);
 
     let now_ms = |at: Instant| TimeMs::from_millis(at.duration_since(epoch).as_millis() as u64);
+    // Crash-stopped (or departed) until further command: datagrams are
+    // drained and discarded, rounds and offers are suppressed.
+    let mut down = false;
 
     while !shutdown.load(Ordering::Relaxed) {
         // 1. Control commands.
@@ -107,12 +126,50 @@ fn node_loop<T: Transport>(
             let now = now_ms(Instant::now());
             match cmd {
                 Command::Offer(payload) => {
-                    runtime.protocol.offer(payload, now);
+                    if !down {
+                        runtime.protocol.offer(payload, now);
+                    }
                 }
                 Command::Resize(cap) => {
                     runtime.protocol.set_buffer_capacity(cap, now);
                 }
+                Command::Crash => {
+                    down = true;
+                }
+                Command::Recover => {
+                    down = false;
+                    next_round = Instant::now() + period;
+                    if let Some(gap) = offer_gap {
+                        next_offer = Some(Instant::now() + gap);
+                    }
+                }
+                Command::Restart => {
+                    if let Some(rebuild) = &runtime.rebuild {
+                        runtime.protocol = rebuild();
+                    }
+                    down = false;
+                    next_round = Instant::now() + period;
+                    if let Some(gap) = offer_gap {
+                        next_offer = Some(Instant::now() + gap);
+                    }
+                }
+                Command::Leave => {
+                    for (to, frame) in runtime.protocol.leave(now) {
+                        for frag in wire::split_frame_for_datagram(&frame, MAX_DATAGRAM) {
+                            transport.send(to, frag);
+                        }
+                    }
+                    down = true;
+                }
             }
+        }
+
+        if down {
+            // Keep the socket drained (datagrams addressed to a crashed
+            // node are lost, not queued) and the command channel
+            // responsive.
+            let _ = transport.recv_timeout(Duration::from_millis(5));
+            continue;
         }
 
         // 2. Paced local offers (blocking-application semantics: skip when
@@ -210,6 +267,7 @@ mod tests {
                     offered_rate: 0.0,
                     payload: Payload::new(),
                     max_backlog: 2,
+                    rebuild: None,
                 },
                 transport,
                 Arc::clone(&metrics),

@@ -8,7 +8,7 @@
 use agb_core::{
     BuffAd, Event, GossipFrame, GossipMessage, GraftRequest, IHaveDigest, Retransmission,
 };
-use agb_membership::MembershipDigest;
+use agb_membership::{MembershipDigest, Unsubscription};
 use agb_types::{EventId, NodeId, Payload};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -84,7 +84,8 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
     }
     buf.put_u16_le(msg.membership.unsubs.len() as u16);
     for u in &msg.membership.unsubs {
-        buf.put_u32_le(u.as_u32());
+        buf.put_u32_le(u.node.as_u32());
+        buf.put_u32_le(u.ttl);
     }
     put_events(&mut buf, &msg.events);
     buf.freeze()
@@ -132,11 +133,15 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
     let subs = (0..n_subs).map(|_| NodeId::new(buf.get_u32_le())).collect();
     need(&buf, 2)?;
     let n_unsubs = buf.get_u16_le() as usize;
-    if buf.remaining() < n_unsubs * 4 {
+    if buf.remaining() < n_unsubs * 8 {
         return Err(WireError::BadLength);
     }
     let unsubs = (0..n_unsubs)
-        .map(|_| NodeId::new(buf.get_u32_le()))
+        .map(|_| {
+            let node = NodeId::new(buf.get_u32_le());
+            let ttl = buf.get_u32_le();
+            Unsubscription { node, ttl }
+        })
         .collect();
     let events = get_events(&mut buf)?;
     Ok(GossipMessage {
@@ -483,7 +488,10 @@ mod tests {
             ],
             membership: MembershipDigest {
                 subs: vec![NodeId::new(3), NodeId::new(4)],
-                unsubs: vec![NodeId::new(5)],
+                unsubs: vec![Unsubscription {
+                    node: NodeId::new(5),
+                    ttl: 9,
+                }],
             },
         }
     }

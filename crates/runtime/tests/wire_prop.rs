@@ -3,7 +3,7 @@
 //! content.
 
 use agb_core::{BuffAd, Event, GossipMessage};
-use agb_membership::MembershipDigest;
+use agb_membership::{MembershipDigest, Unsubscription};
 use agb_runtime::wire::{decode, encode, split_for_datagram};
 use agb_types::{EventId, NodeId, Payload};
 use proptest::prelude::*;
@@ -31,7 +31,7 @@ fn arb_message() -> impl Strategy<Value = GossipMessage> {
         proptest::collection::vec((0u32..64, 1u32..1_000), 0..4),
         proptest::collection::vec(arb_event(), 0..24),
         proptest::collection::vec(0u32..64, 0..6),
-        proptest::collection::vec(0u32..64, 0..6),
+        proptest::collection::vec((0u32..64, 1u32..32), 0..6),
     )
         .prop_map(
             |(sender, period, ads, events, subs, unsubs)| GossipMessage {
@@ -47,7 +47,13 @@ fn arb_message() -> impl Strategy<Value = GossipMessage> {
                 events,
                 membership: MembershipDigest {
                     subs: subs.into_iter().map(NodeId::new).collect(),
-                    unsubs: unsubs.into_iter().map(NodeId::new).collect(),
+                    unsubs: unsubs
+                        .into_iter()
+                        .map(|(node, ttl)| Unsubscription {
+                            node: NodeId::new(node),
+                            ttl,
+                        })
+                        .collect(),
                 },
             },
         )

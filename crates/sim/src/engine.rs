@@ -130,6 +130,11 @@ impl<'a, M> SimCtx<'a, M> {
 type NodeControlFn<N> = Box<dyn FnOnce(&mut N, TimeMs)>;
 /// A scheduled control action against the whole node slice.
 type GlobalControlFn<N> = Box<dyn FnOnce(&mut [N], TimeMs)>;
+/// A scheduled action against one node *with network access* (may send
+/// messages and manage timers through the context).
+type NodeActionFn<N, M> = Box<dyn FnOnce(&mut N, &mut SimCtx<'_, M>)>;
+/// A scheduled mutation of the live network configuration.
+type NetControlFn = Box<dyn FnOnce(&mut crate::network::NetworkConfig, TimeMs)>;
 
 enum EventKind<N: SimNode> {
     Deliver {
@@ -149,9 +154,20 @@ enum EventKind<N: SimNode> {
     GlobalControl {
         f: GlobalControlFn<N>,
     },
+    NodeAction {
+        node: NodeId,
+        f: NodeActionFn<N, N::Msg>,
+    },
+    NetControl {
+        f: NetControlFn,
+    },
     SetDown {
         node: NodeId,
         down: bool,
+    },
+    Restart {
+        node: NodeId,
+        f: NodeControlFn<N>,
     },
 }
 
@@ -203,6 +219,7 @@ impl NetStats {
 pub struct SimulationBuilder {
     seed: u64,
     network: NetworkConfig,
+    initially_down: Vec<NodeId>,
 }
 
 impl SimulationBuilder {
@@ -212,12 +229,25 @@ impl SimulationBuilder {
         SimulationBuilder {
             seed,
             network: NetworkConfig::default(),
+            initially_down: Vec::new(),
         }
     }
 
     /// Sets the network configuration.
     pub fn network(mut self, config: NetworkConfig) -> Self {
         self.network = config;
+        self
+    }
+
+    /// Marks nodes that start *down*: their `on_start` does not run at
+    /// time zero, they receive no messages and fire no timers until a
+    /// scheduled [`Simulation::schedule_restart`] brings them up.
+    ///
+    /// This is how churn scenarios host late joiners: the node slot exists
+    /// from the beginning (ids are stable), but the node only enters the
+    /// system when its join is scheduled.
+    pub fn initially_down(mut self, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        self.initially_down.extend(nodes);
         self
     }
 
@@ -229,13 +259,18 @@ impl SimulationBuilder {
         let seeds = SeedSequence::new(self.seed);
         let net_rng: DetRng = seeds.rng_for("network", 0);
         let n = nodes.len();
+        let mut down = vec![false; n];
+        for id in &self.initially_down {
+            down[id.index()] = true;
+        }
         Simulation {
             nodes,
             queue: EventQueue::new(),
             now: TimeMs::ZERO,
             net: NetworkModel::new(self.network, net_rng),
             timers: (0..n).map(|_| HashMap::new()).collect(),
-            down: vec![false; n],
+            timer_gen: vec![0; n],
+            down,
             stats: NetStats::default(),
             tracer: None,
             started: false,
@@ -252,6 +287,10 @@ pub struct Simulation<N: SimNode> {
     now: TimeMs,
     net: NetworkModel,
     timers: Vec<HashMap<TimerId, TimerSlot>>,
+    /// Monotonic per-node timer generation: survives timer-map clears on
+    /// restart, so stale queued fires can never collide with re-armed
+    /// timers.
+    timer_gen: Vec<u64>,
     down: Vec<bool>,
     stats: NetStats,
     tracer: Option<Box<dyn Tracer>>,
@@ -357,6 +396,63 @@ impl<N: SimNode> Simulation<N> {
             .push(at, EventKind::SetDown { node, down: false });
     }
 
+    /// Schedules a *restart with state loss* (or the first spawn of an
+    /// [`initially_down`](SimulationBuilder::initially_down) node): at `at`
+    /// the node's pending timers are cleared, `f` runs to replace/reset its
+    /// state, the node is marked up, and its `on_start` is invoked so it
+    /// re-enters the system through its own bootstrap path.
+    pub fn schedule_restart(
+        &mut self,
+        at: TimeMs,
+        node: NodeId,
+        f: impl FnOnce(&mut N, TimeMs) + 'static,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::Restart {
+                node,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Schedules a closure that runs against one node *with network
+    /// access*: unlike [`schedule_node_control`](Self::schedule_node_control),
+    /// the closure receives a [`SimCtx`] and may send messages and manage
+    /// timers (e.g. a graceful leave emitting farewell messages, or a
+    /// sender burst storm).
+    pub fn schedule_node_action(
+        &mut self,
+        at: TimeMs,
+        node: NodeId,
+        f: impl FnOnce(&mut N, &mut SimCtx<'_, N::Msg>) + 'static,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::NodeAction {
+                node,
+                f: Box::new(f),
+            },
+        );
+    }
+
+    /// Schedules a mutation of the live network configuration (partitions
+    /// forming/healing, link faults flapping, loss spikes) at virtual time
+    /// `at`.
+    pub fn schedule_network_control(
+        &mut self,
+        at: TimeMs,
+        f: impl FnOnce(&mut NetworkConfig, TimeMs) + 'static,
+    ) {
+        self.queue
+            .push(at, EventKind::NetControl { f: Box::new(f) });
+    }
+
+    /// Whether `node` is currently down (crashed or not yet spawned).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[node.index()]
+    }
+
     /// Runs the simulation until virtual time `t` (inclusive), then sets the
     /// clock to `t`.
     pub fn run_until(&mut self, t: TimeMs) {
@@ -403,6 +499,11 @@ impl<N: SimNode> Simulation<N> {
         }
         self.started = true;
         for i in 0..self.nodes.len() {
+            // Initially-down nodes (late joiners) bootstrap through their
+            // scheduled restart instead.
+            if self.down[i] {
+                continue;
+            }
             self.invoke(NodeId::new(i as u32), Invocation::Start);
         }
     }
@@ -473,13 +574,33 @@ impl<N: SimNode> Simulation<N> {
             EventKind::GlobalControl { f } => {
                 f(&mut self.nodes, self.now);
             }
+            EventKind::NodeAction { node, f } => {
+                self.invoke_with(node, |n, ctx| f(n, ctx));
+            }
+            EventKind::NetControl { f } => {
+                f(self.net.config_mut(), self.now);
+            }
             EventKind::SetDown { node, down } => {
                 self.down[node.index()] = down;
+            }
+            EventKind::Restart { node, f } => {
+                self.timers[node.index()].clear();
+                self.down[node.index()] = false;
+                f(&mut self.nodes[node.index()], self.now);
+                self.invoke(node, Invocation::Start);
             }
         }
     }
 
     fn invoke(&mut self, id: NodeId, invocation: Invocation<N::Msg>) {
+        self.invoke_with(id, |node, ctx| match invocation {
+            Invocation::Start => node.on_start(ctx),
+            Invocation::Timer(t) => node.on_timer(t, ctx),
+            Invocation::Message { from, msg } => node.on_message(from, msg, ctx),
+        });
+    }
+
+    fn invoke_with(&mut self, id: NodeId, g: impl FnOnce(&mut N, &mut SimCtx<'_, N::Msg>)) {
         let mut outbox = Vec::new();
         let mut timer_reqs = Vec::new();
         {
@@ -490,11 +611,7 @@ impl<N: SimNode> Simulation<N> {
                 timer_reqs: &mut timer_reqs,
             };
             let node = &mut self.nodes[id.index()];
-            match invocation {
-                Invocation::Start => node.on_start(&mut ctx),
-                Invocation::Timer(t) => node.on_timer(t, &mut ctx),
-                Invocation::Message { from, msg } => node.on_message(from, msg, &mut ctx),
-            }
+            g(node, &mut ctx);
         }
         for req in timer_reqs {
             match req {
@@ -504,7 +621,8 @@ impl<N: SimNode> Simulation<N> {
                     kind,
                 } => {
                     let slots = &mut self.timers[id.index()];
-                    let gen = slots.get(&timer).map_or(0, |s| s.gen) + 1;
+                    self.timer_gen[id.index()] += 1;
+                    let gen = self.timer_gen[id.index()];
                     let period = match kind {
                         TimerKind::Once => None,
                         TimerKind::Periodic(p) => Some(p),
@@ -672,6 +790,7 @@ mod tests {
                     },
                     loss: 0.0,
                     partitions: vec![],
+                    link_faults: vec![],
                 })
                 .build(vec![Echo::new(100), Echo::new(100)])
         };
@@ -709,6 +828,68 @@ mod tests {
         sim.run_until(TimeMs::from_millis(300));
         // 1000 set at t=250, then one more fire at t=300.
         assert_eq!(sim.node(NodeId::new(0)).fires, 1001);
+    }
+
+    #[test]
+    fn restart_clears_timers_and_reruns_on_start() {
+        let mut sim = build(3);
+        sim.schedule_crash(TimeMs::from_millis(150), NodeId::new(1));
+        // Restart with state loss at t=450: fires counter reset, on_start
+        // re-arms the periodic timer from t=450.
+        sim.schedule_restart(TimeMs::from_millis(450), NodeId::new(1), |node, _| {
+            *node = Echo::new(100);
+        });
+        sim.run_until(TimeMs::from_millis(1000));
+        // Fresh timer fires at 550..1000 => 5 fires on the fresh state.
+        assert_eq!(sim.node(NodeId::new(1)).fires, 5);
+        assert!(!sim.is_down(NodeId::new(1)));
+    }
+
+    #[test]
+    fn initially_down_node_spawns_on_restart() {
+        let mut sim = SimulationBuilder::new(9)
+            .network(NetworkConfig::perfect(DurationMs::from_millis(5)))
+            .initially_down([NodeId::new(1)])
+            .build(vec![Echo::new(100), Echo::new(100)]);
+        sim.schedule_restart(TimeMs::from_millis(500), NodeId::new(1), |_, _| {});
+        sim.run_until(TimeMs::from_millis(1000));
+        // Node 0 ran the whole time; node 1 only from t=500.
+        assert_eq!(sim.node(NodeId::new(0)).fires, 10);
+        assert_eq!(sim.node(NodeId::new(1)).fires, 5);
+        // Messages sent while node 1 was down were dropped.
+        assert!(sim.stats().drops > 0);
+    }
+
+    #[test]
+    fn node_action_can_send_messages() {
+        let mut sim = build(5);
+        sim.schedule_node_action(TimeMs::from_millis(250), NodeId::new(0), |_, ctx| {
+            assert_eq!(ctx.self_id(), NodeId::new(0));
+            ctx.send(NodeId::new(1), 999);
+        });
+        sim.run_until(TimeMs::from_millis(300));
+        let got: Vec<u64> = sim
+            .node(NodeId::new(1))
+            .received
+            .iter()
+            .map(|&(_, m)| m)
+            .collect();
+        assert!(got.contains(&999), "action-sent message delivered: {got:?}");
+    }
+
+    #[test]
+    fn network_control_mutates_live_config() {
+        let mut sim = build(7);
+        sim.schedule_network_control(TimeMs::from_millis(150), |config, now| {
+            assert_eq!(now, TimeMs::from_millis(150));
+            config.loss = 1.0;
+        });
+        sim.run_until(TimeMs::from_secs(1));
+        let stats = sim.stats();
+        // The first send (t=100) got through; everything after t=150 drops.
+        assert!(stats.deliveries >= 1);
+        assert!(stats.drops > 0);
+        assert_eq!(stats.deliveries + stats.drops, stats.sends);
     }
 
     #[test]
@@ -801,6 +982,7 @@ mod tests {
                 latency: LatencyModel::Constant(DurationMs::from_millis(1)),
                 loss: 1.0,
                 partitions: vec![],
+                link_faults: vec![],
             })
             .build(vec![Echo::new(50), Echo::new(50)]);
         sim.run_until(TimeMs::from_secs(1));

@@ -56,5 +56,5 @@ mod queue;
 mod trace;
 
 pub use engine::{NetStats, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId};
-pub use network::{LatencyModel, NetworkConfig, NetworkModel, Partition};
+pub use network::{LatencyModel, LinkFault, NetworkConfig, NetworkModel, Partition};
 pub use trace::{CountingTracer, NoopTracer, TraceEvent, Tracer};

@@ -114,6 +114,39 @@ impl Partition {
     }
 }
 
+/// A scheduled degradation of the links touching a set of nodes: extra
+/// latency and an extra independent loss probability, active during
+/// `[from, until)`.
+///
+/// Unlike a [`Partition`] (a clean cut), a link fault models flapping or
+/// congested paths: messages still flow, but slower and less reliably.
+/// A message is affected when its sender **or** receiver is in `nodes`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Nodes whose links degrade.
+    pub nodes: Vec<NodeId>,
+    /// Additional latency applied to affected messages.
+    pub extra_latency: DurationMs,
+    /// Additional independent drop probability in `[0, 1]`, applied on top
+    /// of the base loss.
+    pub extra_loss: f64,
+    /// Fault start (inclusive).
+    pub from: TimeMs,
+    /// Fault end (exclusive).
+    pub until: TimeMs,
+}
+
+impl LinkFault {
+    /// Whether a message from `a` to `b` at time `now` rides a degraded
+    /// link.
+    pub fn affects(&self, a: NodeId, b: NodeId, now: TimeMs) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        self.nodes.contains(&a) || self.nodes.contains(&b)
+    }
+}
+
 /// Complete configuration of the simulated network.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NetworkConfig {
@@ -123,6 +156,8 @@ pub struct NetworkConfig {
     pub loss: f64,
     /// Scheduled partitions.
     pub partitions: Vec<Partition>,
+    /// Scheduled per-link degradations (latency inflation, loss spikes).
+    pub link_faults: Vec<LinkFault>,
 }
 
 impl NetworkConfig {
@@ -132,6 +167,7 @@ impl NetworkConfig {
             latency: LatencyModel::Constant(latency),
             loss: 0.0,
             partitions: Vec::new(),
+            link_faults: Vec::new(),
         }
     }
 
@@ -141,6 +177,7 @@ impl NetworkConfig {
             latency: LatencyModel::default(),
             loss,
             partitions: Vec::new(),
+            link_faults: Vec::new(),
         }
     }
 }
@@ -182,7 +219,19 @@ impl NetworkModel {
             self.dropped += 1;
             return None;
         }
-        Some(self.config.latency.sample(&mut self.rng))
+        let mut extra = DurationMs::ZERO;
+        for f in &self.config.link_faults {
+            if f.affects(from, to, now) {
+                // One loss draw per active fault: overlapping faults
+                // compound, as independent bad hops would.
+                if f.extra_loss > 0.0 && self.rng.random::<f64>() < f.extra_loss {
+                    self.dropped += 1;
+                    return None;
+                }
+                extra += f.extra_latency;
+            }
+        }
+        Some(self.config.latency.sample(&mut self.rng) + extra)
     }
 
     /// Messages handed to the network so far.
@@ -198,6 +247,13 @@ impl NetworkModel {
     /// The active configuration.
     pub fn config(&self) -> &NetworkConfig {
         &self.config
+    }
+
+    /// Mutable access to the configuration (used by scheduled network
+    /// controls: partitions healing early, link faults flapping, loss
+    /// spikes).
+    pub fn config_mut(&mut self) -> &mut NetworkConfig {
+        &mut self.config
     }
 
     /// Replaces the network configuration at runtime (used by failure
@@ -312,6 +368,7 @@ mod tests {
                 from: TimeMs::ZERO,
                 until: TimeMs::from_secs(1),
             }],
+            link_faults: vec![],
         };
         let mut net = NetworkModel::new(config, rng());
         assert_eq!(
@@ -327,6 +384,64 @@ mod tests {
     }
 
     #[test]
+    fn link_fault_inflates_latency_within_window() {
+        let config = NetworkConfig {
+            latency: LatencyModel::Constant(DurationMs::from_millis(5)),
+            loss: 0.0,
+            partitions: vec![],
+            link_faults: vec![LinkFault {
+                nodes: vec![NodeId::new(1)],
+                extra_latency: DurationMs::from_millis(40),
+                extra_loss: 0.0,
+                from: TimeMs::from_secs(10),
+                until: TimeMs::from_secs(20),
+            }],
+        };
+        let mut net = NetworkModel::new(config, rng());
+        // Outside the window or off the faulted node: base latency.
+        assert_eq!(
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(5)),
+            Some(DurationMs::from_millis(5))
+        );
+        assert_eq!(
+            net.route(NodeId::new(0), NodeId::new(2), TimeMs::from_secs(15)),
+            Some(DurationMs::from_millis(5))
+        );
+        // Inside the window, touching the faulted node in either direction.
+        assert_eq!(
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(15)),
+            Some(DurationMs::from_millis(45))
+        );
+        assert_eq!(
+            net.route(NodeId::new(1), NodeId::new(2), TimeMs::from_secs(15)),
+            Some(DurationMs::from_millis(45))
+        );
+    }
+
+    #[test]
+    fn link_fault_loss_spike_drops_roughly_p() {
+        let config = NetworkConfig {
+            latency: LatencyModel::Constant(DurationMs::from_millis(1)),
+            loss: 0.0,
+            partitions: vec![],
+            link_faults: vec![LinkFault {
+                nodes: vec![NodeId::new(0)],
+                extra_latency: DurationMs::ZERO,
+                extra_loss: 0.4,
+                from: TimeMs::ZERO,
+                until: TimeMs::from_secs(100),
+            }],
+        };
+        let mut net = NetworkModel::new(config, rng());
+        let n = 20_000;
+        for _ in 0..n {
+            net.route(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(1));
+        }
+        let rate = net.dropped() as f64 / n as f64;
+        assert!((rate - 0.4).abs() < 0.02, "spike loss rate {rate}");
+    }
+
+    #[test]
     fn set_config_takes_effect() {
         let mut net = NetworkModel::new(NetworkConfig::perfect(DurationMs::ZERO), rng());
         assert!(net
@@ -336,6 +451,7 @@ mod tests {
             latency: LatencyModel::Constant(DurationMs::ZERO),
             loss: 1.0,
             partitions: vec![],
+            link_faults: vec![],
         });
         assert_eq!(
             net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO),

@@ -35,7 +35,7 @@ mod time;
 
 pub use error::{ConfigError, ConfigResult};
 pub use id::{EventId, GroupId, NodeId, TopicId};
-pub use rng::{bernoulli, fork_seed, DetRng, SeedSequence};
+pub use rng::{bernoulli, fnv1a, fork_seed, DetRng, SeedSequence};
 pub use stats::{Ewma, MinWindow, RunningStats, SlidingWindow, WelfordStats};
 pub use time::{DurationMs, TimeMs};
 

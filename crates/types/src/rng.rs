@@ -91,7 +91,9 @@ impl SeedSequence {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over a byte string: the workspace's stable content digest
+/// (seed-stream labels, chaos summary digests, CI determinism hashes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);

@@ -4,8 +4,7 @@ use std::cell::{Ref, RefCell};
 use std::rc::Rc;
 
 use agb_core::{
-    AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, GossipFrame, GossipProtocol,
-    LpbcastNode,
+    AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, GossipFrame, LpbcastNode,
 };
 use agb_membership::{FullView, PartialView, PartialViewConfig, PeerSampler};
 use agb_metrics::MetricsCollector;
@@ -101,6 +100,11 @@ pub struct ClusterConfig {
     /// in a `RecoverableNode`, `None` runs push-only gossip as the paper
     /// does.
     pub recovery: Option<RecoveryConfig>,
+    /// Nodes that are *not* part of the group at start: their slots exist
+    /// (ids are stable) but they stay down until a scheduled
+    /// [`GossipCluster::schedule_join`] brings them in through the
+    /// membership protocol.
+    pub absent_at_start: Vec<NodeId>,
 }
 
 impl ClusterConfig {
@@ -123,6 +127,7 @@ impl ClusterConfig {
             max_backlog: 2,
             phases: PhaseModel::Synchronized,
             recovery: None,
+            absent_at_start: Vec::new(),
         }
     }
 
@@ -139,6 +144,74 @@ impl ClusterConfig {
             0.0
         } else {
             self.offered_rate / self.n_senders as f64
+        }
+    }
+
+    /// Builds the protocol state machine for one node.
+    ///
+    /// `epoch` selects the RNG streams: epoch 0 is the initial build (the
+    /// streams every pre-churn experiment already uses); higher epochs are
+    /// restarts-with-state-loss, which must not replay the original
+    /// randomness. `contacts` overrides the bootstrap view for partial
+    /// membership (a joiner entering through a contact node); `None` uses
+    /// the standard bootstrap.
+    pub fn make_protocol(
+        &self,
+        id: NodeId,
+        epoch: u64,
+        contacts: Option<Vec<NodeId>>,
+    ) -> Box<dyn FrameProtocol + Send> {
+        let seeds = SeedSequence::new(self.seed);
+        let i = u64::from(id.as_u32());
+        let mut gossip = self.gossip.clone();
+        if let Some(&(_, cap)) = self.buffer_overrides.iter().find(|&&(n, _)| n == id) {
+            gossip.max_events = cap;
+        }
+        if let Algorithm::LpbcastStatic { rate_per_sender } = self.algorithm {
+            gossip.static_rate = Some(rate_per_sender);
+        }
+        let (proto_label, boot_label) = if epoch == 0 {
+            ("protocol", "bootstrap")
+        } else {
+            ("protocol-restart", "bootstrap-restart")
+        };
+        let stream = i + (epoch << 32);
+        let proto_rng: DetRng = seeds.rng_for(proto_label, stream);
+        let recovery = self.recovery.clone();
+        match (&self.algorithm, &self.membership) {
+            (Algorithm::Adaptive, MembershipKind::Full) => boxed_frame_protocol(
+                AdaptiveNode::new(
+                    id,
+                    gossip,
+                    self.adaptation.clone(),
+                    FullView::new(self.n_nodes),
+                    proto_rng,
+                ),
+                recovery,
+            ),
+            (Algorithm::Adaptive, MembershipKind::Partial(pv)) => {
+                let mut boot_rng: DetRng = seeds.rng_for(boot_label, stream);
+                let view = match contacts {
+                    Some(c) => PartialView::with_initial_peers(id, *pv, c, &mut boot_rng),
+                    None => bootstrap_view(id, self.n_nodes, *pv, &mut boot_rng),
+                };
+                boxed_frame_protocol(
+                    AdaptiveNode::new(id, gossip, self.adaptation.clone(), view, proto_rng),
+                    recovery,
+                )
+            }
+            (_, MembershipKind::Full) => boxed_frame_protocol(
+                LpbcastNode::new(id, gossip, FullView::new(self.n_nodes), proto_rng),
+                recovery,
+            ),
+            (_, MembershipKind::Partial(pv)) => {
+                let mut boot_rng: DetRng = seeds.rng_for(boot_label, stream);
+                let view = match contacts {
+                    Some(c) => PartialView::with_initial_peers(id, *pv, c, &mut boot_rng),
+                    None => bootstrap_view(id, self.n_nodes, *pv, &mut boot_rng),
+                };
+                boxed_frame_protocol(LpbcastNode::new(id, gossip, view, proto_rng), recovery)
+            }
         }
     }
 }
@@ -182,6 +255,26 @@ impl ClusterNode {
         self.drain();
     }
 
+    /// Replaces the protocol state machine (restart with state loss / join).
+    pub fn replace_protocol(&mut self, protocol: Box<dyn FrameProtocol + Send>) {
+        self.protocol = protocol;
+    }
+
+    /// Evicts a suspected-dead peer from the protocol's membership view.
+    pub fn evict_peer(&mut self, dead: NodeId) {
+        self.protocol.evict_peer(dead);
+        self.drain();
+    }
+
+    /// Offers `count` payloads at once (a sender burst storm), bypassing
+    /// the paced sender process but not the protocol's own throttle.
+    pub fn burst(&mut self, count: usize, now: TimeMs) {
+        for _ in 0..count {
+            self.protocol.offer(self.payload.clone(), now);
+        }
+        self.drain();
+    }
+
     /// Offers arrivals suppressed by the blocked application so far.
     pub fn suppressed_offers(&self) -> u64 {
         self.sender.as_ref().map_or(0, SenderProcess::suppressed)
@@ -205,6 +298,13 @@ impl SimNode for ClusterNode {
                 let out = self.protocol.on_round(ctx.now());
                 for (to, msg) in out {
                     ctx.send(to, msg);
+                }
+                // Keep the sender alive across crash/recover cycles: the
+                // one-shot ARRIVAL timer dies while the node is down, so
+                // the (periodic, self-resuming) round re-arms it.
+                if let Some(sender) = &self.sender {
+                    let delay = sender.next_at().since(ctx.now());
+                    ctx.set_timer(ARRIVAL, delay);
                 }
                 self.drain();
             }
@@ -239,6 +339,7 @@ impl SimNode for ClusterNode {
 pub struct GossipCluster {
     sim: Simulation<ClusterNode>,
     metrics: Rc<RefCell<MetricsCollector>>,
+    config: ClusterConfig,
     n_nodes: usize,
 }
 
@@ -275,51 +376,18 @@ impl GossipCluster {
         let per_sender_rate = config.per_sender_rate();
         let period = config.gossip.gossip_period;
 
+        for absent in &config.absent_at_start {
+            assert!(
+                absent.index() < config.n_nodes,
+                "absent node {absent} out of range"
+            );
+            metrics.borrow_mut().mark_absent_from_start(*absent);
+        }
+
         let mut nodes = Vec::with_capacity(config.n_nodes);
         for i in 0..config.n_nodes {
             let id = NodeId::new(i as u32);
-            let mut gossip = config.gossip.clone();
-            if let Some(&(_, cap)) = config.buffer_overrides.iter().find(|&&(n, _)| n == id) {
-                gossip.max_events = cap;
-            }
-            if let Algorithm::LpbcastStatic { rate_per_sender } = config.algorithm {
-                gossip.static_rate = Some(rate_per_sender);
-            }
-
-            let proto_rng: DetRng = seeds.rng_for("protocol", i as u64);
-            let recovery = config.recovery.clone();
-            let protocol: Box<dyn FrameProtocol> = match (&config.algorithm, &config.membership) {
-                (Algorithm::Adaptive, MembershipKind::Full) => boxed_frame_protocol_local(
-                    AdaptiveNode::new(
-                        id,
-                        gossip,
-                        config.adaptation.clone(),
-                        FullView::new(config.n_nodes),
-                        proto_rng,
-                    ),
-                    recovery,
-                ),
-                (Algorithm::Adaptive, MembershipKind::Partial(pv)) => {
-                    let mut boot_rng: DetRng = seeds.rng_for("bootstrap", i as u64);
-                    let view = bootstrap_view(id, config.n_nodes, *pv, &mut boot_rng);
-                    boxed_frame_protocol_local(
-                        AdaptiveNode::new(id, gossip, config.adaptation.clone(), view, proto_rng),
-                        recovery,
-                    )
-                }
-                (_, MembershipKind::Full) => boxed_frame_protocol_local(
-                    LpbcastNode::new(id, gossip, FullView::new(config.n_nodes), proto_rng),
-                    recovery,
-                ),
-                (_, MembershipKind::Partial(pv)) => {
-                    let mut boot_rng: DetRng = seeds.rng_for("bootstrap", i as u64);
-                    let view = bootstrap_view(id, config.n_nodes, *pv, &mut boot_rng);
-                    boxed_frame_protocol_local(
-                        LpbcastNode::new(id, gossip, view, proto_rng),
-                        recovery,
-                    )
-                }
-            };
+            let protocol = config.make_protocol(id, 0, None);
 
             let sender = if i < config.n_senders && per_sender_rate > 0.0 {
                 let model = if config.poisson_senders {
@@ -364,12 +432,14 @@ impl GossipCluster {
 
         let sim = SimulationBuilder::new(seeds.seed_for("sim", 0))
             .network(config.network.clone())
+            .initially_down(config.absent_at_start.iter().copied())
             .build(nodes);
 
         GossipCluster {
             sim,
             metrics,
             n_nodes: config.n_nodes,
+            config,
         }
     }
 
@@ -420,10 +490,104 @@ impl GossipCluster {
     pub fn apply_churn(&mut self, schedule: &ChurnSchedule) {
         for ev in schedule.events() {
             match ev {
-                ChurnEvent::Crash { at, node } => self.sim.schedule_crash(*at, *node),
-                ChurnEvent::Recover { at, node } => self.sim.schedule_recover(*at, *node),
+                ChurnEvent::Crash { at, node } => self.schedule_crash(*at, *node),
+                ChurnEvent::Recover { at, node } => self.schedule_recover(*at, *node),
             }
         }
+    }
+
+    /// Schedules a crash: from `at` the node receives nothing and its
+    /// timers are suppressed; its state survives for a later
+    /// [`schedule_recover`](Self::schedule_recover).
+    pub fn schedule_crash(&mut self, at: TimeMs, node: NodeId) {
+        self.metrics.borrow_mut().record_membership(node, at, false);
+        self.sim.schedule_crash(at, node);
+    }
+
+    /// Schedules a recovery from a crash, state intact.
+    pub fn schedule_recover(&mut self, at: TimeMs, node: NodeId) {
+        self.metrics.borrow_mut().record_membership(node, at, true);
+        self.sim.schedule_recover(at, node);
+    }
+
+    /// Schedules a *restart with state loss* at `at`: the node comes back
+    /// up with a freshly built protocol (empty buffers, empty dedup state,
+    /// re-bootstrapped membership view) and re-enters through its normal
+    /// start path. `epoch` must be unique per restart of this node (1, 2,
+    /// …) so the rebuilt protocol draws fresh randomness.
+    pub fn schedule_restart(&mut self, at: TimeMs, node: NodeId, epoch: u64) {
+        self.metrics.borrow_mut().record_membership(node, at, true);
+        let protocol = self.config.make_protocol(node, epoch, None);
+        self.sim.schedule_restart(at, node, move |n, _| {
+            n.replace_protocol(protocol);
+        });
+    }
+
+    /// Schedules a protocol-level *join* at `at`: the node (which must be
+    /// listed in [`ClusterConfig::absent_at_start`], or crashed/left
+    /// earlier) spawns with a view containing only `contacts` and
+    /// announces itself through normal subscription gossip — nothing else
+    /// in the group is told about it out of band.
+    pub fn schedule_join(&mut self, at: TimeMs, node: NodeId, epoch: u64, contacts: Vec<NodeId>) {
+        self.metrics.borrow_mut().record_membership(node, at, true);
+        let protocol = self.config.make_protocol(node, epoch, Some(contacts));
+        self.sim.schedule_restart(at, node, move |n, _| {
+            n.replace_protocol(protocol);
+        });
+    }
+
+    /// Schedules a *graceful leave* at `at`: the node emits farewell
+    /// messages (flushing its buffer, carrying its own unsubscription for
+    /// partial views) and then goes down for good.
+    pub fn schedule_leave(&mut self, at: TimeMs, node: NodeId) {
+        self.metrics.borrow_mut().record_membership(node, at, false);
+        self.sim.schedule_node_action(at, node, |n, ctx| {
+            let now = ctx.now();
+            for (to, frame) in n.protocol.leave(now) {
+                ctx.send(to, frame);
+            }
+            n.drain();
+        });
+        // Same instant, scheduled after the action: farewell first, then
+        // silence.
+        self.sim.schedule_crash(at, node);
+    }
+
+    /// Schedules an eviction: at `at`, `at_node` drops `dead` from its
+    /// membership view (and, for partial views, starts propagating the
+    /// unsubscription) — the external-failure-detector hook of churn
+    /// scenarios.
+    pub fn schedule_evict(&mut self, at: TimeMs, at_node: NodeId, dead: NodeId) {
+        self.sim
+            .schedule_node_control(at, at_node, move |n, _| n.evict_peer(dead));
+    }
+
+    /// Schedules a sender burst storm: `count` messages offered at once at
+    /// `node` at time `at`.
+    pub fn schedule_burst(&mut self, at: TimeMs, node: NodeId, count: usize) {
+        self.sim
+            .schedule_node_control(at, node, move |n, now| n.burst(count, now));
+    }
+
+    /// Schedules a mutation of the live network configuration (partitions
+    /// forming/healing, link faults flapping).
+    pub fn schedule_network_control(
+        &mut self,
+        at: TimeMs,
+        f: impl FnOnce(&mut NetworkConfig, TimeMs) + 'static,
+    ) {
+        self.sim.schedule_network_control(at, f);
+    }
+
+    /// Whether `node` is currently down (crashed, left, or not yet
+    /// joined).
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.sim.is_down(node)
+    }
+
+    /// The configuration the cluster was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
     }
 
     /// The allowed rate currently in force at `node` (None for baselines).
@@ -452,15 +616,6 @@ impl GossipCluster {
     pub fn node(&self, id: NodeId) -> &ClusterNode {
         self.sim.node(id)
     }
-}
-
-/// Boxes for the (single-threaded) simulator, delegating the recovery
-/// wiring to the shared `agb-recovery` helper.
-fn boxed_frame_protocol_local<P: GossipProtocol + Send + 'static>(
-    node: P,
-    recovery: Option<RecoveryConfig>,
-) -> Box<dyn FrameProtocol> {
-    boxed_frame_protocol(node, recovery)
 }
 
 fn bootstrap_view(
@@ -592,6 +747,110 @@ mod tests {
         assert!(input < 2.0, "static throttle must bind, got {input}");
         drop(m);
         assert!(cluster.suppressed_offers() > 0);
+    }
+
+    #[test]
+    fn restart_with_state_loss_resets_protocol() {
+        let mut cluster = GossipCluster::build(small_config(Algorithm::Lpbcast));
+        cluster.schedule_crash(TimeMs::from_secs(5), NodeId::new(3));
+        cluster.schedule_restart(TimeMs::from_secs(10), NodeId::new(3), 1);
+        cluster.run_until(TimeMs::from_secs(11));
+        // Fresh state: the dedup/event buffers were rebuilt. The node keeps
+        // participating afterwards.
+        assert!(!cluster.is_down(NodeId::new(3)));
+        cluster.run_until(TimeMs::from_secs(30));
+        let m = cluster.metrics();
+        // Restart was recorded for catch-up measurement and in the
+        // timeline.
+        assert_eq!(m.catch_up().records().len(), 1);
+        assert!(m.catch_up().records()[0].first_delivery.is_some());
+        assert!(!m
+            .membership_timeline()
+            .up_at(NodeId::new(3), TimeMs::from_secs(7)));
+        assert!(m
+            .membership_timeline()
+            .up_at(NodeId::new(3), TimeMs::from_secs(12)));
+    }
+
+    #[test]
+    fn join_through_contact_enters_partial_views() {
+        let mut config = small_config(Algorithm::Lpbcast);
+        config.membership = MembershipKind::Partial(PartialViewConfig::default());
+        let joiner = NodeId::new(15);
+        config.absent_at_start = vec![joiner];
+        let mut cluster = GossipCluster::build(config);
+        cluster.schedule_join(TimeMs::from_secs(10), joiner, 1, vec![NodeId::new(0)]);
+        cluster.run_until(TimeMs::from_secs(40));
+        // The joiner's subscription propagated beyond its contact: count
+        // how many other nodes learned about it purely via gossip.
+        let knowers = (0..15u32)
+            .filter(|&i| {
+                cluster
+                    .node(NodeId::new(i))
+                    .protocol()
+                    .membership_view()
+                    .contains(&joiner)
+            })
+            .count();
+        assert!(knowers > 1, "only {knowers} nodes learned of the joiner");
+        // And the joiner delivers traffic.
+        let m = cluster.metrics();
+        assert!(m.membership_timeline().up_at(joiner, TimeMs::from_secs(11)));
+    }
+
+    #[test]
+    fn graceful_leave_propagates_unsubscription() {
+        let mut config = small_config(Algorithm::Lpbcast);
+        config.membership = MembershipKind::Partial(PartialViewConfig::default());
+        let mut cluster = GossipCluster::build(config);
+        let leaver = NodeId::new(5);
+        // Let views converge, then leave.
+        cluster.schedule_leave(TimeMs::from_secs(15), leaver);
+        cluster.run_until(TimeMs::from_secs(45));
+        assert!(cluster.is_down(leaver));
+        let still_known = (0..16u32)
+            .filter(|&i| NodeId::new(i) != leaver)
+            .filter(|&i| {
+                cluster
+                    .node(NodeId::new(i))
+                    .protocol()
+                    .membership_view()
+                    .contains(&leaver)
+            })
+            .count();
+        // The unsubscription keeps circulating; most views must have
+        // dropped the leaver well before the horizon.
+        assert!(
+            still_known <= 4,
+            "{still_known} views still hold the leaver"
+        );
+    }
+
+    #[test]
+    fn burst_storm_offers_messages() {
+        let mut cluster = GossipCluster::build(small_config(Algorithm::Lpbcast));
+        cluster.schedule_burst(TimeMs::from_secs(5), NodeId::new(7), 25);
+        cluster.run_until(TimeMs::from_secs(6));
+        let m = cluster.metrics();
+        assert!(m.admitted().total() >= 25);
+    }
+
+    #[test]
+    fn chaos_schedule_is_deterministic() {
+        let run = || {
+            let mut config = small_config(Algorithm::Lpbcast);
+            config.membership = MembershipKind::Partial(PartialViewConfig::default());
+            let mut cluster = GossipCluster::build(config);
+            cluster.schedule_crash(TimeMs::from_secs(4), NodeId::new(2));
+            cluster.schedule_restart(TimeMs::from_secs(9), NodeId::new(2), 1);
+            cluster.schedule_leave(TimeMs::from_secs(12), NodeId::new(9));
+            cluster.schedule_burst(TimeMs::from_secs(14), NodeId::new(1), 10);
+            cluster.run_until(TimeMs::from_secs(25));
+            let stats = cluster.sim_stats();
+            let m = cluster.metrics();
+            (stats, m.admitted().total(), m.delivered().total())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

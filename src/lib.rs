@@ -17,8 +17,9 @@
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
 //! | [`core`] | `agb-core` | lpbcast (Fig. 1), token bucket (Fig. 3), the adaptive mechanism (Fig. 5), §6 extensions |
-//! | [`membership`] | `agb-membership` | full & partial (lpbcast) peer sampling |
+//! | [`membership`] | `agb-membership` | full & partial (lpbcast) peer sampling, join/leave/eviction dynamics |
 //! | [`recovery`] | `agb-recovery` | pull-based anti-entropy: `IHave` digests, `Graft` pulls, bounded retransmission cache |
+//! | [`chaos`] | `agb-chaos` | scripted churn & fault injection: crash/restart/join/leave, partitions, link faults, burst storms |
 //! | [`sim`] | `agb-sim` | deterministic discrete-event network simulator |
 //! | [`workload`] | `agb-workload` | sender models, cluster builder, pub/sub scenarios, schedules |
 //! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
@@ -76,11 +77,55 @@
 //! assert!(metrics.recovery_overhead_ratio() < 1.0);
 //! ```
 //!
+//! Run the full loss × buffer sweep with `repro recovery`, or the
+//! two-run comparison in `examples/lossy_recovery.rs`
+//! (`cargo run --release --example lossy_recovery`).
+//!
+//! # Churn & fault injection
+//!
+//! The [`chaos`] subsystem scripts the perturbations the adaptive
+//! mechanism exists for: seed-deterministic schedules of crashes,
+//! restarts with state loss, protocol-level joins and graceful leaves,
+//! failure-detector evictions, partitions, link-level latency/loss
+//! episodes and sender burst storms — executed against the simulator
+//! (`ChaosCluster`) or the threaded runtime (`run_runtime_schedule`).
+//! Delivery is then measured **among correct nodes**
+//! ([`metrics`]' `MembershipTimeline`), alongside post-rejoin catch-up
+//! latency and membership re-convergence:
+//!
+//! ```
+//! use adaptive_gossip::chaos::{ChaosCluster, ChaosSchedule};
+//! use adaptive_gossip::membership::PartialViewConfig;
+//! use adaptive_gossip::types::{DurationMs, NodeId, TimeMs};
+//! use adaptive_gossip::workload::{ClusterConfig, MembershipKind};
+//!
+//! let mut schedule = ChaosSchedule::new();
+//! schedule
+//!     .crash(TimeMs::from_secs(10), NodeId::new(7))
+//!     .restart(TimeMs::from_secs(20), NodeId::new(7));
+//! let mut config = ClusterConfig::new(20, 42);
+//! config.membership = MembershipKind::Partial(PartialViewConfig::default());
+//! config.n_senders = 2;
+//! config.offered_rate = 4.0;
+//! let mut chaos = ChaosCluster::new(config, &schedule);
+//! chaos.run_until(TimeMs::from_secs(45));
+//! let summary = chaos.summary(
+//!     (TimeMs::from_secs(2), TimeMs::from_secs(35)),
+//!     DurationMs::from_secs(10),
+//! );
+//! assert!(summary.correct.avg_receiver_fraction > 0.9);
+//! ```
+//!
+//! Run the churn-rate sweep with `repro churn`, or the scripted scenario
+//! in `examples/churn_chaos.rs`
+//! (`cargo run --release --example churn_chaos`).
+//!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction inventory.
 
 #![forbid(unsafe_code)]
 
+pub use agb_chaos as chaos;
 pub use agb_core as core;
 pub use agb_experiments as experiments;
 pub use agb_membership as membership;

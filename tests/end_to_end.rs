@@ -151,6 +151,7 @@ fn message_loss_is_absorbed_by_redundancy() {
         latency: adaptive_gossip::sim::LatencyModel::Constant(DurationMs::from_millis(10)),
         loss: 0.10,
         partitions: vec![],
+        link_faults: vec![],
     };
     let mut cluster = GossipCluster::build(c);
     cluster.run_until(TimeMs::from_secs(60));

@@ -263,6 +263,12 @@ pub mod seq {
         /// Samples `amount` distinct indices from `0..length`, uniformly,
         /// via a partial Fisher–Yates shuffle.
         ///
+        /// Small samples from large ranges (the gossip fanout-from-group
+        /// case) take a sparse path that tracks only the touched pool
+        /// slots in O(amount²) instead of materialising the O(length)
+        /// pool; both paths draw the same random values and produce
+        /// identical results.
+        ///
         /// # Panics
         ///
         /// Panics if `amount > length`.
@@ -271,6 +277,29 @@ pub mod seq {
                 amount <= length,
                 "cannot sample {amount} indices from {length}"
             );
+            // Sparse path: the virtual pool starts as the identity
+            // permutation; `touched` records the slots the partial
+            // shuffle displaced. Worth it while the override list stays
+            // small relative to allocating `length` slots.
+            if amount.saturating_mul(16) < length {
+                let mut touched: Vec<(usize, usize)> = Vec::with_capacity(2 * amount);
+                let read = |touched: &[(usize, usize)], i: usize| {
+                    touched
+                        .iter()
+                        .rev()
+                        .find(|&&(slot, _)| slot == i)
+                        .map_or(i, |&(_, v)| v)
+                };
+                for i in 0..amount {
+                    let j = rng.random_range(i..length);
+                    let vi = read(&touched, i);
+                    let vj = read(&touched, j);
+                    touched.push((i, vj));
+                    touched.push((j, vi));
+                }
+                let picked = (0..amount).map(|i| read(&touched, i)).collect();
+                return IndexVec(picked);
+            }
             let mut pool: Vec<usize> = (0..length).collect();
             for i in 0..amount {
                 let j = rng.random_range(i..length);
@@ -317,6 +346,30 @@ mod tests {
             assert!((10..20).contains(&x));
             let y = rng.random_range(5usize..=5);
             assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn sparse_sample_path_matches_dense_reference() {
+        // The sparse path (amount ≪ length) must draw the same values and
+        // produce the same indices as the materialised Fisher–Yates pool.
+        for seed in 0..50 {
+            for (length, amount) in [(1000usize, 4usize), (5000, 1), (257, 8), (64, 3)] {
+                let mut sparse_rng = StdRng::seed_from_u64(seed);
+                let sparse: Vec<usize> = super::seq::index::sample(&mut sparse_rng, length, amount)
+                    .iter()
+                    .collect();
+                let mut dense_rng = StdRng::seed_from_u64(seed);
+                let mut pool: Vec<usize> = (0..length).collect();
+                for i in 0..amount {
+                    let j = dense_rng.random_range(i..length);
+                    pool.swap(i, j);
+                }
+                pool.truncate(amount);
+                assert_eq!(sparse, pool, "length {length} amount {amount} seed {seed}");
+                // Both consumed the same number of draws.
+                assert_eq!(sparse_rng.next_u64(), dense_rng.next_u64());
+            }
         }
     }
 

@@ -170,7 +170,7 @@ fn bench_protocol_round(c: &mut Criterion) {
                         node: NodeId::new(2),
                         capacity: 90,
                     }],
-                    events,
+                    events: events.into(),
                     membership: Default::default(),
                 }
             },

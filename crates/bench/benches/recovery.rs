@@ -26,7 +26,7 @@ fn digest_frame(n_ids: u64) -> GossipFrame {
             sender: NodeId::new(3),
             sample_period: 0,
             min_buffs: vec![],
-            events: vec![],
+            events: Default::default(),
             membership: Default::default(),
         },
         ihave: Some(IHaveDigest { ids: ids(n_ids) }),
@@ -69,7 +69,8 @@ fn bench_gap_detection(c: &mut Criterion) {
                             events: vec![Event::new(
                                 EventId::new(NodeId::new(1), s),
                                 Payload::new(),
-                            )],
+                            )]
+                            .into(),
                             membership: Default::default(),
                         },
                         ihave: None,
@@ -92,7 +93,7 @@ fn bench_gap_detection(c: &mut Criterion) {
                             sender: NodeId::new(2),
                             sample_period: 0,
                             min_buffs: vec![],
-                            events: vec![],
+                            events: Default::default(),
                             membership: Default::default(),
                         },
                         ihave: Some(IHaveDigest { ids: digest_ids }),

@@ -254,9 +254,14 @@ impl<S: GossipMembership> GossipProtocol for AdaptiveNode<S> {
     }
 
     fn drain_events(&mut self) -> Vec<ProtocolEvent> {
-        let mut events = self.inner.drain_events();
-        events.append(&mut self.out_events);
+        let mut events = Vec::new();
+        self.drain_events_into(&mut events);
         events
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        self.inner.drain_events_into(out);
+        out.append(&mut self.out_events);
     }
 
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs) {
@@ -342,7 +347,7 @@ mod tests {
                 node: NodeId::new(7),
                 capacity: min,
             }],
-            events,
+            events: events.into(),
             membership: Default::default(),
         }
     }
@@ -544,7 +549,7 @@ mod tests {
             sender: NodeId::new(3),
             sample_period: 0,
             min_buffs: vec![],
-            events: vec![],
+            events: Default::default(),
             membership: Default::default(),
         };
         n.on_receive(NodeId::new(3), baseline, TimeMs::ZERO);

@@ -6,9 +6,7 @@
 //! paper adopts. The ages of overflow victims are the raw material of the
 //! congestion signal in the adaptive mechanism.
 
-use std::collections::HashMap;
-
-use agb_types::EventId;
+use agb_types::{EventId, FastHashMap, FastHashSet};
 
 use crate::event::Event;
 
@@ -64,7 +62,10 @@ struct Slot {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventBuffer {
-    slots: HashMap<EventId, Slot>,
+    /// Slots stored inline in the map: the dedup/merge probe on the
+    /// receive hot path touches exactly one table, which matters at 10k+
+    /// nodes where every probe is a cold cache access.
+    slots: FastHashMap<EventId, Slot>,
     capacity: usize,
     next_seq: u64,
 }
@@ -73,7 +74,7 @@ impl EventBuffer {
     /// Creates a buffer holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
         EventBuffer {
-            slots: HashMap::new(),
+            slots: FastHashMap::default(),
             capacity,
             next_seq: 0,
         }
@@ -167,7 +168,7 @@ impl EventBuffer {
                 }
             })
             .collect();
-        // Deterministic reporting order regardless of hash iteration.
+        // Deterministic reporting order regardless of storage order.
         purged.sort_by_key(|p| p.id);
         purged
     }
@@ -175,6 +176,9 @@ impl EventBuffer {
     fn evict_overflow(&mut self) -> Vec<PurgedEvent> {
         let mut purged = Vec::new();
         while self.slots.len() > self.capacity {
+            // Victim: highest age, FIFO (earliest insertion) among equal
+            // ages, then smallest id — the age-based purging heuristic
+            // with a fully deterministic tiebreak.
             let victim = self
                 .slots
                 .iter()
@@ -183,7 +187,6 @@ impl EventBuffer {
                         .age()
                         .cmp(&b.event.age())
                         .then_with(|| b.inserted.cmp(&a.inserted))
-                        // Final tiebreak on id for full determinism.
                         .then_with(|| idb.cmp(ida))
                 })
                 .map(|(&id, _)| id)
@@ -204,44 +207,68 @@ impl EventBuffer {
     pub fn would_evict(
         &self,
         hypothetical_capacity: usize,
-        already_counted: &std::collections::HashSet<EventId>,
+        already_counted: &FastHashSet<EventId>,
     ) -> Vec<(EventId, u32)> {
-        let eligible = self.slots.len().saturating_sub(
+        // Fast path for the common case (nothing already counted): the
+        // scan runs once per received message, so the eligibility count
+        // must not probe the counted set per buffered event when that
+        // set is empty.
+        let eligible = if already_counted.is_empty() {
+            self.slots.len()
+        } else {
             self.slots
-                .keys()
-                .filter(|id| already_counted.contains(id))
-                .count(),
-        );
+                .values()
+                .filter(|s| !already_counted.contains(&s.event.id()))
+                .count()
+        };
         if eligible <= hypothetical_capacity {
             return Vec::new();
         }
         let excess = eligible - hypothetical_capacity;
-        let mut candidates: Vec<(&EventId, &Slot)> = self
+        let mut candidates: Vec<&Slot> = self
             .slots
-            .iter()
-            .filter(|(id, _)| !already_counted.contains(id))
+            .values()
+            .filter(|s| !already_counted.contains(&s.event.id()))
             .collect();
         // Eviction order: highest age first, then FIFO, then id.
-        candidates.sort_by(|(ida, a), (idb, b)| {
+        candidates.sort_by(|a, b| {
             b.event
                 .age()
                 .cmp(&a.event.age())
                 .then_with(|| a.inserted.cmp(&b.inserted))
-                .then_with(|| ida.cmp(idb))
+                .then_with(|| a.event.id().cmp(&b.event.id()))
         });
         candidates
             .into_iter()
             .take(excess)
-            .map(|(&id, slot)| (id, slot.event.age()))
+            .map(|slot| (slot.event.id(), slot.event.age()))
             .collect()
     }
 
     /// Snapshot of the buffered events (for gossip emission), in insertion
     /// order for determinism.
     pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Writes the insertion-ordered snapshot into a reusable buffer (the
+    /// per-round emission path; avoids allocating a fresh vector every
+    /// gossip round).
+    pub fn snapshot_into(&self, out: &mut Vec<Event>) {
+        out.clear();
         let mut slots: Vec<&Slot> = self.slots.values().collect();
         slots.sort_by_key(|s| s.inserted);
-        slots.iter().map(|s| s.event.clone()).collect()
+        out.extend(slots.into_iter().map(|s| s.event.clone()));
+    }
+
+    /// The insertion-ordered snapshot as a shared [`EventList`](crate::EventList): one
+    /// allocation backs every gossip copy emitted this round.
+    pub fn snapshot_shared(&self) -> crate::event::EventList {
+        let mut slots: Vec<&Slot> = self.slots.values().collect();
+        slots.sort_by_key(|s| s.inserted);
+        slots.into_iter().map(|s| s.event.clone()).collect()
     }
 
     /// Iterates over buffered events in unspecified order.
@@ -355,7 +382,7 @@ mod tests {
         for (seq, age) in [(0, 1), (1, 7), (2, 3), (3, 5)] {
             buf.insert(ev(seq, age));
         }
-        let empty = std::collections::HashSet::new();
+        let empty = FastHashSet::default();
         let would = buf.would_evict(2, &empty);
         let ages: Vec<u32> = would.iter().map(|&(_, a)| a).collect();
         assert_eq!(ages, vec![7, 5]);
@@ -372,7 +399,7 @@ mod tests {
         for (seq, age) in [(0, 9), (1, 8), (2, 1)] {
             buf.insert(ev(seq, age));
         }
-        let mut counted = std::collections::HashSet::new();
+        let mut counted = FastHashSet::default();
         counted.insert(EventId::new(NodeId::new(0), 0));
         // Eligible = {1, 2}; capacity 1 -> one victim: age 8.
         let would = buf.would_evict(1, &counted);
@@ -384,7 +411,7 @@ mod tests {
     fn would_evict_none_when_under_capacity() {
         let mut buf = EventBuffer::new(10);
         buf.insert(ev(0, 1));
-        let empty = std::collections::HashSet::new();
+        let empty = FastHashSet::default();
         assert!(buf.would_evict(5, &empty).is_empty());
         assert!(buf.would_evict(1, &empty).is_empty());
     }

@@ -9,8 +9,6 @@
 //! are never counted twice; the full local buffer is still used to store
 //! events (only the *accounting* uses `minBuff`).
 
-use std::collections::HashSet;
-
 use agb_types::{EventId, Ewma};
 
 use crate::buffer::EventBuffer;
@@ -37,7 +35,7 @@ use crate::config::CongestionConfig;
 pub struct CongestionEstimator {
     config: CongestionConfig,
     avg_age: Ewma,
-    lost: HashSet<EventId>,
+    lost: agb_types::FastHashSet<EventId>,
     drop_samples: u64,
     relief_samples: u64,
 }
@@ -50,7 +48,7 @@ impl CongestionEstimator {
         CongestionEstimator {
             config,
             avg_age,
-            lost: HashSet::new(),
+            lost: agb_types::FastHashSet::default(),
             drop_samples: 0,
             relief_samples: 0,
         }

@@ -4,7 +4,7 @@
 use agb_membership::MembershipDigest;
 use agb_types::{EventId, NodeId};
 
-use crate::event::Event;
+use crate::event::{Event, EventList};
 use crate::minbuff::BuffAd;
 
 /// One gossip message: the sender's buffered events plus the small control
@@ -25,7 +25,7 @@ use crate::minbuff::BuffAd;
 ///     sender: NodeId::new(3),
 ///     sample_period: 7,
 ///     min_buffs: vec![BuffAd { node: NodeId::new(9), capacity: 45 }],
-///     events: vec![Event::new(EventId::new(NodeId::new(3), 0), Payload::new())],
+///     events: vec![Event::new(EventId::new(NodeId::new(3), 0), Payload::new())].into(),
 ///     membership: Default::default(),
 /// };
 /// assert_eq!(msg.min_buff(), Some(45));
@@ -43,8 +43,10 @@ pub struct GossipMessage {
     /// vector; the paper's mechanism sends one entry (`minBuff_s`); the §6
     /// extension sends `m > 1`.
     pub min_buffs: Vec<BuffAd>,
-    /// The sender's buffered events.
-    pub events: Vec<Event>,
+    /// The sender's buffered events — a shared snapshot: the same
+    /// [`EventList`] backs every copy of this round's gossip to all `F`
+    /// targets.
+    pub events: EventList,
     /// Piggybacked membership updates (lpbcast subscriptions).
     pub membership: MembershipDigest,
 }
@@ -189,7 +191,7 @@ mod tests {
             sender: NodeId::new(0),
             sample_period: 0,
             min_buffs: vec![],
-            events: vec![],
+            events: Default::default(),
             membership: MembershipDigest::default(),
         }
     }
@@ -198,8 +200,7 @@ mod tests {
     fn wire_size_grows_with_events() {
         let empty = base();
         let mut one = base();
-        one.events
-            .push(Event::new(EventId::new(NodeId::new(0), 0), Payload::new()));
+        one.events = vec![Event::new(EventId::new(NodeId::new(0), 0), Payload::new())].into();
         assert!(one.wire_size() > empty.wire_size());
     }
 

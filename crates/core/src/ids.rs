@@ -1,8 +1,8 @@
 //! The bounded duplicate-suppression digest (`eventIds` in Figure 1).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use agb_types::EventId;
+use agb_types::{EventId, FastHashSet};
 
 /// FIFO-bounded set of already-seen event identifiers.
 ///
@@ -31,16 +31,20 @@ use agb_types::EventId;
 pub struct EventIdBuffer {
     capacity: usize,
     order: VecDeque<EventId>,
-    set: HashSet<EventId>,
+    set: FastHashSet<EventId>,
 }
 
 impl EventIdBuffer {
     /// Creates a buffer remembering at most `capacity` ids.
+    ///
+    /// Storage grows on demand: a large-scale simulation hosts one of
+    /// these per node, and eager per-node reservations of the full bound
+    /// dominate resident memory long before the dedup window fills.
     pub fn new(capacity: usize) -> Self {
         EventIdBuffer {
             capacity,
-            order: VecDeque::with_capacity(capacity.min(4096)),
-            set: HashSet::with_capacity(capacity.min(4096)),
+            order: VecDeque::new(),
+            set: FastHashSet::default(),
         }
     }
 

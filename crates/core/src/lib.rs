@@ -73,7 +73,7 @@ pub use adaptive::AdaptiveNode;
 pub use buffer::{EventBuffer, PurgeReason, PurgedEvent};
 pub use config::{AdaptationConfig, CongestionConfig, GossipConfig, MinBuffConfig, RateConfig};
 pub use congestion::CongestionEstimator;
-pub use event::Event;
+pub use event::{Event, EventList};
 pub use header::{GossipFrame, GossipMessage, GraftRequest, IHaveDigest, Retransmission};
 pub use ids::EventIdBuffer;
 pub use lpbcast::{LpbcastNode, ReceiveReport};

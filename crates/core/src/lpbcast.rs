@@ -172,7 +172,20 @@ impl<S: GossipMembership> LpbcastNode<S> {
         let mut report = ReceiveReport::default();
         self.membership
             .observe_gossip(from, &msg.membership, &mut self.rng);
-        for event in msg.events {
+        for event in &msg.events {
+            // Most circulating copies are duplicates of events still
+            // buffered: probe the small, hot buffer map first, and
+            // consult the (much larger) seen-id set only on a miss.
+            // Identical to the id-set-first order whenever the id
+            // window outlives buffered events (all shipped configs:
+            // max_event_ids >> max_events x age_cap). In the degenerate
+            // case where FIFO id eviction outpaces the buffer, this
+            // order additionally suppresses a redundant re-delivery of
+            // an event that is demonstrably still buffered.
+            if self.events.merge_age(event.id(), event.age()) {
+                report.duplicates += 1;
+                continue;
+            }
             if self.ids.insert(event.id()) {
                 report.newly_stored += 1;
                 self.out_events.push(ProtocolEvent::Delivered {
@@ -180,12 +193,11 @@ impl<S: GossipMembership> LpbcastNode<S> {
                     from,
                     at: now,
                 });
-                let purged = self.events.insert(event);
+                let purged = self.events.insert(event.clone());
                 report.purged.extend(purged.iter().cloned());
                 self.record_purges(purged, now);
             } else {
                 report.duplicates += 1;
-                self.events.merge_age(event.id(), event.age());
             }
         }
         report
@@ -233,7 +245,8 @@ impl<S: GossipMembership> LpbcastNode<S> {
         if targets.is_empty() {
             return Vec::new();
         }
-        let events = self.events.snapshot();
+        // One shared snapshot backs all F outgoing copies.
+        let events = self.events.snapshot_shared();
         targets
             .into_iter()
             .map(|t| {
@@ -291,6 +304,10 @@ impl<S: GossipMembership> GossipProtocol for LpbcastNode<S> {
         std::mem::take(&mut self.out_events)
     }
 
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        out.append(&mut self.out_events);
+    }
+
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs) {
         let purged = self.events.set_capacity(capacity);
         self.record_purges(purged, now);
@@ -333,7 +350,7 @@ impl<S: GossipMembership> GossipProtocol for LpbcastNode<S> {
         // TTL-bounded unsubscription instead of the usual digest;
         // receivers drop the leaver from their views and keep propagating
         // the removal until the rumor's TTL runs out.
-        let events = self.events.snapshot();
+        let events = self.events.snapshot_shared();
         let farewell = self.membership.make_leave_digest();
         targets
             .into_iter()
@@ -382,7 +399,7 @@ mod tests {
             sender: NodeId::new(7),
             sample_period: 0,
             min_buffs: vec![],
-            events,
+            events: events.into(),
             membership: Default::default(),
         }
     }

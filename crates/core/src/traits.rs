@@ -171,6 +171,14 @@ pub trait GossipProtocol {
     /// Takes the protocol events accumulated since the last drain.
     fn drain_events(&mut self) -> Vec<ProtocolEvent>;
 
+    /// Drains accumulated protocol events into a reusable buffer (the
+    /// harness hot path: one scratch vector instead of an allocation per
+    /// handler invocation). Appends without clearing `out`.
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        let mut events = self.drain_events();
+        out.append(&mut events);
+    }
+
     /// Resizes the event buffer at runtime (the Figure 9 experiment).
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs);
 
@@ -266,6 +274,13 @@ pub trait FrameProtocol {
     /// Takes the protocol events accumulated since the last drain.
     fn drain_events(&mut self) -> Vec<ProtocolEvent>;
 
+    /// Drains accumulated protocol events into a reusable buffer;
+    /// appends without clearing `out`.
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        let mut events = self.drain_events();
+        out.append(&mut events);
+    }
+
     /// Resizes the event buffer at runtime.
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs);
 
@@ -348,6 +363,10 @@ impl<P: GossipProtocol> FrameProtocol for P {
 
     fn drain_events(&mut self) -> Vec<ProtocolEvent> {
         GossipProtocol::drain_events(self)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        GossipProtocol::drain_events_into(self, out);
     }
 
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs) {

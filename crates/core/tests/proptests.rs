@@ -62,7 +62,7 @@ proptest! {
             buf.insert(ev(0, seq, age));
         }
         let predicted: Vec<EventId> = buf
-            .would_evict(shrink_to, &HashSet::new())
+            .would_evict(shrink_to, &agb_types::FastHashSet::default())
             .into_iter()
             .map(|(id, _)| id)
             .collect();

@@ -1,14 +1,24 @@
 //! Command-line reproduction driver: `repro <experiment> [seed]`.
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig9-runtime`, `ablation`, `recovery`, `churn`, `all`. Set
-//! `AGB_QUICK=1` for short runs.
+//! `fig9-runtime`, `ablation`, `recovery`, `churn`, `perf`, `all`, plus
+//! the CI gate `perf-check <current.json> <baseline.json> [tolerance]`.
+//! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
 use agb_experiments::{ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, recovery};
+
+// The perf harness reports allocations-per-round; the counting
+// allocator is opt-in per binary (see agb_perf::alloc).
+#[global_allocator]
+static ALLOC: agb_perf::alloc::CountingAllocator = agb_perf::alloc::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let what = args.get(1).map(String::as_str).unwrap_or("all");
+    if what == "perf-check" {
+        run_perf_check(&args[2..]);
+        return;
+    }
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
 
     match what {
@@ -22,6 +32,7 @@ fn main() {
         "ablation" => run_ablation(seed),
         "recovery" => run_recovery(seed),
         "churn" => run_churn(seed),
+        "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
             run_fig4(seed);
@@ -39,8 +50,42 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|perf|all] [seed]");
+            eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
+        }
+    }
+}
+
+fn run_perf(seed: u64) {
+    let report = agb_perf::PerfReport::run(seed);
+    let out_path =
+        std::env::var("AGB_BENCH_OUT").unwrap_or_else(|_| String::from("BENCH_PR3.json"));
+    let json = report.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{}", report.human_summary());
+    println!("  bench JSON written to {out_path}");
+}
+
+fn run_perf_check(args: &[String]) {
+    let (Some(current), Some(baseline)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: repro perf-check <current.json> <baseline.json> [tolerance]");
+        std::process::exit(2);
+    };
+    let tolerance: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    match agb_perf::compare_files(current, baseline, tolerance) {
+        Ok(comparison) => {
+            print!("{}", comparison.table());
+            if !comparison.passed() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf-check: {e}");
+            std::process::exit(1);
         }
     }
 }

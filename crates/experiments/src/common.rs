@@ -42,9 +42,14 @@ pub const HIGH_AGE: f64 = 4.1;
 /// Figures 6 and 9).
 pub const MAX_RATE_SLOPE: f64 = 1.02;
 
-/// Whether quick mode is active (`AGB_QUICK=1`): shorter runs for CI.
+/// Whether quick mode is active (`AGB_QUICK`): shorter runs for CI.
+///
+/// Truthy values (`1`, `true`, `yes`, …) enable it; `0`, `false`, `no`,
+/// `off` and the empty string explicitly disable it, so
+/// `AGB_QUICK=0 repro …` runs full-length experiments even in
+/// environments that export the variable.
 pub fn quick_mode() -> bool {
-    std::env::var("AGB_QUICK").is_ok_and(|v| v == "1")
+    agb_types::env_flag("AGB_QUICK")
 }
 
 /// Measurement phases of one run.

@@ -27,6 +27,9 @@ use crate::sampler::PeerSampler;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullView {
     members: Vec<NodeId>,
+    /// Whether `members[i] == NodeId::new(i)` for every slot, making the
+    /// exclude position an O(1) lookup on the sampling hot path.
+    canonical: bool,
 }
 
 impl FullView {
@@ -34,35 +37,51 @@ impl FullView {
     pub fn new(size: usize) -> Self {
         FullView {
             members: (0..size as u32).map(NodeId::new).collect(),
+            canonical: true,
         }
     }
 
     /// Creates a view over an explicit member list.
     pub fn from_members(members: Vec<NodeId>) -> Self {
-        FullView { members }
+        let canonical = members.iter().enumerate().all(|(i, m)| m.index() == i);
+        FullView { members, canonical }
     }
 
     /// The member list.
     pub fn members(&self) -> &[NodeId] {
         &self.members
     }
+
+    fn position_of(&self, node: NodeId) -> Option<usize> {
+        if self.canonical {
+            let i = node.index();
+            (i < self.members.len()).then_some(i)
+        } else {
+            self.members.iter().position(|&m| m == node)
+        }
+    }
 }
 
 impl PeerSampler for FullView {
     fn sample(&self, rng: &mut DetRng, fanout: usize, exclude: NodeId) -> Vec<NodeId> {
-        let candidates: Vec<NodeId> = self
-            .members
-            .iter()
-            .copied()
-            .filter(|&m| m != exclude)
-            .collect();
-        if candidates.is_empty() || fanout == 0 {
+        // Sampling is per-node, per-round: materialising an N-element
+        // candidate list here made every simulated round O(N²) in the
+        // group size. Instead, sample indices from the (virtual) list
+        // with the excluded slot spliced out.
+        let n = self.members.len();
+        let excl = self.position_of(exclude);
+        let candidates = n - usize::from(excl.is_some());
+        if candidates == 0 || fanout == 0 {
             return Vec::new();
         }
-        let amount = fanout.min(candidates.len());
-        index::sample(rng, candidates.len(), amount)
+        let amount = fanout.min(candidates);
+        let pick = |i: usize| match excl {
+            Some(p) if i >= p => self.members[i + 1],
+            _ => self.members[i],
+        };
+        index::sample(rng, candidates, amount)
             .iter()
-            .map(|i| candidates[i])
+            .map(pick)
             .collect()
     }
 

@@ -1,8 +1,66 @@
 //! Per-message delivery tracking and atomicity.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use agb_types::{EventId, NodeId, TimeMs};
+use agb_types::{EventId, FastHashMap, NodeId, TimeMs};
+
+/// A dense set of node ids, stored as a lazily grown bitset.
+///
+/// Delivery tracking inserts one entry per (message, receiver) pair —
+/// the single highest-volume metrics operation at large scale — so
+/// membership is a bit test instead of a hash probe, and a full group's
+/// receiver set costs `n/8` bytes instead of a hash table.
+///
+/// # Example
+///
+/// ```
+/// use agb_metrics::NodeSet;
+/// use agb_types::NodeId;
+///
+/// let mut s = NodeSet::default();
+/// assert!(s.insert(NodeId::new(70)));
+/// assert!(!s.insert(NodeId::new(70)));
+/// assert!(s.contains(NodeId::new(70)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Adds `node`; returns whether it was newly inserted.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            return false;
+        }
+        self.words[word] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Whether `node` is in the set.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
 
 /// Everything known about one broadcast message.
 #[derive(Debug, Clone)]
@@ -10,7 +68,7 @@ pub struct MessageRecord {
     /// When the origin admitted it (None if only deliveries were seen).
     pub admitted_at: Option<TimeMs>,
     /// Nodes that delivered it (each counted once).
-    pub receivers: HashSet<NodeId>,
+    pub receivers: NodeSet,
     /// Time of the first delivery.
     pub first_delivery: Option<TimeMs>,
     /// Time of the last delivery.
@@ -23,7 +81,7 @@ impl MessageRecord {
     fn new() -> Self {
         MessageRecord {
             admitted_at: None,
-            receivers: HashSet::new(),
+            receivers: NodeSet::default(),
             first_delivery: None,
             last_delivery: None,
             age_sum: 0,
@@ -79,7 +137,7 @@ pub struct AtomicityReport {
 #[derive(Debug, Clone)]
 pub struct DeliveryTracker {
     n_nodes: usize,
-    records: HashMap<EventId, MessageRecord>,
+    records: FastHashMap<EventId, MessageRecord>,
 }
 
 impl DeliveryTracker {
@@ -92,7 +150,7 @@ impl DeliveryTracker {
         assert!(n_nodes > 0, "group must have at least one node");
         DeliveryTracker {
             n_nodes,
-            records: HashMap::new(),
+            records: FastHashMap::default(),
         }
     }
 
@@ -263,7 +321,7 @@ impl DeliveryTracker {
             }
             let reached = eligible
                 .iter()
-                .filter(|n| rec.receivers.contains(n))
+                .filter(|&&n| rec.receivers.contains(n))
                 .count();
             messages += 1;
             let frac = reached as f64 / eligible.len() as f64;

@@ -1,6 +1,6 @@
 //! Drop-age statistics: the congestion signal, measured.
 
-use std::collections::HashMap;
+use agb_types::FastHashMap;
 
 use agb_core::PurgeReason;
 use agb_types::{DurationMs, RunningStats, TimeMs};
@@ -32,7 +32,7 @@ pub struct DropAgeStats {
     bin: DurationMs,
     overflow: RunningStats,
     age_cap: RunningStats,
-    overflow_bins: HashMap<u64, RunningStats>,
+    overflow_bins: FastHashMap<u64, RunningStats>,
 }
 
 impl DropAgeStats {
@@ -43,7 +43,7 @@ impl DropAgeStats {
             bin,
             overflow: RunningStats::new(),
             age_cap: RunningStats::new(),
-            overflow_bins: HashMap::new(),
+            overflow_bins: FastHashMap::default(),
         }
     }
 

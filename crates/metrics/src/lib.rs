@@ -40,7 +40,7 @@ mod series;
 
 pub use churn::{CatchUpRecord, CatchUpTracker, MembershipTimeline};
 pub use collector::MetricsCollector;
-pub use delivery::{AtomicityReport, DeliveryTracker, MessageRecord};
+pub use delivery::{AtomicityReport, DeliveryTracker, MessageRecord, NodeSet};
 pub use drop_age::DropAgeStats;
 pub use rates::{AllowedRateTracker, RateMeter};
 pub use recovery::RecoveryStats;

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use agb_types::{DurationMs, NodeId, TimeMs};
+use agb_types::{DurationMs, FastHashMap, NodeId, TimeMs};
 
 /// Counts discrete occurrences (admissions, deliveries) into time bins and
 /// reports them as rates.
@@ -26,7 +26,7 @@ use agb_types::{DurationMs, NodeId, TimeMs};
 #[derive(Debug, Clone)]
 pub struct RateMeter {
     bin: DurationMs,
-    bins: HashMap<u64, u64>,
+    bins: FastHashMap<u64, u64>,
     total: u64,
 }
 
@@ -40,7 +40,7 @@ impl RateMeter {
         assert!(!bin.is_zero(), "bin width must be non-zero");
         RateMeter {
             bin,
-            bins: HashMap::new(),
+            bins: FastHashMap::default(),
             total: 0,
         }
     }

@@ -1,0 +1,82 @@
+//! A counting global allocator for allocation-per-round accounting.
+//!
+//! [`CountingAllocator`] wraps the system allocator and counts every
+//! allocation (and reallocation) with one relaxed atomic increment. The
+//! perf harness reads deltas of [`allocation_count`] around measured
+//! phases to report allocations-per-round — the single most sensitive
+//! canary for accidental hot-path allocation regressions, and (for a
+//! deterministic single-threaded simulation) a count that is *exactly*
+//! reproducible across runs of the same seed.
+//!
+//! Installation is **opt-in per binary** — a library must not hijack
+//! the process allocator of everything that links it (and would
+//! conflict with any downstream `#[global_allocator]`). Binaries that
+//! want allocation metrics declare:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: agb_perf::alloc::CountingAllocator = agb_perf::alloc::CountingAllocator;
+//! ```
+//!
+//! The `repro` binary and the allocation-determinism test install it;
+//! without it, [`allocation_count`] stays 0 and the harness reports
+//! zero allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper counting allocation events.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the only addition is a relaxed
+// counter increment, which cannot violate allocator invariants.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// The crate's own test harness installs the allocator so unit tests
+/// can observe real counts; external binaries opt in themselves (see
+/// module docs).
+#[cfg(test)]
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Total allocation events (alloc + alloc_zeroed + realloc) since process
+/// start. Compare deltas around a measured phase. Always 0 unless the
+/// running binary installed [`CountingAllocator`] as its
+/// `#[global_allocator]`.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_on_allocation() {
+        let before = allocation_count();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        assert!(v.capacity() >= 1024);
+        assert!(allocation_count() > before);
+    }
+}

@@ -1,0 +1,224 @@
+//! The CI perf regression gate: compare a fresh bench JSON against a
+//! committed baseline with a throughput tolerance.
+//!
+//! The gate only fails on *regressions* beyond the tolerance — wall-clock
+//! throughput on shared CI runners is noisy, so the tolerance is wide
+//! (±25% by default) and improvements merely suggest refreshing the
+//! baseline.
+
+use crate::json::Json;
+
+/// Throughput metrics the gate compares (higher is better).
+const GATED_METRICS: [&str; 2] = ["rounds_per_sec", "messages_per_sec"];
+
+/// One compared metric of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Scenario key.
+    pub scenario: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline - 1`, as a signed fraction.
+    pub change: f64,
+    /// Whether this delta is a regression beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-scenario, per-metric deltas.
+    pub deltas: Vec<Delta>,
+    /// Scenarios present in the baseline but missing from the current
+    /// report (treated as failures: the sweep silently shrank).
+    pub missing: Vec<String>,
+    /// The tolerance used, as a fraction.
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// The printable delta table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perf gate (tolerance ±{:.0}%)\n",
+            self.tolerance * 100.0
+        ));
+        out.push_str(&format!(
+            "  {:<18} {:<18} {:>14} {:>14} {:>9}  {}\n",
+            "scenario", "metric", "baseline", "current", "change", "verdict"
+        ));
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  {:<18} {:<18} {:>14.2} {:>14.2} {:>+8.1}%  {}\n",
+                d.scenario,
+                d.metric,
+                d.baseline,
+                d.current,
+                d.change * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("  {m:<18} MISSING from current report\n"));
+        }
+        out.push_str(if self.passed() {
+            "  gate: PASS\n"
+        } else {
+            "  gate: FAIL\n"
+        });
+        out
+    }
+}
+
+fn scenario_map(report: &Json) -> Vec<(&str, &Json)> {
+    report
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|s| s.get("name").and_then(Json::as_str).map(|n| (n, s)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Compares `current` against `baseline` with the given regression
+/// tolerance (fraction; 0.25 = a metric may drop to 75% of baseline).
+pub fn compare(current: &Json, baseline: &Json, tolerance: f64) -> Comparison {
+    let current_scenarios = scenario_map(current);
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for (name, base) in scenario_map(baseline) {
+        let Some((_, cur)) = current_scenarios.iter().find(|(n, _)| *n == name) else {
+            missing.push(name.to_string());
+            continue;
+        };
+        for metric in GATED_METRICS {
+            let (Some(b), Some(c)) = (
+                base.get(metric).and_then(Json::as_f64),
+                cur.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if b <= 0.0 {
+                continue;
+            }
+            let change = c / b - 1.0;
+            deltas.push(Delta {
+                scenario: name.to_string(),
+                metric: metric.to_string(),
+                baseline: b,
+                current: c,
+                change,
+                regressed: change < -tolerance,
+            });
+        }
+    }
+    Comparison {
+        deltas,
+        missing,
+        tolerance,
+    }
+}
+
+/// Loads two report files and runs the gate; returns the comparison or a
+/// description of what could not be read.
+///
+/// # Errors
+///
+/// Fails when either file is unreadable or not schema-valid bench JSON.
+pub fn compare_files(
+    current_path: &str,
+    baseline_path: &str,
+    tolerance: f64,
+) -> Result<Comparison, String> {
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        match json.get("schema").and_then(Json::as_str) {
+            Some(crate::harness::SCHEMA) => Ok(json),
+            other => Err(format!(
+                "{path}: unsupported schema {other:?} (expected {})",
+                crate::harness::SCHEMA
+            )),
+        }
+    };
+    Ok(compare(
+        &load(current_path)?,
+        &load(baseline_path)?,
+        tolerance,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rounds: f64, msgs: f64) -> Json {
+        Json::obj([
+            ("schema", Json::Str(crate::harness::SCHEMA.into())),
+            (
+                "scenarios",
+                Json::Arr(vec![Json::obj([
+                    ("name", Json::Str("n1000".into())),
+                    ("rounds_per_sec", Json::Num(rounds)),
+                    ("messages_per_sec", Json::Num(msgs)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let c = compare(&report(80.0, 800.0), &report(100.0, 1000.0), 0.25);
+        assert!(c.passed(), "{}", c.table());
+        assert_eq!(c.deltas.len(), 2);
+    }
+
+    #[test]
+    fn beyond_tolerance_fails() {
+        let c = compare(&report(70.0, 1000.0), &report(100.0, 1000.0), 0.25);
+        assert!(!c.passed());
+        assert!(c.deltas.iter().any(|d| d.regressed));
+        assert!(c.table().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let c = compare(&report(500.0, 9000.0), &report(100.0, 1000.0), 0.25);
+        assert!(c.passed());
+    }
+
+    #[test]
+    fn missing_scenario_fails() {
+        let empty = Json::obj([
+            ("schema", Json::Str(crate::harness::SCHEMA.into())),
+            ("scenarios", Json::Arr(vec![])),
+        ]);
+        let c = compare(&empty, &report(100.0, 1000.0), 0.25);
+        assert!(!c.passed());
+        assert_eq!(c.missing, vec!["n1000".to_string()]);
+    }
+
+    #[test]
+    fn compare_files_round_trip() {
+        let dir = std::env::temp_dir();
+        let cur = dir.join("agb_perf_cur_test.json");
+        let base = dir.join("agb_perf_base_test.json");
+        std::fs::write(&cur, report(100.0, 1000.0).pretty()).unwrap();
+        std::fs::write(&base, report(90.0, 900.0).pretty()).unwrap();
+        let c = compare_files(cur.to_str().unwrap(), base.to_str().unwrap(), 0.25).unwrap();
+        assert!(c.passed());
+        assert!(compare_files("/nonexistent.json", base.to_str().unwrap(), 0.25).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! `agb-perf` — the large-scale macro-benchmark subsystem.
+//!
+//! Three pieces:
+//!
+//! * [`harness`] — runs full adaptive-gossip rounds at 1k / 5k / 10k
+//!   (and 50k in full mode) nodes, with and without the recovery layer,
+//!   and produces a machine-readable bench report (`BENCH_PR3.json`,
+//!   schema `agb-perf/v1`) alongside a human summary. Invoked as
+//!   `repro perf [seed]`.
+//! * [`compare`](mod@compare) — the CI regression gate: diff a fresh report against a
+//!   committed baseline (`ci/perf-baseline.json`) with a throughput
+//!   tolerance, printing a delta table. Invoked as
+//!   `repro perf-check <current> <baseline> [tolerance]`.
+//! * [`alloc`] — a counting global allocator (opt-in per binary; the
+//!   `repro` driver installs it) powering the allocations-per-round
+//!   metric, the most sensitive canary for hot-path allocation
+//!   regressions.
+//!
+//! [`json`] is the dependency-free JSON model the other modules share.
+//!
+//! # Bench JSON schema (`agb-perf/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "agb-perf/v1",
+//!   "seed": 42,
+//!   "quick": true,
+//!   "scenarios": [
+//!     {
+//!       "name": "n10000",            // key: n<nodes>[-recovery]
+//!       "n_nodes": 10000,
+//!       "recovery": false,
+//!       "measure_rounds": 10,
+//!       "wall_secs": 1.9,
+//!       "rounds_per_sec": 5.2,       // virtual gossip rounds / wall s
+//!       "node_rounds_per_sec": 52000,
+//!       "messages_per_sec": 210000,  // network messages routed / wall s
+//!       "events_per_sec": 430000,    // engine events / wall s
+//!       "sends": 400000,
+//!       "deliveries": 398000,
+//!       "peak_queue_depth": 40500,   // future-event-list high-water mark
+//!       "allocations": 1200000,      // via the counting allocator
+//!       "allocs_per_round": 120000,
+//!       "checksum": "0x…"            // engine determinism checksum
+//!     }
+//!   ],
+//!   "encode": {                      // pooled wire-codec micro-leg
+//!     "bytes_per_sec": 1.2e9, "frames_per_sec": 230000,
+//!     "frames": 5000, "bytes": 2.6e7, "wall_secs": 0.02, "checksum": "0x…"
+//!   },
+//!   "determinism_checksum": "0x…"    // identical across same-seed runs
+//! }
+//! ```
+//!
+//! Wall-clock metrics (`wall_secs`, `*_per_sec`) vary between machines
+//! and runs; everything else — counts, checksums, queue depths — is an
+//! exact function of the seed.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod compare;
+pub mod harness;
+pub mod json;
+
+pub use compare::{compare, compare_files, Comparison, Delta};
+pub use harness::{
+    quick_mode, run_encode_bench, run_scenario, scale_points, EncodeResult, PerfReport,
+    ScenarioResult, ScenarioSpec, SCHEMA,
+};
+pub use json::Json;

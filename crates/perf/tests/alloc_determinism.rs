@@ -1,0 +1,52 @@
+//! Fixed-seed allocation-count determinism.
+//!
+//! The perf harness reports allocations-per-round through the counting
+//! global allocator; that number is only a trustworthy regression canary
+//! if it is an exact function of the seed. This test lives in its own
+//! integration binary on purpose: it must be the only test in the
+//! process, so no concurrently running test thread can allocate into the
+//! shared counter between the two measured runs.
+
+use agb_perf::alloc::{allocation_count, CountingAllocator};
+use agb_perf::{run_scenario, ScenarioSpec};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec {
+        name: "alloc-determinism".into(),
+        n_nodes: 60,
+        recovery: true,
+        warmup_rounds: 2,
+        measure_rounds: 5,
+    }
+}
+
+#[test]
+fn same_seed_same_allocation_count() {
+    // Warm one run first so lazily initialised process state (thread
+    // locals, allocator internals) does not skew the first measurement.
+    let _ = run_scenario(&spec(), 7);
+
+    let a = run_scenario(&spec(), 7);
+    let b = run_scenario(&spec(), 7);
+
+    assert!(a.allocations > 0, "counter must observe the run");
+    assert_eq!(
+        a.allocations, b.allocations,
+        "allocation count must be an exact function of the seed"
+    );
+    assert_eq!(a.allocs_per_round, b.allocs_per_round);
+    // And the run itself is deterministic.
+    assert_eq!(a.checksum, b.checksum);
+    assert_eq!(a.sends, b.sends);
+
+    // Different seeds are allowed to differ (and in practice do): the
+    // counter tracks real work, not a constant.
+    let c = run_scenario(&spec(), 8);
+    assert_ne!(c.checksum, a.checksum);
+
+    // The global counter is monotone across all of the above.
+    assert!(allocation_count() > a.allocations);
+}

@@ -8,7 +8,9 @@
 //! decoupled from the gossip buffer so that serving retransmissions never
 //! competes with dissemination for buffer slots.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use agb_types::FastHashMap;
 
 use agb_core::Event;
 use agb_types::EventId;
@@ -40,7 +42,7 @@ struct CachedEvent {
 pub struct RetransmissionCache {
     capacity: usize,
     max_rounds: u32,
-    slots: HashMap<EventId, CachedEvent>,
+    slots: FastHashMap<EventId, CachedEvent>,
     order: VecDeque<EventId>,
     round: u64,
 }
@@ -52,8 +54,10 @@ impl RetransmissionCache {
         RetransmissionCache {
             capacity,
             max_rounds,
-            slots: HashMap::with_capacity(capacity.min(4096)),
-            order: VecDeque::with_capacity(capacity.min(4096)),
+            // Grown on demand: one cache per node at 10k+ simulated
+            // nodes makes eager full-bound reservations prohibitive.
+            slots: FastHashMap::default(),
+            order: VecDeque::new(),
             round: 0,
         }
     }

@@ -1,7 +1,9 @@
 //! Gap bookkeeping: which advertised events are we missing, who can serve
 //! them, and when is the next pull attempt due.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use agb_types::FastHashMap;
 
 use agb_types::{EventId, NodeId};
 
@@ -33,7 +35,7 @@ pub struct DueGraft {
 /// deterministic simulator's checksum tests rely on.
 #[derive(Debug, Clone)]
 pub struct MissingTracker {
-    entries: HashMap<EventId, MissingEntry>,
+    entries: FastHashMap<EventId, MissingEntry>,
     order: VecDeque<EventId>,
     capacity: usize,
     /// Lower bound on the earliest `due_round` of any tracked entry, so
@@ -59,7 +61,7 @@ impl MissingTracker {
     /// are abandoned (the next advertisement re-opens them).
     pub fn with_capacity(capacity: usize) -> Self {
         MissingTracker {
-            entries: HashMap::new(),
+            entries: FastHashMap::default(),
             order: VecDeque::new(),
             capacity,
             earliest_due: u64::MAX,

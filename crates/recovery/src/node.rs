@@ -72,6 +72,9 @@ pub struct RecoverableNode<P> {
     graft_ids_this_round: usize,
     served_events_this_round: usize,
     out_events: Vec<ProtocolEvent>,
+    /// Reusable buffer for draining the inner node's events on every
+    /// sync (once per receive/round — allocation-free at steady state).
+    sync_scratch: Vec<ProtocolEvent>,
 }
 
 impl<P: GossipProtocol> RecoverableNode<P> {
@@ -87,7 +90,7 @@ impl<P: GossipProtocol> RecoverableNode<P> {
             .unwrap_or_else(|e| panic!("invalid RecoveryConfig: {e}"));
         RecoverableNode {
             seen: EventIdBuffer::new(config.seen_capacity),
-            window: VecDeque::with_capacity(config.ihave_window),
+            window: VecDeque::new(),
             advertise_cursor: 0,
             cache: RetransmissionCache::new(config.cache_capacity, config.cache_rounds),
             missing: MissingTracker::with_capacity(config.max_missing),
@@ -95,6 +98,7 @@ impl<P: GossipProtocol> RecoverableNode<P> {
             graft_ids_this_round: 0,
             served_events_this_round: 0,
             out_events: Vec::new(),
+            sync_scratch: Vec::new(),
             inner,
             config,
         }
@@ -131,7 +135,10 @@ impl<P: GossipProtocol> RecoverableNode<P> {
     /// `delivered` when provided (used by the retransmission path to
     /// confirm which recoveries the inner node actually delivered).
     fn sync_collect_delivered(&mut self, mut delivered: Option<&mut Vec<EventId>>) {
-        for event in self.inner.drain_events() {
+        let mut drained = std::mem::take(&mut self.sync_scratch);
+        drained.clear();
+        self.inner.drain_events_into(&mut drained);
+        for event in drained.drain(..) {
             if let ProtocolEvent::Delivered { event: ev, .. } = &event {
                 let id = ev.id();
                 if self.seen.insert(id) {
@@ -148,6 +155,7 @@ impl<P: GossipProtocol> RecoverableNode<P> {
             }
             self.out_events.push(event);
         }
+        self.sync_scratch = drained;
     }
 
     /// Drops window entries our own cache can no longer serve, keeping
@@ -286,7 +294,7 @@ impl<P: GossipProtocol> RecoverableNode<P> {
             sender: from,
             sample_period: 0,
             min_buffs: Vec::new(),
-            events: fresh,
+            events: fresh.into(),
             membership: MembershipDigest::default(),
         };
         self.inner.on_receive(from, synthesized, now);
@@ -382,6 +390,11 @@ impl<P: GossipProtocol> FrameProtocol for RecoverableNode<P> {
     fn drain_events(&mut self) -> Vec<ProtocolEvent> {
         self.sync();
         std::mem::take(&mut self.out_events)
+    }
+
+    fn drain_events_into(&mut self, out: &mut Vec<ProtocolEvent>) {
+        self.sync();
+        out.append(&mut self.out_events);
     }
 
     fn set_buffer_capacity(&mut self, capacity: usize, now: TimeMs) {
@@ -484,7 +497,7 @@ mod tests {
                 sender: NodeId::new(sender),
                 sample_period: 0,
                 min_buffs: vec![],
-                events,
+                events: events.into(),
                 membership: MembershipDigest::default(),
             },
             ihave: Some(IHaveDigest { ids: ihave }),

@@ -116,6 +116,13 @@ fn node_loop<T: Transport>(
     let mut next_offer = offer_gap.map(|g| epoch + g);
 
     let now_ms = |at: Instant| TimeMs::from_millis(at.duration_since(epoch).as_millis() as u64);
+    // Pooled wire buffers: frames encode into recycled scratch, and
+    // decoded payloads intern into shared handles.
+    let mut encoder = wire::FrameEncoder::default();
+    // Bounded small: entries pin their payload bytes until the table's
+    // wholesale reset, so a long-lived node must not retain tens of
+    // thousands of distinct datagram-sized payloads.
+    let mut interner = agb_types::PayloadInterner::new(1024);
     // Crash-stopped (or departed) until further command: datagrams are
     // drained and discarded, rounds and offers are suppressed.
     let mut down = false;
@@ -155,7 +162,7 @@ fn node_loop<T: Transport>(
                 }
                 Command::Leave => {
                     for (to, frame) in runtime.protocol.leave(now) {
-                        for frag in wire::split_frame_for_datagram(&frame, MAX_DATAGRAM) {
+                        for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
                             transport.send(to, frag);
                         }
                     }
@@ -191,14 +198,14 @@ fn node_loop<T: Transport>(
         let until_round = next_round.saturating_duration_since(now_instant);
         let slice = until_round.min(Duration::from_millis(5));
         if let Some(bytes) = transport.recv_timeout(slice) {
-            match wire::decode_frame(&bytes) {
+            match wire::decode_frame_interned(&bytes, &mut interner) {
                 Ok(frame) => {
                     let from = frame.sender();
                     let replies = runtime
                         .protocol
                         .on_receive(from, frame, now_ms(Instant::now()));
                     for (to, reply) in replies {
-                        for frag in wire::split_frame_for_datagram(&reply, MAX_DATAGRAM) {
+                        for frag in encoder.split_for_datagram(&reply, MAX_DATAGRAM) {
                             transport.send(to, frag);
                         }
                     }
@@ -211,7 +218,7 @@ fn node_loop<T: Transport>(
         if Instant::now() >= next_round {
             let out = runtime.protocol.on_round(now_ms(next_round));
             for (to, frame) in out {
-                for frag in wire::split_frame_for_datagram(&frame, MAX_DATAGRAM) {
+                for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
                     transport.send(to, frag);
                 }
             }

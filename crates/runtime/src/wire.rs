@@ -62,7 +62,7 @@ impl std::error::Error for WireError {}
 ///     sender: NodeId::new(1),
 ///     sample_period: 9,
 ///     min_buffs: vec![],
-///     events: vec![],
+///     events: Default::default(),
 ///     membership: Default::default(),
 /// };
 /// let bytes = encode(&msg);
@@ -70,6 +70,20 @@ impl std::error::Error for WireError {}
 /// ```
 pub fn encode(msg: &GossipMessage) -> Bytes {
     let mut buf = BytesMut::with_capacity(64 + msg.wire_size());
+    encode_to(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a gossip message by appending to a reusable buffer
+/// (byte-identical to [`encode`], without the per-call allocation).
+///
+/// Pair with [`agb_types::BytePool`] to amortise encode buffers across
+/// frames; see [`FrameEncoder`] for the pooled front-end.
+pub fn encode_into(msg: &GossipMessage, out: &mut Vec<u8>) {
+    encode_to(msg, out);
+}
+
+fn encode_to<B: BufMut>(msg: &GossipMessage, buf: &mut B) {
     buf.put_u8(MAGIC);
     buf.put_u32_le(msg.sender.as_u32());
     buf.put_u64_le(msg.sample_period);
@@ -87,8 +101,7 @@ pub fn encode(msg: &GossipMessage) -> Bytes {
         buf.put_u32_le(u.node.as_u32());
         buf.put_u32_le(u.ttl);
     }
-    put_events(&mut buf, &msg.events);
-    buf.freeze()
+    put_events(buf, &msg.events);
 }
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
@@ -106,6 +119,27 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
 /// Returns a [`WireError`] on truncated input, bad magic byte, or
 /// implausible lengths.
 pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
+    decode_with(bytes, &mut None)
+}
+
+/// Deserializes a gossip message, interning event payloads through the
+/// given [`agb_types::PayloadInterner`] so repeated identical payloads
+/// share one allocation (value-identical to [`decode`]).
+///
+/// # Errors
+///
+/// Same failure modes as [`decode`].
+pub fn decode_interned(
+    bytes: &[u8],
+    interner: &mut agb_types::PayloadInterner,
+) -> Result<GossipMessage, WireError> {
+    decode_with(bytes, &mut Some(interner))
+}
+
+fn decode_with(
+    bytes: &[u8],
+    interner: &mut Option<&mut agb_types::PayloadInterner>,
+) -> Result<GossipMessage, WireError> {
     let mut buf = bytes;
     need(&buf, 1)?;
     let magic = buf.get_u8();
@@ -143,17 +177,17 @@ pub fn decode(bytes: &[u8]) -> Result<GossipMessage, WireError> {
             Unsubscription { node, ttl }
         })
         .collect();
-    let events = get_events(&mut buf)?;
+    let events = get_events_with(&mut buf, interner)?;
     Ok(GossipMessage {
         sender,
         sample_period,
         min_buffs,
-        events,
+        events: events.into(),
         membership: MembershipDigest { subs, unsubs },
     })
 }
 
-fn put_event_ids(buf: &mut BytesMut, ids: &[EventId]) {
+fn put_event_ids<B: BufMut>(buf: &mut B, ids: &[EventId]) {
     // RecoveryConfig::validate caps digest/graft sizes well below this;
     // silent u16 wrap-around would corrupt the whole frame.
     assert!(
@@ -182,7 +216,7 @@ fn get_event_ids(buf: &mut &[u8]) -> Result<Vec<EventId>, WireError> {
     Ok(ids)
 }
 
-fn put_events(buf: &mut BytesMut, events: &[Event]) {
+fn put_events<B: BufMut>(buf: &mut B, events: &[Event]) {
     buf.put_u32_le(events.len() as u32);
     for e in events {
         buf.put_u32_le(e.id().origin().as_u32());
@@ -193,7 +227,10 @@ fn put_events(buf: &mut BytesMut, events: &[Event]) {
     }
 }
 
-fn get_events(buf: &mut &[u8]) -> Result<Vec<Event>, WireError> {
+fn get_events_with(
+    buf: &mut &[u8],
+    interner: &mut Option<&mut agb_types::PayloadInterner>,
+) -> Result<Vec<Event>, WireError> {
     need(buf, 4)?;
     let n_events = buf.get_u32_le() as usize;
     // Each event needs at least 20 bytes: reject absurd counts early.
@@ -208,7 +245,10 @@ fn get_events(buf: &mut &[u8]) -> Result<Vec<Event>, WireError> {
         let age = buf.get_u32_le();
         let plen = buf.get_u32_le() as usize;
         need(buf, plen)?;
-        let payload = Payload::copy_from_slice(&buf[..plen]);
+        let payload = match interner.as_deref_mut() {
+            Some(interner) => interner.intern(&buf[..plen]),
+            None => Payload::copy_from_slice(&buf[..plen]),
+        };
         buf.advance(plen);
         events.push(Event::with_age(EventId::new(origin, seq), age, payload));
     }
@@ -236,6 +276,17 @@ fn get_events(buf: &mut &[u8]) -> Result<Vec<Event>, WireError> {
 /// ```
 pub fn encode_frame(frame: &GossipFrame) -> Bytes {
     let mut buf = BytesMut::with_capacity(8 + frame.wire_size());
+    encode_frame_to(frame, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a recovery-capable frame by appending to a reusable buffer
+/// (byte-identical to [`encode_frame`], without the per-call allocation).
+pub fn encode_frame_into(frame: &GossipFrame, out: &mut Vec<u8>) {
+    encode_frame_to(frame, out);
+}
+
+fn encode_frame_to<B: BufMut>(frame: &GossipFrame, buf: &mut B) {
     buf.put_u8(FRAME_MAGIC);
     match frame {
         GossipFrame::Gossip { msg, ihave } => {
@@ -243,24 +294,109 @@ pub fn encode_frame(frame: &GossipFrame) -> Bytes {
             match ihave {
                 Some(digest) => {
                     buf.put_u8(1);
-                    put_event_ids(&mut buf, &digest.ids);
+                    put_event_ids(buf, &digest.ids);
                 }
                 None => buf.put_u8(0),
             }
-            buf.put_slice(&encode(msg));
+            encode_to(msg, buf);
         }
         GossipFrame::Graft(graft) => {
             buf.put_u8(TAG_GRAFT);
             buf.put_u32_le(graft.sender.as_u32());
-            put_event_ids(&mut buf, &graft.ids);
+            put_event_ids(buf, &graft.ids);
         }
         GossipFrame::Retransmit(retransmission) => {
             buf.put_u8(TAG_RETRANSMIT);
             buf.put_u32_le(retransmission.sender.as_u32());
-            put_events(&mut buf, &retransmission.events);
+            put_events(buf, &retransmission.events);
         }
     }
-    buf.freeze()
+}
+
+/// A pooled frame encoder: encodes every frame into a recycled scratch
+/// buffer instead of growing a fresh `BytesMut` per frame.
+///
+/// Steady-state encoding performs exactly one allocation per frame (the
+/// immutable [`Bytes`] handed to the transport, which must own its
+/// storage) instead of the grow-realloc churn of the buffer-per-frame
+/// path.
+///
+/// # Example
+///
+/// ```
+/// use agb_core::GossipFrame;
+/// use agb_runtime::wire::{decode_frame, encode_frame, FrameEncoder};
+/// # use agb_core::GossipMessage;
+/// # use agb_types::NodeId;
+///
+/// let frame = GossipFrame::plain(GossipMessage {
+///     sender: NodeId::new(1),
+///     sample_period: 0,
+///     min_buffs: vec![],
+///     events: Default::default(),
+///     membership: Default::default(),
+/// });
+/// let mut enc = FrameEncoder::default();
+/// // Pooled encoding is byte-identical to the legacy path.
+/// assert_eq!(enc.encode(&frame), encode_frame(&frame));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    pool: agb_types::BytePool,
+}
+
+impl FrameEncoder {
+    /// Creates an encoder retaining at most `max_pooled` idle buffers.
+    pub fn new(max_pooled: usize) -> Self {
+        FrameEncoder {
+            pool: agb_types::BytePool::new(max_pooled),
+        }
+    }
+
+    /// Encodes a frame through the pool; byte-identical to
+    /// [`encode_frame`].
+    pub fn encode(&mut self, frame: &GossipFrame) -> Bytes {
+        let mut buf = self.pool.take();
+        encode_frame_to(frame, &mut buf);
+        let bytes = Bytes::copy_from_slice(&buf);
+        self.pool.put(buf);
+        bytes
+    }
+
+    /// Encodes a plain message through the pool; byte-identical to
+    /// [`encode`].
+    pub fn encode_message(&mut self, msg: &GossipMessage) -> Bytes {
+        let mut buf = self.pool.take();
+        encode_to(msg, &mut buf);
+        let bytes = Bytes::copy_from_slice(&buf);
+        self.pool.put(buf);
+        bytes
+    }
+
+    /// Splits a frame into datagrams like [`split_frame_for_datagram`],
+    /// encoding through the pool.
+    ///
+    /// The common case — the frame fits in one datagram — takes a pooled
+    /// fast path with zero buffer churn. Oversized frames fall back to
+    /// the legacy splitter; fragment boundaries can then differ from the
+    /// fast path (never from the legacy function), but the decoded
+    /// content and the `max_bytes` bound are identical either way.
+    pub fn split_for_datagram(&mut self, frame: &GossipFrame, max_bytes: usize) -> Vec<Bytes> {
+        // wire_size() is an approximation, so it only gates the trial
+        // encode when the frame is clearly oversized — never the
+        // correctness of the fit check itself.
+        if frame.wire_size() <= 2 * max_bytes {
+            let mut buf = self.pool.take();
+            encode_frame_to(frame, &mut buf);
+            if buf.len() <= max_bytes {
+                let bytes = Bytes::copy_from_slice(&buf);
+                self.pool.put(buf);
+                return vec![bytes];
+            }
+            self.pool.put(buf);
+        }
+        split_frame_for_datagram(frame, max_bytes)
+    }
 }
 
 /// Deserializes a recovery-capable frame.
@@ -270,6 +406,26 @@ pub fn encode_frame(frame: &GossipFrame) -> Bytes {
 /// Returns a [`WireError`] on truncated input, bad magic or tag bytes, or
 /// implausible lengths.
 pub fn decode_frame(bytes: &[u8]) -> Result<GossipFrame, WireError> {
+    decode_frame_with(bytes, &mut None)
+}
+
+/// Deserializes a recovery-capable frame, interning event payloads (see
+/// [`decode_interned`]; value-identical to [`decode_frame`]).
+///
+/// # Errors
+///
+/// Same failure modes as [`decode_frame`].
+pub fn decode_frame_interned(
+    bytes: &[u8],
+    interner: &mut agb_types::PayloadInterner,
+) -> Result<GossipFrame, WireError> {
+    decode_frame_with(bytes, &mut Some(interner))
+}
+
+fn decode_frame_with(
+    bytes: &[u8],
+    interner: &mut Option<&mut agb_types::PayloadInterner>,
+) -> Result<GossipFrame, WireError> {
     let mut buf = bytes;
     need(&buf, 2)?;
     let magic = buf.get_u8();
@@ -287,7 +443,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<GossipFrame, WireError> {
                 }),
                 other => return Err(WireError::BadMagic(other)),
             };
-            let msg = decode(buf)?;
+            let msg = decode_with(buf, interner)?;
             Ok(GossipFrame::Gossip { msg, ihave })
         }
         TAG_GRAFT => {
@@ -299,7 +455,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<GossipFrame, WireError> {
         TAG_RETRANSMIT => {
             need(&buf, 4)?;
             let sender = NodeId::new(buf.get_u32_le());
-            let events = get_events(&mut buf)?;
+            let events = get_events_with(&mut buf, interner)?;
             Ok(GossipFrame::Retransmit(Retransmission { sender, events }))
         }
         other => Err(WireError::BadMagic(other)),
@@ -395,7 +551,7 @@ fn split_digest_frames(sender: NodeId, digest: &IHaveDigest, max_bytes: usize) -
         sender,
         sample_period: 0,
         min_buffs: Vec::new(),
-        events: Vec::new(),
+        events: agb_core::EventList::new(),
         membership: MembershipDigest::default(),
     };
     let encoded_header = encode(&header);
@@ -429,33 +585,34 @@ pub fn split_for_datagram(msg: &GossipMessage, max_bytes: usize) -> Vec<Bytes> {
         return vec![encoded];
     }
     let mut out = Vec::new();
-    let mut chunk = GossipMessage {
+    let header = GossipMessage {
         sender: msg.sender,
         sample_period: msg.sample_period,
         min_buffs: msg.min_buffs.clone(),
-        events: Vec::new(),
+        events: agb_core::EventList::new(),
         membership: msg.membership.clone(),
     };
-    let overhead = {
-        let empty = GossipMessage {
-            events: Vec::new(),
-            ..chunk.clone()
+    let overhead = encode(&header).len();
+    let mut chunk_events: Vec<Event> = Vec::new();
+    let flush = |events: &mut Vec<Event>, out: &mut Vec<Bytes>| {
+        let chunk = GossipMessage {
+            events: std::mem::take(events).into(),
+            ..header.clone()
         };
-        encode(&empty).len()
+        out.push(encode(&chunk));
     };
     let mut used = overhead;
     for event in &msg.events {
         let cost = 20 + event.payload().len();
-        if !chunk.events.is_empty() && used + cost > max_bytes {
-            out.push(encode(&chunk));
-            chunk.events.clear();
+        if !chunk_events.is_empty() && used + cost > max_bytes {
+            flush(&mut chunk_events, &mut out);
             used = overhead;
         }
-        chunk.events.push(event.clone());
+        chunk_events.push(event.clone());
         used += cost;
     }
-    if !chunk.events.is_empty() {
-        out.push(encode(&chunk));
+    if !chunk_events.is_empty() {
+        flush(&mut chunk_events, &mut out);
     }
     out
 }
@@ -485,7 +642,8 @@ mod tests {
                     Payload::from_static(b"payload-one"),
                 ),
                 Event::with_age(EventId::new(NodeId::new(2), 0), 0, Payload::new()),
-            ],
+            ]
+            .into(),
             membership: MembershipDigest {
                 subs: vec![NodeId::new(3), NodeId::new(4)],
                 unsubs: vec![Unsubscription {
@@ -509,7 +667,7 @@ mod tests {
             sender: NodeId::new(0),
             sample_period: 0,
             min_buffs: vec![],
-            events: vec![],
+            events: Default::default(),
             membership: MembershipDigest::default(),
         };
         assert_eq!(decode(&encode(&msg)).unwrap(), msg);
@@ -537,7 +695,7 @@ mod tests {
             sender: NodeId::new(0),
             sample_period: 0,
             min_buffs: vec![],
-            events: vec![],
+            events: Default::default(),
             membership: MembershipDigest::default(),
         };
         let mut bytes = encode(&msg).to_vec();
@@ -603,7 +761,7 @@ mod tests {
             }),
             GossipFrame::Retransmit(Retransmission {
                 sender: NodeId::new(4),
-                events: sample_msg().events,
+                events: sample_msg().events.to_vec(),
             }),
         ];
         for frame in frames {

@@ -44,7 +44,7 @@ fn arb_message() -> impl Strategy<Value = GossipMessage> {
                         capacity,
                     })
                     .collect(),
-                events,
+                events: events.into(),
                 membership: MembershipDigest {
                     subs: subs.into_iter().map(NodeId::new).collect(),
                     unsubs: unsubs
@@ -165,8 +165,88 @@ proptest! {
                 GossipFrame::Graft(_) => {}
             }
         }
-        let original = match &frame {
-            GossipFrame::Gossip { msg, .. } => msg.events.clone(),
+        let original: Vec<_> = match &frame {
+            GossipFrame::Gossip { msg, .. } => msg.events.as_slice().to_vec(),
+            GossipFrame::Retransmit(r) => r.events.clone(),
+            GossipFrame::Graft(_) => vec![],
+        };
+        prop_assert_eq!(events, original);
+    }
+}
+
+// The pooled/interned codec paths must be indistinguishable from the
+// legacy ones: pooled encoding byte-for-byte, interned decoding
+// value-for-value, across arbitrary messages and frames.
+proptest! {
+    #[test]
+    fn pooled_encode_matches_legacy_byte_for_byte(
+        msgs in proptest::collection::vec(arb_message(), 1..6),
+    ) {
+        use agb_runtime::wire::FrameEncoder;
+        let mut encoder = FrameEncoder::default();
+        // Sequential reuse of the same pooled buffer must never leak
+        // state between frames.
+        for msg in &msgs {
+            prop_assert_eq!(encoder.encode_message(msg), encode(msg));
+            let frame = agb_core::GossipFrame::plain(msg.clone());
+            prop_assert_eq!(
+                encoder.encode(&frame),
+                agb_runtime::wire::encode_frame(&frame)
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_frame_encode_matches_legacy_byte_for_byte(
+        frames in proptest::collection::vec(arb_frame(), 1..6),
+    ) {
+        use agb_runtime::wire::{encode_frame, FrameEncoder};
+        let mut encoder = FrameEncoder::default();
+        for frame in &frames {
+            prop_assert_eq!(encoder.encode(frame), encode_frame(frame));
+        }
+    }
+
+    #[test]
+    fn interned_decode_matches_legacy(msg in arb_message()) {
+        use agb_runtime::wire::decode_interned;
+        let bytes = encode(&msg);
+        let mut interner = agb_types::PayloadInterner::new(1024);
+        let interned = decode_interned(&bytes, &mut interner).expect("decodes");
+        let legacy = decode(&bytes).expect("decodes");
+        prop_assert_eq!(&interned, &legacy);
+        // Decoding the same bytes again serves payloads from the intern
+        // table and still matches.
+        let again = decode_interned(&bytes, &mut interner).expect("decodes");
+        prop_assert_eq!(again, legacy);
+    }
+
+    #[test]
+    fn interned_frame_decode_matches_legacy(frame in arb_frame()) {
+        use agb_runtime::wire::{decode_frame, decode_frame_interned, encode_frame};
+        let bytes = encode_frame(&frame);
+        let mut interner = agb_types::PayloadInterner::new(1024);
+        let interned = decode_frame_interned(&bytes, &mut interner).expect("decodes");
+        prop_assert_eq!(interned, decode_frame(&bytes).expect("decodes"));
+    }
+
+    #[test]
+    fn pooled_split_respects_bound_and_content(frame in arb_frame(), max in 128usize..2048) {
+        use agb_core::GossipFrame;
+        use agb_runtime::wire::{decode_frame, FrameEncoder};
+        let mut encoder = FrameEncoder::default();
+        let frags = encoder.split_for_datagram(&frame, max);
+        prop_assert!(!frags.is_empty());
+        let mut events = Vec::new();
+        for f in &frags {
+            match decode_frame(f).expect("fragment decodes") {
+                GossipFrame::Gossip { msg, .. } => events.extend(msg.events),
+                GossipFrame::Retransmit(r) => events.extend(r.events),
+                GossipFrame::Graft(_) => {}
+            }
+        }
+        let original: Vec<_> = match &frame {
+            GossipFrame::Gossip { msg, .. } => msg.events.as_slice().to_vec(),
             GossipFrame::Retransmit(r) => r.events.clone(),
             GossipFrame::Graft(_) => vec![],
         };

@@ -1,8 +1,6 @@
 //! The simulation engine: virtual clock, node registry, timer service and
 //! message routing through the network model.
 
-use std::collections::HashMap;
-
 use agb_types::{DetRng, DurationMs, NodeId, SeedSequence, TimeMs};
 
 use crate::network::{NetworkConfig, NetworkModel};
@@ -268,13 +266,15 @@ impl SimulationBuilder {
             queue: EventQueue::new(),
             now: TimeMs::ZERO,
             net: NetworkModel::new(self.network, net_rng),
-            timers: (0..n).map(|_| HashMap::new()).collect(),
+            timers: (0..n).map(|_| Vec::new()).collect(),
             timer_gen: vec![0; n],
             down,
             stats: NetStats::default(),
             tracer: None,
             started: false,
             events_processed: 0,
+            scratch_outbox: Vec::new(),
+            scratch_timer_reqs: Vec::new(),
         }
     }
 }
@@ -286,7 +286,9 @@ pub struct Simulation<N: SimNode> {
     queue: EventQueue<EventKind<N>>,
     now: TimeMs,
     net: NetworkModel,
-    timers: Vec<HashMap<TimerId, TimerSlot>>,
+    /// Per-node armed timers. Nodes run a handful of timers at most, so a
+    /// small vec with linear lookup beats hashing on the per-fire path.
+    timers: Vec<Vec<(TimerId, TimerSlot)>>,
     /// Monotonic per-node timer generation: survives timer-map clears on
     /// restart, so stale queued fires can never collide with re-armed
     /// timers.
@@ -296,6 +298,10 @@ pub struct Simulation<N: SimNode> {
     tracer: Option<Box<dyn Tracer>>,
     started: bool,
     events_processed: u64,
+    /// Reusable invocation buffers: every node handler call borrows these
+    /// through [`SimCtx`] instead of allocating fresh vectors.
+    scratch_outbox: Vec<(NodeId, <N as SimNode>::Msg)>,
+    scratch_timer_reqs: Vec<TimerRequest>,
 }
 
 impl<N: SimNode> Simulation<N> {
@@ -493,6 +499,12 @@ impl<N: SimNode> Simulation<N> {
         self.queue.len()
     }
 
+    /// High-water mark of the future event list over the whole run (the
+    /// perf harness's peak event-queue depth).
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     fn ensure_started(&mut self) {
         if self.started {
             return;
@@ -537,9 +549,11 @@ impl<N: SimNode> Simulation<N> {
                 self.invoke(to, Invocation::Message { from, msg });
             }
             EventKind::Timer { node, timer, gen } => {
-                let Some(slot) = self.timers[node.index()].get(&timer).copied() else {
+                let slots = &mut self.timers[node.index()];
+                let Some(pos) = slots.iter().position(|&(t, _)| t == timer) else {
                     return;
                 };
+                let slot = slots[pos].1;
                 if slot.gen != gen {
                     return; // stale: timer was re-armed or cancelled
                 }
@@ -547,7 +561,7 @@ impl<N: SimNode> Simulation<N> {
                     let next = self.now + period;
                     self.queue.push(next, EventKind::Timer { node, timer, gen });
                 } else {
-                    self.timers[node.index()].remove(&timer);
+                    self.timers[node.index()].swap_remove(pos);
                 }
                 if self.down[node.index()] {
                     return;
@@ -601,8 +615,12 @@ impl<N: SimNode> Simulation<N> {
     }
 
     fn invoke_with(&mut self, id: NodeId, g: impl FnOnce(&mut N, &mut SimCtx<'_, N::Msg>)) {
-        let mut outbox = Vec::new();
-        let mut timer_reqs = Vec::new();
+        // Handler invocations are the engine's innermost loop: reuse the
+        // simulation-owned scratch buffers instead of allocating an
+        // outbox and a request list per call. Handlers never re-enter the
+        // engine, so taking the buffers out for the duration is safe.
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
+        let mut timer_reqs = std::mem::take(&mut self.scratch_timer_reqs);
         {
             let mut ctx = SimCtx {
                 now: self.now,
@@ -613,7 +631,7 @@ impl<N: SimNode> Simulation<N> {
             let node = &mut self.nodes[id.index()];
             g(node, &mut ctx);
         }
-        for req in timer_reqs {
+        for req in timer_reqs.drain(..) {
             match req {
                 TimerRequest::Set {
                     timer,
@@ -627,7 +645,10 @@ impl<N: SimNode> Simulation<N> {
                         TimerKind::Once => None,
                         TimerKind::Periodic(p) => Some(p),
                     };
-                    slots.insert(timer, TimerSlot { gen, period });
+                    match slots.iter_mut().find(|(t, _)| *t == timer) {
+                        Some((_, slot)) => *slot = TimerSlot { gen, period },
+                        None => slots.push((timer, TimerSlot { gen, period })),
+                    }
                     self.queue.push(
                         self.now + first_after,
                         EventKind::Timer {
@@ -638,11 +659,14 @@ impl<N: SimNode> Simulation<N> {
                     );
                 }
                 TimerRequest::Cancel(timer) => {
-                    self.timers[id.index()].remove(&timer);
+                    let slots = &mut self.timers[id.index()];
+                    if let Some(pos) = slots.iter().position(|&(t, _)| t == timer) {
+                        slots.swap_remove(pos);
+                    }
                 }
             }
         }
-        for (to, msg) in outbox {
+        for (to, msg) in outbox.drain(..) {
             assert!(
                 to.index() < self.nodes.len(),
                 "message addressed to unknown node {to}"
@@ -674,6 +698,8 @@ impl<N: SimNode> Simulation<N> {
                 }
             }
         }
+        self.scratch_outbox = outbox;
+        self.scratch_timer_reqs = timer_reqs;
     }
 }
 

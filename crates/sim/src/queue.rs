@@ -1,84 +1,82 @@
-//! The simulator's future event list: a time-ordered priority queue with
+//! The simulator's future event list: a time-ordered queue with
 //! deterministic FIFO tie-breaking.
+//!
+//! Implemented as a `BTreeMap` of per-instant FIFO buckets rather than a
+//! binary heap. Discrete-event gossip workloads are massively
+//! time-collided — synchronized round timers all fire at the same instant
+//! and constant-latency deliveries land together — so bucketing turns
+//! `O(log n)` sift operations (each moving large event payloads) into
+//! amortized `O(1)` pushes onto the back of a `VecDeque`. Ordering is
+//! identical to the previous heap with an insertion-sequence tie-break:
+//! earliest time first, FIFO within a time.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, VecDeque};
 
 use agb_types::TimeMs;
 
-/// An entry in the future event list.
+/// An entry popped from the future event list.
 #[derive(Debug)]
 pub(crate) struct Scheduled<E> {
     pub at: TimeMs,
-    pub seq: u64,
     pub item: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// Min-heap of scheduled events ordered by `(time, insertion sequence)`.
+/// Time-bucketed future event list with FIFO tie-breaking.
 ///
-/// Insertion order as the tie-break makes simultaneous events deterministic,
-/// which is what allows byte-identical reruns from the same seed.
+/// Insertion order as the tie-break makes simultaneous events
+/// deterministic, which is what allows byte-identical reruns from the
+/// same seed.
 #[derive(Debug)]
 pub(crate) struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
+    buckets: BTreeMap<TimeMs, VecDeque<E>>,
+    len: usize,
+    peak_len: usize,
 }
 
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            buckets: BTreeMap::new(),
+            len: 0,
+            peak_len: 0,
         }
     }
 
     /// Schedules `item` at virtual time `at`.
     pub fn push(&mut self, at: TimeMs, item: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, item });
+        self.buckets.entry(at).or_default().push_back(item);
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event (FIFO among equal times).
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+        let mut entry = self.buckets.first_entry()?;
+        let at = *entry.key();
+        let item = entry.get_mut().pop_front().expect("buckets are non-empty");
+        if entry.get().is_empty() {
+            entry.remove();
+        }
+        self.len -= 1;
+        Some(Scheduled { at, item })
     }
 
     /// Time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<TimeMs> {
-        self.heap.peek().map(|s| s.at)
+        self.buckets.first_key_value().map(|(&at, _)| at)
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+
+    /// The high-water mark of the queue length over the whole run.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -134,5 +132,27 @@ mod tests {
         assert_eq!(q.pop().unwrap().item, 2);
         assert_eq!(q.pop().unwrap().item, 3);
         assert_eq!(q.pop().unwrap().item, 1);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(TimeMs::from_millis(i), i);
+        }
+        for _ in 0..10 {
+            q.pop();
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 10);
+    }
+
+    #[test]
+    fn scheduled_carries_time_of_bucket() {
+        let mut q = EventQueue::new();
+        q.push(TimeMs::from_millis(42), "x");
+        let s = q.pop().unwrap();
+        assert_eq!(s.at, TimeMs::from_millis(42));
+        assert_eq!(s.item, "x");
     }
 }

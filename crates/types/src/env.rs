@@ -1,0 +1,54 @@
+//! Boolean environment flags with explicit off values.
+
+/// Reads a boolean environment flag.
+///
+/// Unset means `false`. A set variable is *off* when its trimmed,
+/// lowercased value is one of `""`, `"0"`, `"false"`, `"no"`, `"off"`;
+/// every other value (`"1"`, `"true"`, `"yes"`, …) is *on*. This is the
+/// semantics every `AGB_*` toggle in the workspace uses, so
+/// `AGB_QUICK=0 cargo test` really disables quick mode instead of being
+/// read as "set, therefore maybe on".
+///
+/// # Example
+///
+/// ```
+/// use agb_types::env_flag;
+///
+/// std::env::set_var("AGB_ENV_FLAG_DOCTEST", "0");
+/// assert!(!env_flag("AGB_ENV_FLAG_DOCTEST"));
+/// std::env::set_var("AGB_ENV_FLAG_DOCTEST", "true");
+/// assert!(env_flag("AGB_ENV_FLAG_DOCTEST"));
+/// ```
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| parse_flag(&v))
+}
+
+/// Parses a flag value by the rules of [`env_flag`].
+pub fn parse_flag(value: &str) -> bool {
+    let v = value.trim().to_ascii_lowercase();
+    !matches!(v.as_str(), "" | "0" | "false" | "no" | "off")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falsy_values_are_off() {
+        for v in ["", "0", "false", "FALSE", "no", "off", " 0 ", "Off"] {
+            assert!(!parse_flag(v), "{v:?} must parse as off");
+        }
+    }
+
+    #[test]
+    fn truthy_values_are_on() {
+        for v in ["1", "true", "TRUE", "yes", "on", "2", "quick"] {
+            assert!(parse_flag(v), "{v:?} must parse as on");
+        }
+    }
+
+    #[test]
+    fn unset_variable_is_off() {
+        assert!(!env_flag("AGB_ENV_FLAG_THAT_DOES_NOT_EXIST"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Buffer pooling and payload interning for the hot encode/decode and
+//! event paths.
+//!
+//! Two allocation sinks dominate large-scale runs: per-frame `Vec<u8>`
+//! churn in the wire codec, and duplicate payload buffers materialised on
+//! decode (gossip re-delivers the same payload bytes to every node, many
+//! times). [`BytePool`] recycles encode scratch buffers; [`PayloadInterner`]
+//! deduplicates identical payloads into shared [`Payload`] handles so a
+//! group-wide broadcast holds one buffer, not thousands of copies.
+
+use crate::fasthash::FastHashMap;
+use crate::Payload;
+
+/// A small free-list of reusable byte buffers for wire encoding.
+///
+/// `take` hands out a cleared buffer that keeps its previously grown
+/// capacity; `put` returns it. Steady-state encoding therefore allocates
+/// nothing: the buffer grows to the largest frame seen and is reused.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::BytePool;
+///
+/// let mut pool = BytePool::new(4);
+/// let mut buf = pool.take();
+/// buf.extend_from_slice(b"frame bytes");
+/// pool.put(buf);
+/// // The next take reuses the grown buffer.
+/// assert!(pool.take().capacity() >= 11);
+/// ```
+#[derive(Debug)]
+pub struct BytePool {
+    free: Vec<Vec<u8>>,
+    max_pooled: usize,
+}
+
+impl Default for BytePool {
+    /// A pool retaining up to 8 idle buffers.
+    fn default() -> Self {
+        BytePool::new(8)
+    }
+}
+
+impl BytePool {
+    /// Creates a pool retaining at most `max_pooled` idle buffers.
+    pub fn new(max_pooled: usize) -> Self {
+        BytePool {
+            free: Vec::new(),
+            max_pooled: max_pooled.max(1),
+        }
+    }
+
+    /// Takes a cleared buffer from the pool (or a fresh one).
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers beyond the retained
+    /// bound are dropped.
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < self.max_pooled {
+            self.free.push(buf);
+        }
+    }
+
+    /// Idle buffers currently held.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Content-addressed interner deduplicating identical payload buffers.
+///
+/// Gossip delivers the same payload bytes to every group member several
+/// times over; decoding each copy into a fresh allocation multiplies the
+/// resident set by the delivery count. The interner keeps one shared
+/// [`Payload`] per distinct content and hands out cheap clones.
+///
+/// The table is bounded: when `capacity` distinct payloads are interned
+/// it is cleared wholesale (correctness is unaffected — interning is an
+/// allocation optimisation, not a semantic dedup).
+///
+/// # Example
+///
+/// ```
+/// use agb_types::PayloadInterner;
+///
+/// let mut interner = PayloadInterner::new(1024);
+/// let a = interner.intern(b"hello");
+/// let b = interner.intern(b"hello");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PayloadInterner {
+    by_hash: FastHashMap<u64, Vec<Payload>>,
+    len: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PayloadInterner {
+    /// Creates an interner retaining at most `capacity` distinct payloads
+    /// before resetting.
+    pub fn new(capacity: usize) -> Self {
+        PayloadInterner {
+            by_hash: FastHashMap::default(),
+            len: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns a shared [`Payload`] whose content equals `bytes`,
+    /// allocating only on first sight.
+    pub fn intern(&mut self, bytes: &[u8]) -> Payload {
+        if self.len >= self.capacity {
+            self.by_hash.clear();
+            self.len = 0;
+        }
+        let hash = crate::fnv1a(bytes);
+        let bucket = self.by_hash.entry(hash).or_default();
+        for p in bucket.iter() {
+            if p.as_ref() == bytes {
+                self.hits += 1;
+                return p.clone();
+            }
+        }
+        self.misses += 1;
+        let payload = Payload::copy_from_slice(bytes);
+        bucket.push(payload.clone());
+        self.len += 1;
+        payload
+    }
+
+    /// Distinct payloads currently interned.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the intern table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Cache hits (payloads served without allocating) so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (payloads allocated) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+impl Default for PayloadInterner {
+    /// An interner sized for a large simulated group (64k distinct
+    /// payloads).
+    fn default() -> Self {
+        PayloadInterner::new(64 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut pool = BytePool::new(2);
+        let mut a = pool.take();
+        a.extend_from_slice(&[0u8; 4096]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+    }
+
+    #[test]
+    fn pool_bounds_idle_buffers() {
+        let mut pool = BytePool::new(2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn interner_dedups_and_counts() {
+        let mut i = PayloadInterner::new(16);
+        let a = i.intern(b"x");
+        let b = i.intern(b"x");
+        let c = i.intern(b"y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.hits(), 1);
+        assert_eq!(i.misses(), 2);
+    }
+
+    #[test]
+    fn interner_resets_at_capacity() {
+        let mut i = PayloadInterner::new(2);
+        i.intern(b"a");
+        i.intern(b"b");
+        // Third distinct payload trips the reset; the table restarts.
+        i.intern(b"c");
+        assert_eq!(i.len(), 1);
+        // Correctness is unaffected: content still round-trips.
+        assert_eq!(i.intern(b"a").as_ref(), b"a");
+    }
+
+    #[test]
+    fn colliding_hashes_still_compare_content() {
+        // Force collisions by interning through a tiny table with many
+        // entries; content equality must always win.
+        let mut i = PayloadInterner::new(10_000);
+        for n in 0..1000u32 {
+            let bytes = n.to_le_bytes();
+            let p = i.intern(&bytes);
+            assert_eq!(p.as_ref(), bytes);
+        }
+        assert_eq!(i.len(), 1000);
+    }
+
+    #[test]
+    fn empty_payloads_intern() {
+        let mut i = PayloadInterner::new(4);
+        let a = i.intern(b"");
+        assert!(a.is_empty());
+        assert!(!i.is_empty());
+        assert_eq!(i.intern(b""), a);
+    }
+}

@@ -231,17 +231,21 @@ pub struct ClusterNode {
     payload: Payload,
     period: DurationMs,
     phase: DurationMs,
+    /// Reusable drain buffer: protocol events pass through here into the
+    /// collector after every handler invocation without allocating.
+    drain_scratch: Vec<agb_core::ProtocolEvent>,
 }
 
 impl ClusterNode {
     fn drain(&mut self) {
         let node = self.protocol.node_id();
-        let events = self.protocol.drain_events();
-        if events.is_empty() {
+        self.drain_scratch.clear();
+        self.protocol.drain_events_into(&mut self.drain_scratch);
+        if self.drain_scratch.is_empty() {
             return;
         }
         let mut metrics = self.metrics.borrow_mut();
-        metrics.on_events(node, &events);
+        metrics.on_events(node, &self.drain_scratch);
     }
 
     /// The wrapped protocol (for inspection by tests and scenario hooks).
@@ -427,6 +431,7 @@ impl GossipCluster {
                 payload: payload.clone(),
                 period,
                 phase,
+                drain_scratch: Vec::new(),
             });
         }
 
@@ -471,6 +476,16 @@ impl GossipCluster {
     /// Engine-level statistics (sends, drops, determinism checksum).
     pub fn sim_stats(&self) -> NetStats {
         self.sim.stats()
+    }
+
+    /// High-water mark of the engine's future event list (perf harness).
+    pub fn peak_queue_depth(&self) -> usize {
+        self.sim.peak_pending_events()
+    }
+
+    /// Total engine events processed so far (perf harness).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// Schedules a buffer resize for one node.

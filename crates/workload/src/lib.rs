@@ -10,7 +10,7 @@
 //!   Figure 3 (an application blocked on `BROADCAST` stops producing);
 //! * [`GossipCluster`] — builds `n` protocol nodes (baseline or adaptive)
 //!   into an [`agb_sim::Simulation`], wires the sender processes and a
-//!   shared [`MetricsCollector`], and exposes scenario controls;
+//!   shared [`MetricsCollector`](agb_metrics::MetricsCollector), and exposes scenario controls;
 //! * [`ResizeSchedule`] — the Figure 9 runtime buffer changes;
 //! * [`pubsub`] — the motivating publish/subscribe application: overlapping
 //!   topic groups splitting each node's buffer budget.

@@ -1,0 +1,40 @@
+//! A quick wall-clock probe of the 10k-node round path.
+//!
+//! Runs five measured gossip rounds of the perf harness's n10000
+//! scenario and prints milliseconds per round — a fast, single-scenario
+//! complement to `repro perf` when iterating on hot-path changes.
+//! Set `AGB_PROF_RECOVERY=1` to wrap nodes in the recovery layer.
+
+use agb_sim::NetworkConfig;
+use agb_types::{DurationMs, TimeMs};
+use agb_workload::{Algorithm, ClusterConfig, GossipCluster, PhaseModel};
+use std::time::Instant;
+
+fn main() {
+    let mut c = ClusterConfig::new(10_000, 42);
+    c.algorithm = Algorithm::Adaptive;
+    c.gossip.max_events = 60;
+    c.gossip.max_event_ids = 5_000;
+    c.adaptation.initial_rate = 5.0;
+    c.n_senders = 10;
+    c.offered_rate = 50.0;
+    c.payload_size = 64;
+    c.network = NetworkConfig::default();
+    c.phases = PhaseModel::Synchronized;
+    c.metrics_bin = DurationMs::from_secs(1);
+    if agb_types::env_flag("AGB_PROF_RECOVERY") {
+        c.recovery = Some(Default::default());
+    }
+    let mut cluster = GossipCluster::build(c);
+    cluster.run_until(TimeMs::from_secs(3));
+    let t = Instant::now();
+    cluster.run_until(TimeMs::from_secs(8));
+    let w = t.elapsed().as_secs_f64();
+    println!(
+        "5 rounds: {:.2}s  ({:.0} ms/round)  sends={} deliveries={}",
+        w,
+        w * 200.0,
+        cluster.sim_stats().sends,
+        cluster.sim_stats().deliveries
+    );
+}

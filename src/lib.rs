@@ -130,6 +130,7 @@ pub use agb_core as core;
 pub use agb_experiments as experiments;
 pub use agb_membership as membership;
 pub use agb_metrics as metrics;
+pub use agb_perf as perf;
 pub use agb_recovery as recovery;
 pub use agb_runtime as runtime;
 pub use agb_sim as sim;

@@ -1,8 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided: an unbounded MPMC channel with cloneable
-//! senders *and* receivers, `try_recv` and `recv_timeout` — the surface
-//! the threaded runtime uses. Built on `std::sync` primitives.
+//! Two modules are provided, mirroring the real crate's API closely
+//! enough that it can be swapped back in without source changes:
+//!
+//! * [`channel`] — an unbounded MPMC channel with cloneable senders
+//!   *and* receivers, `try_recv` and `recv_timeout` — the surface the
+//!   threaded runtime uses. Built on `std::sync` primitives.
+//! * [`thread`] — scoped threads (`thread::scope`) as used by the
+//!   sharded simulation engine: spawn borrowing workers, join them
+//!   explicitly or implicitly at scope exit, and surface child panics
+//!   as an `Err` from `scope` exactly like real crossbeam does.
 
 #![forbid(unsafe_code)]
 
@@ -237,6 +244,273 @@ pub mod channel {
             tx.send(7).unwrap();
             assert_eq!(rx2.try_recv(), Ok(7));
             assert_eq!(rx1.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam_utils::thread`.
+    //!
+    //! [`scope`] runs a closure that may [`Scope::spawn`] worker threads
+    //! borrowing from the enclosing stack frame. All workers are joined
+    //! before `scope` returns; a panic in a worker that was not joined
+    //! explicitly surfaces as `Err` from `scope`, exactly as in real
+    //! crossbeam. Built on `std::thread::scope`.
+    //!
+    //! One deliberate narrowing versus the real crate: spawned closures
+    //! receive a placeholder [`NestedScope`] instead of a live `&Scope`,
+    //! so *nested* spawns are not supported. Closures written as
+    //! `|_| …` (the idiomatic shape) compile unchanged against both this
+    //! stand-in and real crossbeam.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// Result of joining a thread: `Err` carries the panic payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    type Slot<T> = Arc<Mutex<Option<Result<T>>>>;
+
+    /// Placeholder passed to spawned closures where real crossbeam
+    /// passes a `&Scope` (nested spawning is not supported here).
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope(());
+
+    /// Handle to a scoped worker thread.
+    ///
+    /// Dropping the handle without joining is fine: the scope joins the
+    /// thread on exit and reports its panic (if any) from [`scope`].
+    pub struct ScopedJoinHandle<T> {
+        slot: Slot<T>,
+        done: Arc<std::sync::Condvar>,
+        lock: Arc<Mutex<bool>>,
+    }
+
+    impl<T> ScopedJoinHandle<T> {
+        /// Waits for the worker and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the worker's panic payload if it panicked.
+        ///
+        /// # Panics
+        ///
+        /// Panics if called twice on the same logical thread (the
+        /// result has already been consumed).
+        pub fn join(self) -> Result<T> {
+            let mut finished = self
+                .lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            while !*finished {
+                finished = self
+                    .done
+                    .wait(finished)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            drop(finished);
+            self.slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("scoped thread result already consumed")
+        }
+    }
+
+    impl<T> std::fmt::Debug for ScopedJoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("ScopedJoinHandle { .. }")
+        }
+    }
+
+    /// A panic payload carried out of a worker thread.
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A spawn scope; created by [`scope`].
+    pub struct Scope<'w, 'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        watchers: &'w Mutex<Vec<Watcher<'env>>>,
+    }
+
+    impl<'w, 'scope, 'env> std::fmt::Debug for Scope<'w, 'scope, 'env> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Scope { .. }")
+        }
+    }
+
+    /// Checks one worker's slot at scope exit for an unconsumed panic.
+    type Watcher<'env> = Box<dyn FnOnce() -> Option<Payload> + 'env>;
+
+    impl<'w, 'scope, 'env> Scope<'w, 'scope, 'env> {
+        /// Spawns a worker thread that may borrow from the environment
+        /// of the enclosing [`scope`] call.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            let slot: Slot<T> = Arc::new(Mutex::new(None));
+            let done = Arc::new(std::sync::Condvar::new());
+            let lock = Arc::new(Mutex::new(false));
+            let (t_slot, t_done, t_lock) =
+                (Arc::clone(&slot), Arc::clone(&done), Arc::clone(&lock));
+            self.inner.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f(&NestedScope(()))));
+                *t_slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                *t_lock
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+                t_done.notify_all();
+            });
+            let w_slot = Arc::clone(&slot);
+            self.watchers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(Box::new(move || {
+                    let mut guard = w_slot
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    match guard.take() {
+                        Some(Err(payload)) => Some(payload),
+                        other => {
+                            *guard = other;
+                            None
+                        }
+                    }
+                }));
+            ScopedJoinHandle { slot, done, lock }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads.
+    ///
+    /// Returns `Ok` with the closure's result when no *unjoined* worker
+    /// panicked, `Err` with the first such panic payload otherwise
+    /// (panics consumed through [`ScopedJoinHandle::join`] are the
+    /// caller's to handle and do not fail the scope).
+    ///
+    /// # Errors
+    ///
+    /// The first panic payload of a worker that was never joined.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'w, 'scope> FnOnce(&Scope<'w, 'scope, 'env>) -> R,
+    {
+        let watchers: Mutex<Vec<Watcher<'env>>> = Mutex::new(Vec::new());
+        let result = std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                watchers: &watchers,
+            };
+            f(&scope)
+        });
+        // All workers are joined at this point; surface unconsumed
+        // panics the way crossbeam does.
+        let checks = std::mem::take(
+            &mut *watchers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let mut first_panic = None;
+        for check in checks {
+            if let Some(payload) = check() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        match first_panic {
+            Some(payload) => Err(payload),
+            None => Ok(result),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn workers_borrow_the_stack() {
+            let data = [1u64, 2, 3, 4];
+            let total = scope(|s| {
+                let (left, right) = data.split_at(2);
+                let a = s.spawn(|_| left.iter().sum::<u64>());
+                let b = s.spawn(|_| right.iter().sum::<u64>());
+                a.join().unwrap() + b.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn disjoint_mutable_borrows_across_workers() {
+            let mut data = vec![0u64; 8];
+            scope(|s| {
+                let mut handles = Vec::new();
+                for (i, chunk) in data.chunks_mut(2).enumerate() {
+                    handles.push(s.spawn(move |_| {
+                        for v in chunk.iter_mut() {
+                            *v = i as u64 + 1;
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+            .unwrap();
+            assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+        }
+
+        #[test]
+        fn unjoined_workers_complete_before_scope_returns() {
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            scope(|s| {
+                s.spawn(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            })
+            .unwrap();
+            assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+        }
+
+        #[test]
+        fn joined_panic_is_callers_problem_not_the_scopes() {
+            let outcome = scope(|s| {
+                let h = s.spawn(|_| panic!("worker boom"));
+                let joined = h.join();
+                assert!(joined.is_err(), "explicit join must surface the panic");
+                42
+            });
+            assert_eq!(outcome.unwrap(), 42);
+        }
+
+        #[test]
+        fn unjoined_panic_fails_the_scope() {
+            let outcome = scope(|s| {
+                s.spawn(|_| panic!("unwatched boom"));
+                7
+            });
+            let err = outcome.expect_err("scope must report the unjoined panic");
+            let msg = err
+                .downcast_ref::<&str>()
+                .copied()
+                .unwrap_or("<non-str payload>");
+            assert!(msg.contains("unwatched boom"), "payload was {msg:?}");
+        }
+
+        #[test]
+        fn results_come_back_in_spawn_order() {
+            let results = scope(|s| {
+                let handles: Vec<_> = (0..6u64).map(|i| s.spawn(move |_| i * i)).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .unwrap();
+            assert_eq!(results, vec![0, 1, 4, 9, 16, 25]);
         }
     }
 }

@@ -60,7 +60,7 @@ fn main() {
 fn run_perf(seed: u64) {
     let report = agb_perf::PerfReport::run(seed);
     let out_path =
-        std::env::var("AGB_BENCH_OUT").unwrap_or_else(|_| String::from("BENCH_PR3.json"));
+        std::env::var("AGB_BENCH_OUT").unwrap_or_else(|_| String::from("BENCH_PR4.json"));
     let json = report.to_json().pretty();
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
@@ -79,15 +79,27 @@ fn run_perf_check(args: &[String]) {
     match agb_perf::compare_files(current, baseline, tolerance) {
         Ok(comparison) => {
             print!("{}", comparison.table());
+            print_baseline_refresh_hint(baseline);
             if !comparison.passed() {
                 std::process::exit(1);
             }
         }
         Err(e) => {
             eprintln!("perf-check: {e}");
+            print_baseline_refresh_hint(baseline);
             std::process::exit(1);
         }
     }
+}
+
+/// The exact command that regenerates the committed baseline (schema
+/// `agb-perf/v2`), printed with every gate run so a stale or
+/// legacy-schema baseline is a copy-paste away from fresh.
+fn print_baseline_refresh_hint(baseline: &str) {
+    println!(
+        "  baseline refresh: AGB_QUICK=1 AGB_THREADS=1 AGB_BENCH_OUT={baseline} \
+         cargo run --release -p agb-experiments --bin repro -- perf 42"
+    );
 }
 
 fn run_fig2(seed: u64) {

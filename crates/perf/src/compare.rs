@@ -145,11 +145,14 @@ pub fn compare_files(
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        // `v2` (threads-aware) is current; `v1` baselines parse
+        // read-only — the gated metrics carry the same names in both.
         match json.get("schema").and_then(Json::as_str) {
-            Some(crate::harness::SCHEMA) => Ok(json),
+            Some(crate::harness::SCHEMA) | Some(crate::harness::SCHEMA_V1) => Ok(json),
             other => Err(format!(
-                "{path}: unsupported schema {other:?} (expected {})",
-                crate::harness::SCHEMA
+                "{path}: unsupported schema {other:?} (expected {} or {})",
+                crate::harness::SCHEMA,
+                crate::harness::SCHEMA_V1
             )),
         }
     };
@@ -208,6 +211,25 @@ mod tests {
         let c = compare(&empty, &report(100.0, 1000.0), 0.25);
         assert!(!c.passed());
         assert_eq!(c.missing, vec!["n1000".to_string()]);
+    }
+
+    #[test]
+    fn v1_baselines_still_parse() {
+        let dir = std::env::temp_dir();
+        let cur = dir.join("agb_perf_v2_cur.json");
+        let base = dir.join("agb_perf_v1_base.json");
+        // Rewrite the schema tag to the legacy value.
+        let v1_text = report(90.0, 900.0)
+            .pretty()
+            .replace(crate::harness::SCHEMA, crate::harness::SCHEMA_V1);
+        assert!(v1_text.contains("agb-perf/v1"));
+        std::fs::write(&cur, report(100.0, 1000.0).pretty()).unwrap();
+        std::fs::write(&base, v1_text).unwrap();
+        let c = compare_files(cur.to_str().unwrap(), base.to_str().unwrap(), 0.25).unwrap();
+        assert!(c.passed(), "{}", c.table());
+        // Unknown schemas still fail loudly.
+        std::fs::write(&base, "{\"schema\": \"agb-perf/v0\", \"scenarios\": []}").unwrap();
+        assert!(compare_files(cur.to_str().unwrap(), base.to_str().unwrap(), 0.25).is_err());
     }
 
     #[test]

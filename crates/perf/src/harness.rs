@@ -22,16 +22,28 @@ use crate::alloc::allocation_count;
 use crate::json::Json;
 
 /// The bench JSON schema identifier. Bump when the report shape changes.
-pub const SCHEMA: &str = "agb-perf/v1";
+///
+/// `v2` adds the engine thread count (report-level `threads`, per-scenario
+/// `threads`/`speedup`); the CI gate still parses `v1` baselines
+/// (see `compare`).
+pub const SCHEMA: &str = "agb-perf/v2";
+
+/// The previous schema identifier, accepted read-only by the gate.
+pub const SCHEMA_V1: &str = "agb-perf/v1";
 
 /// Scale points of the sweep: quick mode stops at 10k nodes, full mode
-/// adds 50k.
+/// adds 50k and 100k.
 pub fn scale_points(quick: bool) -> Vec<usize> {
     if quick {
         vec![1_000, 5_000, 10_000]
     } else {
-        vec![1_000, 5_000, 10_000, 50_000]
+        vec![1_000, 5_000, 10_000, 50_000, 100_000]
     }
+}
+
+/// The engine thread count the harness runs with (`AGB_THREADS`).
+pub fn harness_threads() -> usize {
+    agb_sim::threads_from_env()
 }
 
 /// Whether quick mode is active (`AGB_QUICK`, truthy values on;
@@ -125,16 +137,59 @@ pub struct ScenarioResult {
     pub allocs_per_round: u64,
     /// Engine determinism checksum at the end of the run.
     pub checksum: u64,
+    /// Engine shard/worker threads the measured run used.
+    pub threads: usize,
+    /// Wall-clock speedup versus a single-threaded run of the same
+    /// scenario (only measured when `threads > 1`; the harness re-runs
+    /// the scenario at `K = 1` and asserts the checksums match).
+    pub speedup: Option<f64>,
 }
 
-/// Runs one scenario and measures it.
+/// Runs one scenario at the `AGB_THREADS` thread count.
+///
+/// When the thread count exceeds 1, a single-threaded run of the same
+/// scenario is measured as well: its wall-clock anchors the reported
+/// `speedup`, and its determinism checksum (plus message counts and
+/// queue peak) must match the threaded run exactly — the engine's
+/// K-invariance, asserted on every harness run.
 pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioResult {
-    let config = spec.cluster_config(seed);
+    let threads = harness_threads();
+    let mut result = run_scenario_at(spec, seed, threads);
+    if threads > 1 {
+        let baseline = run_scenario_at(spec, seed, 1);
+        assert_eq!(
+            (
+                baseline.checksum,
+                baseline.sends,
+                baseline.deliveries,
+                baseline.peak_queue_depth
+            ),
+            (
+                result.checksum,
+                result.sends,
+                result.deliveries,
+                result.peak_queue_depth
+            ),
+            "scenario {} diverged between K=1 and K={threads}",
+            spec.name
+        );
+        result.speedup = Some(baseline.wall_secs / result.wall_secs.max(1e-9));
+    }
+    result
+}
+
+/// Runs one scenario at an explicit engine thread count and measures it.
+pub fn run_scenario_at(spec: &ScenarioSpec, seed: u64, threads: usize) -> ScenarioResult {
+    let mut config = spec.cluster_config(seed);
+    config.threads = threads.max(1);
     let period = config.gossip.gossip_period;
     let mut cluster = GossipCluster::build(config);
 
     let warmup_until = TimeMs::ZERO + period.mul_f64(spec.warmup_rounds as f64);
     cluster.run_until(warmup_until);
+    // The peak-depth metric should describe the measured window, not
+    // warmup transients.
+    cluster.reset_peak_queue_depth();
 
     let sends_before = cluster.sim_stats().sends;
     let deliveries_before = cluster.sim_stats().deliveries;
@@ -166,6 +221,8 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioResult {
         allocations,
         allocs_per_round: allocations / rounds.max(1),
         checksum: stats.checksum,
+        threads: threads.max(1),
+        speedup: None,
     }
 }
 
@@ -260,13 +317,15 @@ pub fn run_encode_bench(seed: u64, quick: bool) -> EncodeResult {
     }
 }
 
-/// The complete bench report (`BENCH_PR3.json`).
+/// The complete bench report (`BENCH_PR4.json`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Experiment seed.
     pub seed: u64,
     /// Whether quick mode shaped the sweep.
     pub quick: bool,
+    /// Engine shard/worker threads (`AGB_THREADS`).
+    pub threads: usize,
     /// Scenario sweep results.
     pub scenarios: Vec<ScenarioResult>,
     /// Wire-encode micro-leg.
@@ -292,6 +351,7 @@ impl PerfReport {
         PerfReport {
             seed,
             quick,
+            threads: harness_threads(),
             scenarios,
             encode,
         }
@@ -299,7 +359,10 @@ impl PerfReport {
 
     /// Order-sensitive checksum over everything deterministic in the
     /// report (engine checksums, message counts, queue depths, codec
-    /// bytes). Two runs of the same seed must agree on this value.
+    /// bytes). Two runs of the same seed must agree on this value —
+    /// *at any `AGB_THREADS`*: wall-clock fields (and the derived
+    /// speedup) are excluded, and everything mixed here is
+    /// thread-count-invariant by engine construction.
     pub fn determinism_checksum(&self) -> u64 {
         let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |v: u64| {
@@ -340,6 +403,8 @@ impl PerfReport {
                     ("allocations", Json::Num(s.allocations as f64)),
                     ("allocs_per_round", Json::Num(s.allocs_per_round as f64)),
                     ("checksum", Json::Str(format!("{:#018x}", s.checksum))),
+                    ("threads", Json::Num(s.threads as f64)),
+                    ("speedup", Json::Num(s.speedup.unwrap_or(1.0))),
                 ])
             })
             .collect();
@@ -347,6 +412,7 @@ impl PerfReport {
             ("schema", Json::Str(SCHEMA.into())),
             ("seed", Json::Num(self.seed as f64)),
             ("quick", Json::Bool(self.quick)),
+            ("threads", Json::Num(self.threads as f64)),
             ("scenarios", Json::Arr(scenarios)),
             (
                 "encode",
@@ -373,23 +439,35 @@ impl PerfReport {
     pub fn human_summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "perf sweep (seed {}, {} mode)\n",
+            "perf sweep (seed {}, {} mode, {} thread{})\n",
             self.seed,
-            if self.quick { "quick" } else { "full" }
+            if self.quick { "quick" } else { "full" },
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
         ));
         out.push_str(&format!(
-            "  {:<16} {:>12} {:>14} {:>14} {:>12} {:>14}\n",
-            "scenario", "rounds/s", "node-rounds/s", "messages/s", "peak queue", "allocs/round"
+            "  {:<16} {:>12} {:>14} {:>14} {:>12} {:>14} {:>9}\n",
+            "scenario",
+            "rounds/s",
+            "node-rounds/s",
+            "messages/s",
+            "peak queue",
+            "allocs/round",
+            "speedup"
         ));
         for s in &self.scenarios {
+            let speedup = s
+                .speedup
+                .map_or_else(|| "     -".to_string(), |v| format!("{v:>5.2}x"));
             out.push_str(&format!(
-                "  {:<16} {:>12.2} {:>14.0} {:>14.0} {:>12} {:>14}\n",
+                "  {:<16} {:>12.2} {:>14.0} {:>14.0} {:>12} {:>14} {:>9}\n",
                 s.spec.name,
                 s.rounds_per_sec,
                 s.node_rounds_per_sec,
                 s.messages_per_sec,
                 s.peak_queue_depth,
                 s.allocs_per_round,
+                speedup,
             ));
         }
         out.push_str(&format!(
@@ -454,6 +532,7 @@ mod tests {
         let report = PerfReport {
             seed: 42,
             quick: true,
+            threads: 1,
             scenarios: vec![run_scenario(&tiny_spec(false), 42)],
             encode: run_encode_bench(42, true),
         };
@@ -488,5 +567,6 @@ mod tests {
         assert!(specs.iter().any(|s| s.n_nodes == 10_000 && !s.recovery));
         let full = ScenarioSpec::sweep(false);
         assert!(full.iter().any(|s| s.n_nodes == 50_000));
+        assert!(full.iter().any(|s| s.n_nodes == 100_000));
     }
 }

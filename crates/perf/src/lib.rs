@@ -3,13 +3,16 @@
 //! Three pieces:
 //!
 //! * [`harness`] — runs full adaptive-gossip rounds at 1k / 5k / 10k
-//!   (and 50k in full mode) nodes, with and without the recovery layer,
-//!   and produces a machine-readable bench report (`BENCH_PR3.json`,
-//!   schema `agb-perf/v1`) alongside a human summary. Invoked as
-//!   `repro perf [seed]`.
+//!   (and 50k / 100k in full mode) nodes, with and without the recovery
+//!   layer, at the `AGB_THREADS` engine shard count, and produces a
+//!   machine-readable bench report (`BENCH_PR4.json`, schema
+//!   `agb-perf/v2`) alongside a human summary. Invoked as
+//!   `repro perf [seed]`. At `K > 1` each scenario is re-measured at
+//!   `K = 1` for the `speedup` column, with checksum equality asserted.
 //! * [`compare`](mod@compare) — the CI regression gate: diff a fresh report against a
 //!   committed baseline (`ci/perf-baseline.json`) with a throughput
-//!   tolerance, printing a delta table. Invoked as
+//!   tolerance, printing a delta table; parses `v2` and legacy `v1`
+//!   baselines. Invoked as
 //!   `repro perf-check <current> <baseline> [tolerance]`.
 //! * [`alloc`] — a counting global allocator (opt-in per binary; the
 //!   `repro` driver installs it) powering the allocations-per-round
@@ -18,13 +21,14 @@
 //!
 //! [`json`] is the dependency-free JSON model the other modules share.
 //!
-//! # Bench JSON schema (`agb-perf/v1`)
+//! # Bench JSON schema (`agb-perf/v2`)
 //!
 //! ```json
 //! {
-//!   "schema": "agb-perf/v1",
+//!   "schema": "agb-perf/v2",
 //!   "seed": 42,
 //!   "quick": true,
+//!   "threads": 4,                     // engine shard count (AGB_THREADS)
 //!   "scenarios": [
 //!     {
 //!       "name": "n10000",            // key: n<nodes>[-recovery]
@@ -41,7 +45,9 @@
 //!       "peak_queue_depth": 40500,   // future-event-list high-water mark
 //!       "allocations": 1200000,      // via the counting allocator
 //!       "allocs_per_round": 120000,
-//!       "checksum": "0x…"            // engine determinism checksum
+//!       "checksum": "0x…",           // engine determinism checksum
+//!       "threads": 4,
+//!       "speedup": 3.1               // wall-clock vs a K=1 re-run (1.0 at K=1)
 //!     }
 //!   ],
 //!   "encode": {                      // pooled wire-codec micro-leg
@@ -52,9 +58,11 @@
 //! }
 //! ```
 //!
-//! Wall-clock metrics (`wall_secs`, `*_per_sec`) vary between machines
-//! and runs; everything else — counts, checksums, queue depths — is an
-//! exact function of the seed.
+//! Wall-clock metrics (`wall_secs`, `*_per_sec`, `speedup`) vary
+//! between machines and runs; everything else — counts, checksums,
+//! queue depths — is an exact function of the seed, at every thread
+//! count. `peak_queue_depth` covers measured rounds only (peak tracking
+//! resets at the warmup/measure boundary).
 
 #![warn(missing_docs)]
 
@@ -65,7 +73,7 @@ pub mod json;
 
 pub use compare::{compare, compare_files, Comparison, Delta};
 pub use harness::{
-    quick_mode, run_encode_bench, run_scenario, scale_points, EncodeResult, PerfReport,
-    ScenarioResult, ScenarioSpec, SCHEMA,
+    harness_threads, quick_mode, run_encode_bench, run_scenario, run_scenario_at, scale_points,
+    EncodeResult, PerfReport, ScenarioResult, ScenarioSpec, SCHEMA, SCHEMA_V1,
 };
 pub use json::Json;

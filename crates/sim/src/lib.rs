@@ -53,8 +53,11 @@
 mod engine;
 pub mod network;
 mod queue;
+mod shard;
 mod trace;
 
-pub use engine::{NetStats, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId};
+pub use engine::{
+    threads_from_env, NetStats, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
+};
 pub use network::{LatencyModel, LinkFault, NetworkConfig, NetworkModel, Partition};
 pub use trace::{CountingTracer, NoopTracer, TraceEvent, Tracer};

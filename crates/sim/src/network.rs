@@ -182,56 +182,110 @@ impl NetworkConfig {
     }
 }
 
+/// Routing decision for one message against a configuration and the
+/// *sender's* RNG stream: `None` means the network dropped it, otherwise
+/// the latency to apply.
+///
+/// Stateless apart from the stream, so shard workers can route their own
+/// nodes' traffic concurrently; because every draw comes from the
+/// per-sender stream, the draw sequence depends only on that sender's
+/// send order — which the canonical merge keeps identical at any thread
+/// count.
+pub(crate) fn route_decision(
+    config: &NetworkConfig,
+    rng: &mut DetRng,
+    from: NodeId,
+    to: NodeId,
+    now: TimeMs,
+) -> Option<DurationMs> {
+    for p in &config.partitions {
+        if p.blocks(from, to, now) {
+            return None;
+        }
+    }
+    if config.loss > 0.0 && rng.random::<f64>() < config.loss {
+        return None;
+    }
+    let mut extra = DurationMs::ZERO;
+    for f in &config.link_faults {
+        if f.affects(from, to, now) {
+            // One loss draw per active fault: overlapping faults
+            // compound, as independent bad hops would.
+            if f.extra_loss > 0.0 && rng.random::<f64>() < f.extra_loss {
+                return None;
+            }
+            extra += f.extra_latency;
+        }
+    }
+    Some(config.latency.sample(rng) + extra)
+}
+
 /// Decides the fate of each message: dropped, or delivered after a latency.
 ///
 /// The default implementation, [`NetworkModel::new`], combines a
 /// [`LatencyModel`], independent loss and partitions from [`NetworkConfig`].
+///
+/// Randomness is organized as one deterministic stream *per sending
+/// node*, all forked from a master seed drawn once at construction. A
+/// sender's loss/latency draws therefore depend only on its own send
+/// sequence — never on how sends from different nodes interleave — which
+/// is what lets the sharded engine route traffic on worker threads and
+/// still reproduce the single-threaded run bit for bit.
 #[derive(Debug)]
 pub struct NetworkModel {
     config: NetworkConfig,
-    rng: DetRng,
+    master: u64,
+    streams: Vec<DetRng>,
     sent: u64,
     dropped: u64,
 }
 
 impl NetworkModel {
-    /// Creates a model from configuration and a dedicated RNG stream.
-    pub fn new(config: NetworkConfig, rng: DetRng) -> Self {
+    /// Creates a model from configuration and a dedicated RNG stream
+    /// (consumed as the master seed for the per-sender streams).
+    pub fn new(config: NetworkConfig, mut rng: DetRng) -> Self {
         NetworkModel {
             config,
-            rng,
+            master: rng.random(),
+            streams: Vec::new(),
             sent: 0,
             dropped: 0,
         }
     }
 
+    /// Pre-creates the per-sender streams for nodes `0..n`.
+    pub(crate) fn ensure_streams(&mut self, n: usize) {
+        use rand::SeedableRng;
+        while self.streams.len() < n {
+            let i = self.streams.len() as u64;
+            self.streams
+                .push(DetRng::seed_from_u64(agb_types::fork_seed(self.master, i)));
+        }
+    }
+
+    /// The configuration and the per-sender streams as disjoint borrows,
+    /// for shard workers.
+    pub(crate) fn lanes(&mut self, n: usize) -> (&NetworkConfig, &mut [DetRng]) {
+        self.ensure_streams(n);
+        (&self.config, &mut self.streams)
+    }
+
+    /// Folds per-worker routing counters back into the model.
+    pub(crate) fn add_counts(&mut self, sent: u64, dropped: u64) {
+        self.sent += sent;
+        self.dropped += dropped;
+    }
+
     /// Routes one message: `None` means the network dropped it, otherwise
     /// the latency to apply.
     pub fn route(&mut self, from: NodeId, to: NodeId, now: TimeMs) -> Option<DurationMs> {
+        self.ensure_streams(from.index() + 1);
         self.sent += 1;
-        for p in &self.config.partitions {
-            if p.blocks(from, to, now) {
-                self.dropped += 1;
-                return None;
-            }
-        }
-        if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss {
+        let decision = route_decision(&self.config, &mut self.streams[from.index()], from, to, now);
+        if decision.is_none() {
             self.dropped += 1;
-            return None;
         }
-        let mut extra = DurationMs::ZERO;
-        for f in &self.config.link_faults {
-            if f.affects(from, to, now) {
-                // One loss draw per active fault: overlapping faults
-                // compound, as independent bad hops would.
-                if f.extra_loss > 0.0 && self.rng.random::<f64>() < f.extra_loss {
-                    self.dropped += 1;
-                    return None;
-                }
-                extra += f.extra_latency;
-            }
-        }
-        Some(self.config.latency.sample(&mut self.rng) + extra)
+        decision
     }
 
     /// Messages handed to the network so far.

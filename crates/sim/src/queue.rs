@@ -66,6 +66,23 @@ impl<E> EventQueue<E> {
         self.buckets.first_key_value().map(|(&at, _)| at)
     }
 
+    /// The earliest event (time and item) without removing it.
+    ///
+    /// Lets the engine's batch collector decide whether the next event
+    /// joins a parallel run before committing to the pop.
+    pub fn peek(&self) -> Option<(TimeMs, &E)> {
+        self.buckets
+            .first_key_value()
+            .and_then(|(&at, bucket)| bucket.front().map(|item| (at, item)))
+    }
+
+    /// Restarts peak tracking from the current length (the perf harness
+    /// calls this at the warmup/measure boundary so the reported peak
+    /// reflects measured rounds only).
+    pub fn reset_peak(&mut self) {
+        self.peak_len = self.len;
+    }
+
     pub fn len(&self) -> usize {
         self.len
     }
@@ -145,6 +162,35 @@ mod tests {
         }
         assert!(q.is_empty());
         assert_eq!(q.peak_len(), 10);
+    }
+
+    #[test]
+    fn reset_peak_restarts_from_current_len() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(TimeMs::from_millis(i), i);
+        }
+        for _ in 0..7 {
+            q.pop();
+        }
+        assert_eq!(q.peak_len(), 10);
+        q.reset_peak();
+        assert_eq!(q.peak_len(), 3);
+        q.push(TimeMs::from_millis(99), 99);
+        assert_eq!(q.peak_len(), 4);
+    }
+
+    #[test]
+    fn peek_exposes_front_item_without_removal() {
+        let mut q = EventQueue::new();
+        assert!(q.peek().is_none());
+        q.push(TimeMs::from_millis(9), "b");
+        q.push(TimeMs::from_millis(3), "a");
+        let (at, item) = q.peek().unwrap();
+        assert_eq!(at, TimeMs::from_millis(3));
+        assert_eq!(*item, "a");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().item, "a");
     }
 
     #[test]

@@ -29,6 +29,26 @@ pub fn parse_flag(value: &str) -> bool {
     !matches!(v.as_str(), "" | "0" | "false" | "no" | "off")
 }
 
+/// Reads a non-negative integer environment variable.
+///
+/// Returns `None` when the variable is unset, empty after trimming, or
+/// not a base-10 `usize` — a malformed value falls back to the caller's
+/// default instead of panicking mid-experiment.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::env_usize;
+///
+/// std::env::set_var("AGB_ENV_USIZE_DOCTEST", "8");
+/// assert_eq!(env_usize("AGB_ENV_USIZE_DOCTEST"), Some(8));
+/// std::env::set_var("AGB_ENV_USIZE_DOCTEST", "eight");
+/// assert_eq!(env_usize("AGB_ENV_USIZE_DOCTEST"), None);
+/// ```
+pub fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,15 +33,17 @@ mod fasthash;
 mod id;
 mod pool;
 mod rng;
+mod shard;
 mod stats;
 mod time;
 
-pub use env::{env_flag, parse_flag};
+pub use env::{env_flag, env_usize, parse_flag};
 pub use error::{ConfigError, ConfigResult};
 pub use fasthash::{FastHashMap, FastHashSet, FastHashState, FastHasher};
 pub use id::{EventId, GroupId, NodeId, TopicId};
 pub use pool::{BytePool, PayloadInterner};
 pub use rng::{bernoulli, fnv1a, fork_seed, DetRng, SeedSequence};
+pub use shard::ShardMap;
 pub use stats::{Ewma, MinWindow, RunningStats, SlidingWindow, WelfordStats};
 pub use time::{DurationMs, TimeMs};
 

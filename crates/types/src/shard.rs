@@ -1,0 +1,139 @@
+//! Deterministic node-to-shard partitioning for the parallel simulator.
+//!
+//! The sharded engine (`agb-sim`) splits the node population into `K`
+//! contiguous index ranges and gives each worker thread exclusive mutable
+//! access to one range. Contiguous ranges (rather than `id % K`
+//! round-robin) are what make the split expressible as safe disjoint
+//! slice borrows — and they keep each worker's nodes dense in memory.
+//!
+//! The partition function is *not* part of the engine's determinism
+//! contract: execution effects are merged back in canonical event order,
+//! so any value of `K` (and any assignment of nodes to shards) produces
+//! bit-identical results. The map only decides *which thread executes*
+//! a node's events, never *in what order* their effects apply.
+
+use std::ops::Range;
+
+/// A deterministic partition of `n` node indices into at most `k`
+/// contiguous shards.
+///
+/// Every index belongs to exactly one shard, shards are balanced to
+/// within one chunk, and the mapping is a pure function of `(n, k)` —
+/// two runs with the same population and thread count always agree.
+///
+/// # Example
+///
+/// ```
+/// use agb_types::ShardMap;
+///
+/// let map = ShardMap::new(10, 4);
+/// assert_eq!(map.shards(), 4);
+/// assert_eq!(map.range(0), 0..3);
+/// assert_eq!(map.shard_of(9), 3);
+/// // Ranges cover 0..n exactly once.
+/// let total: usize = (0..map.shards()).map(|s| map.range(s).len()).sum();
+/// assert_eq!(total, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    n: usize,
+    chunk: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    /// Partitions `n` indices into at most `k` shards (`k` is clamped to
+    /// `1..=n` so no shard is empty while nodes exist).
+    pub fn new(n: usize, k: usize) -> Self {
+        let k = k.max(1).min(n.max(1));
+        let chunk = n.div_ceil(k).max(1);
+        // Trailing chunks can be empty when n is far from a multiple of
+        // k; drop them so `shards()` is the number of non-empty ranges.
+        let shards = n.div_ceil(chunk).max(1);
+        ShardMap { n, chunk, shards }
+    }
+
+    /// Number of non-empty shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total number of partitioned indices.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the map covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The shard owning index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn shard_of(&self, idx: usize) -> usize {
+        assert!(idx < self.n, "index {idx} outside sharded range {}", self.n);
+        idx / self.chunk
+    }
+
+    /// The contiguous index range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.shards()`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        assert!(s < self.shards, "shard {s} out of range {}", self.shards);
+        let start = s * self.chunk;
+        start..((start + self.chunk).min(self.n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_population() {
+        for n in [0usize, 1, 2, 7, 10, 100, 101, 1000] {
+            for k in [1usize, 2, 3, 4, 8, 13] {
+                let map = ShardMap::new(n, k);
+                let mut covered = 0;
+                for s in 0..map.shards() {
+                    let r = map.range(s);
+                    assert_eq!(r.start, covered, "gap at shard {s} (n={n}, k={k})");
+                    assert!(!r.is_empty() || n == 0, "empty shard {s} (n={n}, k={k})");
+                    for i in r.clone() {
+                        assert_eq!(map.shard_of(i), s);
+                    }
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "ranges must cover 0..{n} (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_to_population() {
+        let map = ShardMap::new(3, 16);
+        assert!(map.shards() <= 3);
+        let map = ShardMap::new(0, 4);
+        assert_eq!(map.shards(), 1);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn balanced_within_one_chunk() {
+        let map = ShardMap::new(1000, 8);
+        let sizes: Vec<usize> = (0..map.shards()).map(|s| map.range(s).len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= max.div_ceil(2), "lopsided shards: {sizes:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ShardMap::new(100, 4), ShardMap::new(100, 4));
+    }
+}

@@ -105,6 +105,10 @@ pub struct ClusterConfig {
     /// [`GossipCluster::schedule_join`] brings them in through the
     /// membership protocol.
     pub absent_at_start: Vec<NodeId>,
+    /// Shard/worker threads for the simulation engine (`K`). Defaults to
+    /// the `AGB_THREADS` environment variable (unset: 1). Results are
+    /// bit-identical at every `K`; only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl ClusterConfig {
@@ -128,6 +132,7 @@ impl ClusterConfig {
             phases: PhaseModel::Synchronized,
             recovery: None,
             absent_at_start: Vec::new(),
+            threads: agb_sim::threads_from_env(),
         }
     }
 
@@ -225,27 +230,32 @@ const ARRIVAL: TimerId = TimerId(2);
 /// Nodes are driven at the frame level ([`FrameProtocol`]) so the same
 /// cluster hosts plain protocols and recovery-wrapped ones.
 pub struct ClusterNode {
-    protocol: Box<dyn FrameProtocol>,
+    protocol: Box<dyn FrameProtocol + Send>,
     sender: Option<SenderProcess>,
-    metrics: Rc<RefCell<MetricsCollector>>,
     payload: Payload,
     period: DurationMs,
     phase: DurationMs,
-    /// Reusable drain buffer: protocol events pass through here into the
-    /// collector after every handler invocation without allocating.
-    drain_scratch: Vec<agb_core::ProtocolEvent>,
+    /// Protocol events drained after every handler invocation. The node
+    /// holds no handle to the shared collector (keeping it `Send` for
+    /// the sharded engine); the engine's post-event hook flushes this
+    /// buffer into the collector at the merge barrier, in canonical
+    /// event order — the same order the single-threaded engine feeds it.
+    pending_events: Vec<agb_core::ProtocolEvent>,
 }
 
 impl ClusterNode {
     fn drain(&mut self) {
-        let node = self.protocol.node_id();
-        self.drain_scratch.clear();
-        self.protocol.drain_events_into(&mut self.drain_scratch);
-        if self.drain_scratch.is_empty() {
+        self.protocol.drain_events_into(&mut self.pending_events);
+    }
+
+    /// Flushes buffered protocol events into the shared collector
+    /// (called by the engine hook on the driving thread).
+    pub(crate) fn flush_metrics(&mut self, collector: &mut MetricsCollector) {
+        if self.pending_events.is_empty() {
             return;
         }
-        let mut metrics = self.metrics.borrow_mut();
-        metrics.on_events(node, &self.drain_scratch);
+        collector.on_events(self.protocol.node_id(), &self.pending_events);
+        self.pending_events.clear();
     }
 
     /// The wrapped protocol (for inspection by tests and scenario hooks).
@@ -427,18 +437,25 @@ impl GossipCluster {
             nodes.push(ClusterNode {
                 protocol,
                 sender,
-                metrics: Rc::clone(&metrics),
                 payload: payload.clone(),
                 period,
                 phase,
-                drain_scratch: Vec::new(),
+                pending_events: Vec::new(),
             });
         }
 
-        let sim = SimulationBuilder::new(seeds.seed_for("sim", 0))
+        let mut sim = SimulationBuilder::new(seeds.seed_for("sim", 0))
             .network(config.network.clone())
             .initially_down(config.absent_at_start.iter().copied())
+            .threads(config.threads.max(1))
             .build(nodes);
+        // Nodes buffer their protocol events locally; this hook flushes
+        // them into the shared collector after every handler invocation,
+        // in canonical event order, always on the driving thread.
+        let hook_metrics = Rc::clone(&metrics);
+        sim.set_post_event_hook(Box::new(move |node: &mut ClusterNode| {
+            node.flush_metrics(&mut hook_metrics.borrow_mut());
+        }));
 
         GossipCluster {
             sim,
@@ -458,14 +475,28 @@ impl GossipCluster {
         self.sim.now()
     }
 
-    /// Runs the simulation until virtual time `t`.
+    /// Runs the simulation until virtual time `t`, using the configured
+    /// shard count ([`ClusterConfig::threads`]); results are identical
+    /// at every thread count.
     pub fn run_until(&mut self, t: TimeMs) {
-        self.sim.run_until(t);
+        self.sim.run_until_sharded(t);
     }
 
     /// Runs the simulation for a further `d`.
     pub fn run_for(&mut self, d: DurationMs) {
-        self.sim.run_for(d);
+        self.sim.run_for_sharded(d);
+    }
+
+    /// The configured shard/worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.sim.threads()
+    }
+
+    /// Lowers the smallest event batch that is fanned out to worker
+    /// threads (tests use this so tiny clusters exercise the worker
+    /// path; results never depend on it).
+    pub fn set_parallel_threshold(&mut self, min_batch: usize) {
+        self.sim.set_parallel_threshold(min_batch);
     }
 
     /// Read access to the collected metrics.
@@ -481,6 +512,13 @@ impl GossipCluster {
     /// High-water mark of the engine's future event list (perf harness).
     pub fn peak_queue_depth(&self) -> usize {
         self.sim.peak_pending_events()
+    }
+
+    /// Restarts peak tracking of the future event list from its current
+    /// depth (the perf harness calls this at the warmup/measure
+    /// boundary so the reported peak covers measured rounds only).
+    pub fn reset_peak_queue_depth(&mut self) {
+        self.sim.reset_peak_pending_events();
     }
 
     /// Total engine events processed so far (perf harness).

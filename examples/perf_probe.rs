@@ -3,7 +3,9 @@
 //! Runs five measured gossip rounds of the perf harness's n10000
 //! scenario and prints milliseconds per round — a fast, single-scenario
 //! complement to `repro perf` when iterating on hot-path changes.
-//! Set `AGB_PROF_RECOVERY=1` to wrap nodes in the recovery layer.
+//! Set `AGB_PROF_RECOVERY=1` to wrap nodes in the recovery layer and
+//! `AGB_THREADS=K` to probe the sharded engine (results are identical
+//! at every `K`; only the wall-clock moves).
 
 use agb_sim::NetworkConfig;
 use agb_types::{DurationMs, TimeMs};
@@ -31,10 +33,12 @@ fn main() {
     cluster.run_until(TimeMs::from_secs(8));
     let w = t.elapsed().as_secs_f64();
     println!(
-        "5 rounds: {:.2}s  ({:.0} ms/round)  sends={} deliveries={}",
+        "5 rounds: {:.2}s  ({:.0} ms/round, {} thread(s))  sends={} deliveries={} checksum={:#018x}",
         w,
         w * 200.0,
+        cluster.threads(),
         cluster.sim_stats().sends,
-        cluster.sim_stats().deliveries
+        cluster.sim_stats().deliveries,
+        cluster.sim_stats().checksum
     );
 }

@@ -1,11 +1,12 @@
 //! Command-line reproduction driver: `repro <experiment> [seed]`.
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
-//! `fig9-runtime`, `ablation`, `recovery`, `churn`, `perf`, `all`, plus
-//! the CI gate `perf-check <current.json> <baseline.json> [tolerance]`.
+//! `fig9-runtime`, `ablation`, `recovery`, `churn`, `maelstrom`,
+//! `perf`, `all`, plus the CI gate
+//! `perf-check <current.json> <baseline.json> [tolerance]`.
 //! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
-use agb_experiments::{ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, recovery};
+use agb_experiments::{ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery};
 
 // The perf harness reports allocations-per-round; the counting
 // allocator is opt-in per binary (see agb_perf::alloc).
@@ -32,6 +33,7 @@ fn main() {
         "ablation" => run_ablation(seed),
         "recovery" => run_recovery(seed),
         "churn" => run_churn(seed),
+        "maelstrom" => run_maelstrom(seed),
         "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
@@ -47,10 +49,11 @@ fn main() {
             run_ablation(seed);
             run_recovery(seed);
             run_churn(seed);
+            run_maelstrom(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|perf|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|perf|all] [seed]");
             eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
         }
@@ -164,6 +167,28 @@ fn run_ablation(seed: u64) {
 fn run_recovery(seed: u64) {
     let rows = recovery::run(seed);
     print!("{}", recovery::table(&rows));
+}
+
+fn run_maelstrom(seed: u64) {
+    let summary = maelstrom::run(seed);
+    print!("{}", maelstrom::table(&summary));
+    for failure in maelstrom::failures(&summary) {
+        println!("  FAILED {failure}");
+    }
+    let out_path =
+        std::env::var("AGB_MAELSTROM_OUT").unwrap_or_else(|_| String::from("MAELSTROM.json"));
+    let json = summary.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  maelstrom report written to {out_path}");
+    // Stable digest of the whole suite: the CI smoke job replays the
+    // same seed and compares this line verbatim.
+    println!("  maelstrom summary digest: {:#018x}", summary.digest);
+    if !summary.passed() {
+        std::process::exit(1);
+    }
 }
 
 fn run_churn(seed: u64) {

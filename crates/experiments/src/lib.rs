@@ -12,6 +12,7 @@
 //! | [`ablation`] | §3.4 | parameter sensitivity (γ, W, α, δ) |
 //! | [`recovery`] | — (beyond the paper) | atomicity under loss × buffer, pull-based recovery on/off |
 //! | [`churn`] | — (beyond the paper) | delivery among correct nodes under scripted churn (`agb-chaos`) |
+//! | [`maelstrom`] | — (beyond the paper) | Maelstrom-style workloads (broadcast / unique-ids / g-counter) over the line protocol (`agb-maelstrom`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -30,4 +31,5 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod maelstrom;
 pub mod recovery;

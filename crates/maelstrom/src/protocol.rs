@@ -1,0 +1,536 @@
+//! The Maelstrom JSON line protocol.
+//!
+//! Every message is one JSON document per line:
+//!
+//! ```json
+//! {"src":"c1","dest":"n0","body":{"type":"broadcast","msg_id":7,"message":42}}
+//! ```
+//!
+//! [`Message`]/[`Body`]/[`Payload`] model the envelope and the
+//! type-tagged payloads of the workloads this subsystem speaks —
+//! `init`, `topology`, `broadcast`, `read`, `add` (grow-only counter),
+//! `generate` (unique ids) and their `*_ok` replies — plus two internal
+//! payloads: `gossip`, carrying the hex-encoded
+//! [`GossipFrame`](agb_core::GossipFrame) wire bytes of the underlying
+//! broadcast protocol between nodes, and `tick`, the virtual-time pulse
+//! that drives gossip-round timers.
+//!
+//! Everything is built on the dependency-free [`agb_types::json`] value
+//! model (shared with `agb-perf`'s bench reports); there is no serde in
+//! the workspace.
+
+use std::fmt;
+
+use agb_types::json::Json;
+
+/// A protocol-level failure: malformed JSON, or a well-formed document
+/// that does not match the Maelstrom message shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The line is not valid JSON.
+    Json(String),
+    /// The document does not have the expected shape; the payload names
+    /// the offending field or type tag.
+    Shape(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "invalid JSON: {e}"),
+            ProtoError::Shape(e) => write!(f, "bad message shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One Maelstrom message: envelope plus body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender identifier (`"n3"`, `"c1"`, …).
+    pub src: String,
+    /// Destination identifier.
+    pub dest: String,
+    /// The body: ids plus type-tagged payload.
+    pub body: Body,
+}
+
+/// A message body: optional `msg_id` / `in_reply_to` plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Body {
+    /// Sender-unique message id, if any.
+    pub msg_id: Option<u64>,
+    /// The `msg_id` of the request this replies to, if any.
+    pub in_reply_to: Option<u64>,
+    /// The type-tagged payload.
+    pub payload: Payload,
+}
+
+impl Body {
+    /// A body carrying only a payload (no ids).
+    pub fn bare(payload: Payload) -> Self {
+        Body {
+            msg_id: None,
+            in_reply_to: None,
+            payload,
+        }
+    }
+}
+
+/// Type-tagged Maelstrom payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Handshake: tells the node its id and the full roster.
+    Init {
+        /// This node's identifier.
+        node_id: String,
+        /// All node identifiers in the group.
+        node_ids: Vec<String>,
+    },
+    /// Handshake acknowledgement.
+    InitOk,
+    /// Neighbourhood hints, one adjacency list per node (sorted by node
+    /// for stable emission).
+    Topology {
+        /// `node -> neighbours`, sorted by node id.
+        topology: Vec<(String, Vec<String>)>,
+    },
+    /// Topology acknowledgement.
+    TopologyOk,
+    /// Broadcast workload: disseminate `message` to every node.
+    Broadcast {
+        /// The value to disseminate.
+        message: i64,
+    },
+    /// Broadcast acknowledgement.
+    BroadcastOk,
+    /// Read the node's current state (broadcast set or counter value).
+    Read,
+    /// Broadcast-workload read reply: all values seen so far.
+    ReadOk {
+        /// Every broadcast value this node has delivered.
+        messages: Vec<i64>,
+    },
+    /// Counter-workload read reply: the current counter value.
+    ReadOkValue {
+        /// The grow-only counter's value at this node.
+        value: i64,
+    },
+    /// Grow-only-counter workload: add `delta` to the counter.
+    Add {
+        /// The (non-negative) increment.
+        delta: i64,
+    },
+    /// Add acknowledgement.
+    AddOk,
+    /// Unique-ids workload: mint a globally unique id.
+    Generate,
+    /// Unique-ids reply.
+    GenerateOk {
+        /// The minted id.
+        id: String,
+    },
+    /// Internal node-to-node payload: one [`GossipFrame`] of the
+    /// underlying broadcast protocol, as hex-encoded wire bytes
+    /// (`agb_runtime::wire::encode_frame`).
+    ///
+    /// [`GossipFrame`]: agb_core::GossipFrame
+    Gossip {
+        /// The frame's wire bytes.
+        frame: Vec<u8>,
+    },
+    /// Internal virtual-time pulse driving the node's gossip-round
+    /// timer; `now` is milliseconds of virtual (harness) or elapsed
+    /// wall-clock (binary) time.
+    Tick {
+        /// Current time in milliseconds.
+        now: u64,
+    },
+    /// A Maelstrom error reply.
+    Error {
+        /// Maelstrom error code.
+        code: u64,
+        /// Human-readable description.
+        text: String,
+    },
+}
+
+impl Payload {
+    /// The wire type tag of this payload.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            Payload::Init { .. } => "init",
+            Payload::InitOk => "init_ok",
+            Payload::Topology { .. } => "topology",
+            Payload::TopologyOk => "topology_ok",
+            Payload::Broadcast { .. } => "broadcast",
+            Payload::BroadcastOk => "broadcast_ok",
+            Payload::Read => "read",
+            Payload::ReadOk { .. } | Payload::ReadOkValue { .. } => "read_ok",
+            Payload::Add { .. } => "add",
+            Payload::AddOk => "add_ok",
+            Payload::Generate => "generate",
+            Payload::GenerateOk { .. } => "generate_ok",
+            Payload::Gossip { .. } => "gossip",
+            Payload::Tick { .. } => "tick",
+            Payload::Error { .. } => "error",
+        }
+    }
+}
+
+impl Message {
+    /// Serializes to the line-protocol representation (one compact JSON
+    /// document, no newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().compact()
+    }
+
+    /// Parses one protocol line.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Json`] on malformed JSON, [`ProtoError::Shape`] on
+    /// a document that is not a Maelstrom message.
+    pub fn parse_line(line: &str) -> Result<Message, ProtoError> {
+        let json = Json::parse(line.trim()).map_err(ProtoError::Json)?;
+        Message::from_json(&json)
+    }
+
+    /// Converts to the JSON document model.
+    pub fn to_json(&self) -> Json {
+        let mut body = match &self.body.payload {
+            Payload::Init { node_id, node_ids } => Json::obj([
+                ("node_id", Json::Str(node_id.clone())),
+                (
+                    "node_ids",
+                    Json::Arr(node_ids.iter().map(|s| Json::Str(s.clone())).collect()),
+                ),
+            ]),
+            Payload::Topology { topology } => Json::obj([(
+                "topology",
+                Json::Obj(
+                    topology
+                        .iter()
+                        .map(|(node, peers)| {
+                            (
+                                node.clone(),
+                                Json::Arr(peers.iter().map(|p| Json::Str(p.clone())).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            )]),
+            Payload::Broadcast { message } => Json::obj([("message", Json::from(*message))]),
+            Payload::ReadOk { messages } => Json::obj([(
+                "messages",
+                Json::Arr(messages.iter().map(|&m| Json::from(m)).collect()),
+            )]),
+            Payload::ReadOkValue { value } => Json::obj([("value", Json::from(*value))]),
+            Payload::Add { delta } => Json::obj([("delta", Json::from(*delta))]),
+            Payload::GenerateOk { id } => Json::obj([("id", Json::Str(id.clone()))]),
+            Payload::Gossip { frame } => Json::obj([("frame", Json::Str(hex_encode(frame)))]),
+            Payload::Tick { now } => Json::obj([("now", Json::from(*now))]),
+            Payload::Error { code, text } => Json::obj([
+                ("code", Json::from(*code)),
+                ("text", Json::Str(text.clone())),
+            ]),
+            Payload::InitOk
+            | Payload::TopologyOk
+            | Payload::BroadcastOk
+            | Payload::Read
+            | Payload::AddOk
+            | Payload::Generate => Json::obj([]),
+        };
+        if let Json::Obj(map) = &mut body {
+            map.insert(
+                "type".to_string(),
+                Json::Str(self.body.payload.type_tag().to_string()),
+            );
+            if let Some(id) = self.body.msg_id {
+                map.insert("msg_id".to_string(), Json::from(id));
+            }
+            if let Some(re) = self.body.in_reply_to {
+                map.insert("in_reply_to".to_string(), Json::from(re));
+            }
+        }
+        Json::obj([
+            ("src", Json::Str(self.src.clone())),
+            ("dest", Json::Str(self.dest.clone())),
+            ("body", body),
+        ])
+    }
+
+    /// Reads a message back from the JSON document model.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Shape`] naming the missing/mistyped field.
+    pub fn from_json(json: &Json) -> Result<Message, ProtoError> {
+        let src = str_field(json, "src")?;
+        let dest = str_field(json, "dest")?;
+        let body = json
+            .get("body")
+            .ok_or_else(|| ProtoError::Shape("missing `body`".into()))?;
+        let msg_id = opt_u64_field(body, "msg_id")?;
+        let in_reply_to = opt_u64_field(body, "in_reply_to")?;
+        let tag = str_field(body, "type")?;
+        let payload = match tag.as_str() {
+            "init" => Payload::Init {
+                node_id: str_field(body, "node_id")?,
+                node_ids: str_arr_field(body, "node_ids")?,
+            },
+            "init_ok" => Payload::InitOk,
+            "topology" => {
+                let topo = body
+                    .get("topology")
+                    .and_then(Json::as_obj)
+                    .ok_or_else(|| ProtoError::Shape("missing `topology` object".into()))?;
+                let mut topology = Vec::with_capacity(topo.len());
+                for (node, peers) in topo {
+                    let peers = peers
+                        .as_arr()
+                        .ok_or_else(|| ProtoError::Shape(format!("topology[{node}] not a list")))?
+                        .iter()
+                        .map(|p| {
+                            p.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| ProtoError::Shape("non-string neighbour".into()))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    topology.push((node.clone(), peers));
+                }
+                Payload::Topology { topology }
+            }
+            "topology_ok" => Payload::TopologyOk,
+            "broadcast" => Payload::Broadcast {
+                message: i64_field(body, "message")?,
+            },
+            "broadcast_ok" => Payload::BroadcastOk,
+            "read" => Payload::Read,
+            "read_ok" => {
+                if let Some(messages) = body.get("messages") {
+                    let messages = messages
+                        .as_arr()
+                        .ok_or_else(|| ProtoError::Shape("`messages` not a list".into()))?
+                        .iter()
+                        .map(|m| {
+                            m.as_i64()
+                                .ok_or_else(|| ProtoError::Shape("non-integer message".into()))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Payload::ReadOk { messages }
+                } else {
+                    Payload::ReadOkValue {
+                        value: i64_field(body, "value")?,
+                    }
+                }
+            }
+            "add" => Payload::Add {
+                delta: i64_field(body, "delta")?,
+            },
+            "add_ok" => Payload::AddOk,
+            "generate" => Payload::Generate,
+            "generate_ok" => Payload::GenerateOk {
+                id: str_field(body, "id")?,
+            },
+            "gossip" => Payload::Gossip {
+                frame: hex_decode(&str_field(body, "frame")?)
+                    .ok_or_else(|| ProtoError::Shape("bad hex in `frame`".into()))?,
+            },
+            "tick" => Payload::Tick {
+                now: body
+                    .get("now")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::Shape("missing integer `now`".into()))?,
+            },
+            "error" => Payload::Error {
+                code: body
+                    .get("code")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::Shape("missing integer `code`".into()))?,
+                text: str_field(body, "text")?,
+            },
+            other => return Err(ProtoError::Shape(format!("unknown type `{other}`"))),
+        };
+        Ok(Message {
+            src,
+            dest,
+            body: Body {
+                msg_id,
+                in_reply_to,
+                payload,
+            },
+        })
+    }
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, ProtoError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ProtoError::Shape(format!("missing string `{key}`")))
+}
+
+fn i64_field(json: &Json, key: &str) -> Result<i64, ProtoError> {
+    json.get(key)
+        .and_then(Json::as_i64)
+        .ok_or_else(|| ProtoError::Shape(format!("missing integer `{key}`")))
+}
+
+fn opt_u64_field(json: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| ProtoError::Shape(format!("`{key}` not an integer"))),
+    }
+}
+
+fn str_arr_field(json: &Json, key: &str) -> Result<Vec<String>, ProtoError> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ProtoError::Shape(format!("missing list `{key}`")))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError::Shape(format!("non-string entry in `{key}`")))
+        })
+        .collect()
+}
+
+/// Lowercase hex encoding of raw frame bytes.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or non-hex digits.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(payload: Payload) -> Message {
+        Message {
+            src: "c1".into(),
+            dest: "n0".into(),
+            body: Body {
+                msg_id: Some(7),
+                in_reply_to: None,
+                payload,
+            },
+        }
+    }
+
+    #[test]
+    fn init_round_trips_with_ids() {
+        let m = msg(Payload::Init {
+            node_id: "n0".into(),
+            node_ids: vec!["n0".into(), "n1".into(), "n2".into()],
+        });
+        let line = m.to_line();
+        assert!(line.contains(r#""type":"init""#), "{line}");
+        assert_eq!(Message::parse_line(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn parses_a_maelstrom_style_broadcast_line() {
+        let line =
+            r#"{"src":"c1","dest":"n2","body":{"type":"broadcast","msg_id":3,"message":1000}}"#;
+        let m = Message::parse_line(line).unwrap();
+        assert_eq!(m.src, "c1");
+        assert_eq!(m.dest, "n2");
+        assert_eq!(m.body.msg_id, Some(3));
+        assert_eq!(m.body.payload, Payload::Broadcast { message: 1000 });
+    }
+
+    #[test]
+    fn read_ok_flavours_disambiguate_on_fields() {
+        let broadcast = msg(Payload::ReadOk {
+            messages: vec![3, -1, 9],
+        });
+        let counter = msg(Payload::ReadOkValue { value: 42 });
+        assert_eq!(
+            Message::parse_line(&broadcast.to_line()).unwrap(),
+            broadcast
+        );
+        assert_eq!(Message::parse_line(&counter.to_line()).unwrap(), counter);
+    }
+
+    #[test]
+    fn gossip_frames_ride_as_hex() {
+        let m = msg(Payload::Gossip {
+            frame: vec![0xA8, 0x00, 0xFF, 0x10],
+        });
+        let line = m.to_line();
+        assert!(line.contains(r#""frame":"a800ff10""#), "{line}");
+        assert_eq!(Message::parse_line(&line).unwrap(), m);
+    }
+
+    #[test]
+    fn tick_and_error_round_trip() {
+        let t = msg(Payload::Tick { now: 12_000 });
+        assert_eq!(Message::parse_line(&t.to_line()).unwrap(), t);
+        let e = msg(Payload::Error {
+            code: 11,
+            text: "temporarily \"unavailable\"\n".into(),
+        });
+        assert_eq!(Message::parse_line(&e.to_line()).unwrap(), e);
+    }
+
+    #[test]
+    fn topology_round_trips_sorted() {
+        let m = msg(Payload::Topology {
+            topology: vec![
+                ("n0".into(), vec!["n1".into()]),
+                ("n1".into(), vec!["n0".into(), "n2".into()]),
+                ("n2".into(), vec!["n1".into()]),
+            ],
+        });
+        assert_eq!(Message::parse_line(&m.to_line()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"src":"a","dest":"b"}"#,
+            r#"{"src":"a","dest":"b","body":{"type":"warp"}}"#,
+            r#"{"src":"a","dest":"b","body":{"type":"broadcast"}}"#,
+            r#"{"src":"a","dest":"b","body":{"type":"gossip","frame":"xyz"}}"#,
+            r#"{"src":"a","dest":"b","body":{"type":"broadcast","msg_id":1.5,"message":1}}"#,
+        ] {
+            assert!(Message::parse_line(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        let all: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&all)).unwrap(), all);
+        assert_eq!(hex_decode("0"), None);
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode(""), Some(vec![]));
+    }
+}

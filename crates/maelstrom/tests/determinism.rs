@@ -1,0 +1,94 @@
+//! Fixed-seed determinism of the Maelstrom harness: the same seed must
+//! produce the same digest — across repeated runs, across engine shard
+//! counts (the harness rides the sharded simulation engine), and under
+//! `AGB_THREADS` variation.
+
+use agb_maelstrom::{run_workload, standard_suite_threads, HarnessConfig, WorkloadKind};
+use agb_sim::{NetworkConfig, Partition};
+use agb_types::{NodeId, TimeMs};
+
+/// A scenario that exercises every determinism-sensitive path: loss,
+/// a partition window, recovery traffic and a crash.
+fn scenario(seed: u64, threads: usize) -> HarnessConfig {
+    let mut c = HarnessConfig::new(WorkloadKind::Broadcast, 12, seed);
+    c.network = NetworkConfig::lossy(0.15);
+    c.network.partitions = vec![Partition {
+        side_a: (0..4).map(NodeId::new).collect(),
+        from: TimeMs::from_secs(8),
+        until: TimeMs::from_secs(14),
+    }];
+    c.n_ops = 12;
+    c.ops_from = TimeMs::from_secs(2);
+    c.ops_until = TimeMs::from_secs(20);
+    c.read_at = TimeMs::from_secs(40);
+    c.crashes = vec![(TimeMs::from_secs(10), NodeId::new(11))];
+    c.atomicity_threshold = 0.0; // determinism under test, not reliability
+    c.threads = threads;
+    // Force even tiny batches onto the worker path when threads > 1.
+    c.parallel_threshold = Some(1);
+    c
+}
+
+#[test]
+fn same_seed_same_digest_across_runs() {
+    let a = run_workload(&scenario(42, 1));
+    let b = run_workload(&scenario(42, 1));
+    assert_eq!(a.digest, b.digest);
+    assert_eq!(a.engine_checksum, b.engine_checksum);
+    assert_eq!(a.sends, b.sends);
+}
+
+#[test]
+fn sharded_engine_matches_single_thread() {
+    let k1 = run_workload(&scenario(42, 1));
+    for k in [2, 4] {
+        let kn = run_workload(&scenario(42, k));
+        assert_eq!(kn.digest, k1.digest, "digest diverged at K={k}");
+        assert_eq!(
+            kn.engine_checksum, k1.engine_checksum,
+            "engine checksum diverged at K={k}"
+        );
+        assert_eq!(
+            (kn.sends, kn.deliveries, kn.drops),
+            (k1.sends, k1.deliveries, k1.drops)
+        );
+    }
+}
+
+#[test]
+fn agb_threads_env_does_not_change_the_digest() {
+    // `HarnessConfig::new` seeds its thread count from AGB_THREADS (via
+    // `agb_sim::threads_from_env`); whatever the environment says, the
+    // digest must not move.
+    let baseline = run_workload(&scenario(7, 1));
+    std::env::set_var("AGB_THREADS", "4");
+    let threads = agb_sim::threads_from_env();
+    std::env::remove_var("AGB_THREADS");
+    assert_eq!(threads, 4, "env override must be honoured");
+    let under_env = run_workload(&scenario(7, threads));
+    assert_eq!(under_env.digest, baseline.digest);
+}
+
+#[test]
+fn standard_quick_suite_digest_is_thread_invariant() {
+    let k1 = standard_suite_threads(42, true, 1);
+    let k2 = standard_suite_threads(42, true, 2);
+    assert_eq!(k1.digest, k2.digest);
+    assert!(k1.passed(), "quick suite must pass");
+    assert_eq!(k1.reports.len(), k2.reports.len());
+    for (a, b) in k1.reports.iter().zip(&k2.reports) {
+        assert_eq!(
+            a.digest,
+            b.digest,
+            "workload {} diverged",
+            a.workload.name()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_digests() {
+    let a = run_workload(&scenario(1, 1));
+    let b = run_workload(&scenario(2, 1));
+    assert_ne!(a.digest, b.digest);
+}

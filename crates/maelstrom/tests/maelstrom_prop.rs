@@ -1,0 +1,143 @@
+//! Property-based tests of the Maelstrom line protocol: arbitrary
+//! messages survive the message ↔ text round trip (including string
+//! escaping, nested payloads and raw frame bytes), and arbitrary input
+//! never panics the parser.
+
+use std::collections::BTreeMap;
+
+use agb_maelstrom::{Body, Message, Payload};
+use proptest::prelude::*;
+
+/// Characters that stress the escaper: quotes, backslashes, control
+/// characters, multi-byte UTF-8.
+const PALETTE: &[char] = &[
+    'a', 'b', 'z', '0', '9', ' ', '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{1f}', '{', '}', ':',
+    ',', 'é', '✓', '🦀',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    collection::vec(0usize..PALETTE.len(), 0..10)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+fn arb_value() -> impl Strategy<Value = i64> {
+    -(1i64 << 40)..(1i64 << 40)
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    (
+        0u8..13,
+        arb_value(),
+        arb_string(),
+        collection::vec(arb_string(), 0..4),
+        collection::vec(any::<u8>(), 0..48),
+        collection::vec(arb_value(), 0..6),
+    )
+        .prop_map(
+            |(variant, value, text, names, bytes, values)| match variant {
+                0 => Payload::Init {
+                    node_id: text,
+                    node_ids: names,
+                },
+                1 => Payload::InitOk,
+                2 => {
+                    // Emission iterates a BTreeMap, so a faithful round trip
+                    // needs lexicographically sorted, deduplicated keys.
+                    let map: BTreeMap<String, Vec<String>> =
+                        names.into_iter().map(|n| (n, vec![text.clone()])).collect();
+                    Payload::Topology {
+                        topology: map.into_iter().collect(),
+                    }
+                }
+                3 => Payload::TopologyOk,
+                4 => Payload::Broadcast { message: value },
+                5 => Payload::BroadcastOk,
+                6 => Payload::Read,
+                7 => Payload::ReadOk { messages: values },
+                8 => Payload::ReadOkValue { value },
+                9 => Payload::Add { delta: value },
+                10 => Payload::Generate,
+                11 => Payload::GenerateOk { id: text },
+                _ => Payload::Gossip { frame: bytes },
+            },
+        )
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        arb_string(),
+        arb_string(),
+        option::of(0u64..1_000_000),
+        option::of(0u64..1_000_000),
+        arb_payload(),
+    )
+        .prop_map(|(src, dest, msg_id, in_reply_to, payload)| Message {
+            src,
+            dest,
+            body: Body {
+                msg_id,
+                in_reply_to,
+                payload,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_round_trips_through_the_line_protocol(msg in arb_message()) {
+        let line = msg.to_line();
+        prop_assert!(!line.contains('\n'), "line framing must hold: {line:?}");
+        let back = Message::parse_line(&line).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn reparse_is_a_fixed_point(msg in arb_message()) {
+        // line -> Message -> line must stabilize after one round.
+        let line = msg.to_line();
+        let line2 = Message::parse_line(&line).unwrap().to_line();
+        prop_assert_eq!(line, line2);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..160)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Message::parse_line(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_valid_lines(
+        msg in arb_message(),
+        cut in 0usize..200,
+        flip in 0usize..200,
+    ) {
+        // Truncations and byte flips of well-formed lines must error or
+        // parse, never panic.
+        let line = msg.to_line();
+        let mut bytes = line.into_bytes();
+        if !bytes.is_empty() {
+            let cut = cut % (bytes.len() + 1);
+            bytes.truncate(cut);
+            if !bytes.is_empty() {
+                let at = flip % bytes.len();
+                bytes[at] = bytes[at].wrapping_add(1);
+            }
+        }
+        let _ = Message::parse_line(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn ticks_and_errors_round_trip(now in 0u64..1 << 40, code in 0u64..100, text in arb_string()) {
+        for payload in [Payload::Tick { now }, Payload::Error { code, text }] {
+            let msg = Message {
+                src: "harness".into(),
+                dest: "n0".into(),
+                body: Body::bare(payload),
+            };
+            let back = Message::parse_line(&msg.to_line()).unwrap();
+            prop_assert_eq!(back, msg);
+        }
+    }
+}

@@ -19,7 +19,9 @@
 //!   metric, the most sensitive canary for hot-path allocation
 //!   regressions.
 //!
-//! [`json`] is the dependency-free JSON model the other modules share.
+//! [`json`] is the dependency-free JSON model the other modules share —
+//! it lives in [`agb_types::json`] (the Maelstrom subsystem speaks it
+//! too) and is re-exported here.
 //!
 //! # Bench JSON schema (`agb-perf/v2`)
 //!
@@ -69,11 +71,11 @@
 pub mod alloc;
 pub mod compare;
 pub mod harness;
-pub mod json;
 
+pub use agb_types::json;
+pub use agb_types::json::Json;
 pub use compare::{compare, compare_files, Comparison, Delta};
 pub use harness::{
     harness_threads, quick_mode, run_encode_bench, run_scenario, run_scenario_at, scale_points,
     EncodeResult, PerfReport, ScenarioResult, ScenarioSpec, SCHEMA, SCHEMA_V1,
 };
-pub use json::Json;

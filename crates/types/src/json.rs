@@ -1,22 +1,25 @@
-//! A minimal JSON document model (emit + parse) for bench reports.
+//! A minimal JSON document model (emit + parse) shared across the
+//! workspace.
 //!
-//! The workspace builds offline (no serde); bench JSON is a small, flat
-//! schema, so a ~150-line recursive-descent parser and a pretty-printer
-//! are all the machinery the regression gate needs.
+//! The workspace builds offline (no serde); its JSON surfaces — the
+//! bench reports of `agb-perf` and the Maelstrom line protocol of
+//! `agb-maelstrom` — are small schemas, so a ~150-line recursive-descent
+//! parser, a pretty-printer and a compact one-line emitter are all the
+//! machinery they need.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// A JSON value. Objects use a `BTreeMap` so emitted documents have a
-/// stable key order (diff-friendly artifacts).
+/// stable key order (diff-friendly artifacts, deterministic wire lines).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
     /// `null`
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (always carried as f64; bench metrics are rates and
-    /// counts far below the 2^53 integer-precision limit).
+    /// Any number (always carried as f64; the workspace's metrics are
+    /// rates and counts far below the 2^53 integer-precision limit).
     Num(f64),
     /// A string.
     Str(String),
@@ -48,6 +51,31 @@ impl Json {
         }
     }
 
+    /// This value as an unsigned integer (must be a whole, in-range
+    /// number).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as a signed integer (must be a whole, in-range number).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// This value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// This value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -64,12 +92,61 @@ impl Json {
         }
     }
 
+    /// This value as an object map.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Pretty-prints with two-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Emits on a single line with no whitespace — the Maelstrom line
+    /// protocol's framing (one JSON document per line).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -129,6 +206,30 @@ impl Json {
             return Err(format!("trailing content at byte {}", p.pos));
         }
         Ok(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
     }
 }
 
@@ -384,5 +485,32 @@ mod tests {
     fn integers_emit_without_fraction() {
         assert_eq!(Json::Num(40000.0).pretty(), "40000\n");
         assert_eq!(Json::Num(0.5).pretty(), "0.5\n");
+    }
+
+    #[test]
+    fn compact_emits_one_line_and_round_trips() {
+        let doc = Json::obj([
+            ("body", Json::obj([("type", Json::from("init_ok"))])),
+            ("dest", Json::from("c1")),
+            ("src", Json::from("n1")),
+        ]);
+        let line = doc.compact();
+        assert_eq!(
+            line,
+            r#"{"body":{"type":"init_ok"},"dest":"c1","src":"n1"}"#
+        );
+        assert!(!line.contains('\n'));
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+    }
+
+    #[test]
+    fn integer_accessors_enforce_wholeness() {
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+        assert_eq!(Json::Num(-7.0).as_i64(), Some(-7));
+        assert_eq!(Json::Num(-7.0).as_u64(), None);
+        assert_eq!(Json::Num(7.5).as_u64(), None);
+        assert_eq!(Json::Num(7.5).as_i64(), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_bool(), None);
     }
 }

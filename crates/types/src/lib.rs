@@ -31,6 +31,7 @@ mod env;
 mod error;
 mod fasthash;
 mod id;
+pub mod json;
 mod pool;
 mod rng;
 mod shard;

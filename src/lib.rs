@@ -20,6 +20,7 @@
 //! | [`membership`] | `agb-membership` | full & partial (lpbcast) peer sampling, join/leave/eviction dynamics |
 //! | [`recovery`] | `agb-recovery` | pull-based anti-entropy: `IHave` digests, `Graft` pulls, bounded retransmission cache |
 //! | [`chaos`] | `agb-chaos` | scripted churn & fault injection: crash/restart/join/leave, partitions, link faults, burst storms |
+//! | [`maelstrom`] | `agb-maelstrom` | Maelstrom line protocol, node adapter, deterministic workload harness + checker |
 //! | [`sim`] | `agb-sim` | deterministic discrete-event network simulator |
 //! | [`workload`] | `agb-workload` | sender models, cluster builder, pub/sub scenarios, schedules |
 //! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
@@ -120,6 +121,32 @@
 //! in `examples/churn_chaos.rs`
 //! (`cargo run --release --example churn_chaos`).
 //!
+//! # External harness: Maelstrom workloads
+//!
+//! The [`maelstrom`] subsystem speaks the Maelstrom JSON line protocol —
+//! the de-facto standard harness interface for distributed-systems
+//! workloads — so any external checker can drive this system. It ships
+//! a sans-IO node adapter ([`maelstrom::MaelstromNode`]) that bridges
+//! `init`/`topology`/`broadcast`/`add`/`generate`/`read` onto any
+//! gossip stack (lpbcast / adaptive / adaptive+recovery), a real
+//! stdin/stdout binary (`maelstrom_node`) runnable under the Maelstrom
+//! jar, and a deterministic in-process harness that scripts the
+//! standard workloads over seeded loss/latency/partition windows and
+//! checks their properties:
+//!
+//! ```
+//! use adaptive_gossip::maelstrom::{HarnessConfig, WorkloadKind, run_workload};
+//!
+//! let mut config = HarnessConfig::new(WorkloadKind::GCounter, 10, 42);
+//! config.n_ops = 12;
+//! let report = run_workload(&config);
+//! assert!(report.passed(), "{:?}", report.properties);
+//! ```
+//!
+//! Run the checked three-workload suite with `repro maelstrom`
+//! (stable summary digest, `MAELSTROM.json` report), or the scripted
+//! scenario in `examples/maelstrom_broadcast.rs`.
+//!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction inventory.
 
@@ -128,6 +155,7 @@
 pub use agb_chaos as chaos;
 pub use agb_core as core;
 pub use agb_experiments as experiments;
+pub use agb_maelstrom as maelstrom;
 pub use agb_membership as membership;
 pub use agb_metrics as metrics;
 pub use agb_perf as perf;

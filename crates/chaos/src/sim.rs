@@ -307,6 +307,15 @@ impl ChaosCluster {
         self.cluster.metrics()
     }
 
+    /// Snapshots the dissemination trace as a summary labeled `label`,
+    /// if the cluster was built with
+    /// [`ClusterConfig::trace`](agb_workload::ClusterConfig) enabled.
+    /// Scheduled chaos (crashes, restarts, evictions, leaves) shows up
+    /// as crash/restart/view-change records.
+    pub fn trace_summary(&self, label: &str) -> Option<agb_trace::TraceSummary> {
+        self.cluster.trace_summary(label)
+    }
+
     /// Engine statistics (including the determinism checksum).
     pub fn sim_stats(&self) -> NetStats {
         self.cluster.sim_stats()
@@ -428,6 +437,26 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn scheduled_chaos_lands_in_the_trace() {
+        let mut s = ChaosSchedule::new();
+        s.crash(TimeMs::from_secs(5), NodeId::new(7))
+            .restart(TimeMs::from_secs(12), NodeId::new(7))
+            .evict(TimeMs::from_secs(14), NodeId::new(2), NodeId::new(7));
+        let mut config = base_config(3);
+        config.trace = agb_trace::TraceConfig::enabled();
+        let mut chaos = ChaosCluster::new(config, &s);
+        chaos.run_until(TimeMs::from_secs(30));
+        let summary = chaos.trace_summary("chaos").expect("tracing enabled");
+        assert_eq!(summary.counts.crashes, 1);
+        assert_eq!(summary.counts.restarts, 1);
+        assert!(summary.counts.view_changes >= 1);
+        assert!(summary.counts.delivers > 0);
+        // Untraced cluster returns no summary.
+        let plain = ChaosCluster::new(base_config(3), &s);
+        assert!(plain.trace_summary("chaos").is_none());
     }
 
     #[test]

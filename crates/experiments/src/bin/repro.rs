@@ -2,11 +2,13 @@
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig9-runtime`, `ablation`, `recovery`, `churn`, `maelstrom`,
-//! `perf`, `all`, plus the CI gate
+//! `trace`, `perf`, `all`, plus the CI gate
 //! `perf-check <current.json> <baseline.json> [tolerance]`.
 //! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
-use agb_experiments::{ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery};
+use agb_experiments::{
+    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, trace,
+};
 
 // The perf harness reports allocations-per-round; the counting
 // allocator is opt-in per binary (see agb_perf::alloc).
@@ -34,6 +36,7 @@ fn main() {
         "recovery" => run_recovery(seed),
         "churn" => run_churn(seed),
         "maelstrom" => run_maelstrom(seed),
+        "trace" => run_trace(seed),
         "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
@@ -50,10 +53,11 @@ fn main() {
             run_recovery(seed);
             run_churn(seed);
             run_maelstrom(seed);
+            run_trace(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|perf|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|perf|all] [seed]");
             eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
         }
@@ -187,6 +191,32 @@ fn run_maelstrom(seed: u64) {
     // same seed and compares this line verbatim.
     println!("  maelstrom summary digest: {:#018x}", summary.digest);
     if !summary.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn run_trace(seed: u64) {
+    let report = trace::run(seed);
+    print!("{}", trace::table_overview(&report));
+    print!("{}", trace::table_drops(&report));
+    print!("{}", trace::table_recovery(&report));
+    for run in &report.runs {
+        print!("{}", trace::table_latency(run));
+    }
+    for failure in trace::failures(&report) {
+        println!("  FAILED {failure}");
+    }
+    let out_path = std::env::var("AGB_TRACE_OUT").unwrap_or_else(|_| String::from("TRACE.json"));
+    let json = report.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  trace report written to {out_path}");
+    // Stable digest of the whole report: the CI smoke job replays the
+    // same seed (at several thread counts) and compares this line.
+    println!("  trace summary digest: {:#018x}", report.digest);
+    if !report.passed() {
         std::process::exit(1);
     }
 }

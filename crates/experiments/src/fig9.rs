@@ -229,6 +229,7 @@ pub fn run_runtime(config: &Fig9Config) -> std::io::Result<Fig9RuntimeResult> {
         transport: TransportKind::Udp,
         metrics_bin: DurationMs::from_millis(1_000 / u64::from(scale)),
         recovery: None,
+        trace: agb_trace::TraceConfig::disabled(),
     };
     let cluster = RuntimeCluster::start(rc)?;
     let scaled = |ms: u64| std::time::Duration::from_millis(ms / u64::from(scale));

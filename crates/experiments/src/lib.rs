@@ -13,6 +13,7 @@
 //! | [`recovery`] | — (beyond the paper) | atomicity under loss × buffer, pull-based recovery on/off |
 //! | [`churn`] | — (beyond the paper) | delivery among correct nodes under scripted churn (`agb-chaos`) |
 //! | [`maelstrom`] | — (beyond the paper) | Maelstrom-style workloads (broadcast / unique-ids / g-counter) over the line protocol (`agb-maelstrom`) |
+//! | [`trace`] | — (beyond the paper) | causal dissemination tracing dashboard + `TRACE.json` (`agb-trace`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -33,3 +34,4 @@ pub mod fig8;
 pub mod fig9;
 pub mod maelstrom;
 pub mod recovery;
+pub mod trace;

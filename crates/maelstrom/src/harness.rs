@@ -26,6 +26,7 @@ use agb_recovery::RecoveryConfig;
 use agb_sim::{
     LatencyModel, NetworkConfig, Partition, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
 };
+use agb_trace::TraceCounts;
 use agb_types::{fnv1a, json::Json, DetRng, DurationMs, NodeId, SeedSequence, TimeMs};
 use rand::RngExt;
 
@@ -146,6 +147,9 @@ pub struct WorkloadReport {
     pub drops: u64,
     /// Lines rejected by the protocol layer (must be 0).
     pub proto_errors: u64,
+    /// Trace-taxonomy tally summed over all nodes (publishes, relays,
+    /// delivers, duplicates, drops, recovery round trips).
+    pub trace: TraceCounts,
     /// The engine's order-sensitive determinism checksum.
     pub engine_checksum: u64,
     /// Stable FNV digest of every deterministic field above.
@@ -190,6 +194,7 @@ impl WorkloadReport {
             ("deliveries", Json::from(self.deliveries)),
             ("drops", Json::from(self.drops)),
             ("proto_errors", Json::from(self.proto_errors)),
+            ("trace", self.trace.to_json()),
             (
                 "engine_checksum",
                 Json::Str(format!("{:#018x}", self.engine_checksum)),
@@ -467,6 +472,7 @@ fn check(
 ) -> WorkloadReport {
     let stats = sim.stats();
     let mut proto_errors = 0;
+    let mut trace = TraceCounts::default();
     // Ack lookup: which scripted op msg_ids were answered, and with what.
     let mut acks: Vec<(u64, Payload)> = Vec::new();
     let mut reads: Vec<(NodeId, Payload)> = Vec::new();
@@ -474,6 +480,7 @@ fn check(
         let id = NodeId::new(i as u32);
         let node = sim.node(id);
         proto_errors += node.inner.proto_errors() + node.parse_errors;
+        trace.merge(node.inner.trace_counts());
         for msg in &node.client_outbox {
             match msg.body.in_reply_to {
                 Some(re) if re >= 2_000_000 => reads.push((id, msg.body.payload.clone())),
@@ -682,6 +689,10 @@ fn check(
     mix_u64(&mut digest_buf, stats.sends);
     mix_u64(&mut digest_buf, stats.deliveries);
     mix_u64(&mut digest_buf, stats.drops);
+    for (name, count) in trace.as_pairs() {
+        mix_str(&mut digest_buf, name);
+        mix_u64(&mut digest_buf, count);
+    }
     mix_u64(&mut digest_buf, stats.checksum);
     let digest = fnv1a(&digest_buf);
 
@@ -700,6 +711,7 @@ fn check(
         deliveries: stats.deliveries,
         drops: stats.drops,
         proto_errors,
+        trace,
         engine_checksum: stats.checksum,
         digest,
     }
@@ -808,6 +820,10 @@ mod tests {
         assert!(report.passed(), "properties: {:?}", report.properties);
         assert_eq!(report.acked, 8);
         assert_eq!(report.avg_fraction, 1.0);
+        // The trace tally sees the same dissemination the checker does.
+        assert_eq!(report.trace.publishes, 8, "one publish per client op");
+        assert!(report.trace.relays > 0, "rounds relay events");
+        assert!(report.trace.delivers > 0, "peers deliver");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use agb_core::{
 use agb_membership::{FullView, PartialView, PartialViewConfig};
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_runtime::wire::{decode_frame, encode_frame};
+use agb_trace::{TraceConfig, TraceCounts, TraceProbe};
 use agb_types::{DetRng, NodeId, Payload as AppPayload, SeedSequence, TimeMs};
 
 use crate::protocol::{Body, Message, Payload, ProtoError};
@@ -169,6 +170,10 @@ struct Running {
     roster: Vec<String>,
     now: TimeMs,
     protocol: Box<dyn FrameProtocol + Send>,
+    /// Maps protocol events and frames onto the trace taxonomy; the
+    /// records are tallied into [`MaelstromNode::trace_counts`] and
+    /// discarded (counts only — no ring buffer behind a line protocol).
+    probe: TraceProbe,
     /// Broadcast-workload deliveries (sorted, deduplicated).
     seen: BTreeSet<i64>,
     /// Grow-only counter: sum of all delivered `add` deltas.
@@ -197,6 +202,8 @@ pub struct MaelstromNode {
     state: Option<Running>,
     /// Lines that failed to parse or had an unusable shape.
     proto_errors: u64,
+    /// Tallied trace taxonomy (publishes, relays, delivers, drops, …).
+    trace: TraceCounts,
 }
 
 impl MaelstromNode {
@@ -207,6 +214,7 @@ impl MaelstromNode {
             next_msg_id: 0,
             state: None,
             proto_errors: 0,
+            trace: TraceCounts::default(),
         }
     }
 
@@ -236,6 +244,13 @@ impl MaelstromNode {
     /// Lines rejected by the protocol layer so far.
     pub fn proto_errors(&self) -> u64 {
         self.proto_errors
+    }
+
+    /// Trace-taxonomy tally of this node's protocol activity so far
+    /// (publishes, relays, delivers, duplicates, drops, recovery round
+    /// trips). Aggregated per workload by the harness checker.
+    pub fn trace_counts(&self) -> &TraceCounts {
+        &self.trace
     }
 
     /// Handles one raw protocol line; returns the lines to transmit.
@@ -307,6 +322,7 @@ impl MaelstromNode {
                     roster,
                     now: TimeMs::ZERO,
                     protocol,
+                    probe: TraceProbe::new(TraceConfig::enabled(), my_id),
                     seen: BTreeSet::new(),
                     counter: 0,
                     generated: 0,
@@ -344,7 +360,7 @@ impl MaelstromNode {
                 if let Some(r) = self.state.as_mut() {
                     let now = r.now;
                     r.protocol.offer(app_payload(TAG_BROADCAST, message), now);
-                    Self::pump(r);
+                    Self::pump(r, &mut self.trace, None);
                     out.push(self.reply(&src, msg_id, Payload::BroadcastOk));
                 }
                 out
@@ -354,7 +370,7 @@ impl MaelstromNode {
                 if let Some(r) = self.state.as_mut() {
                     let now = r.now;
                     r.protocol.offer(app_payload(TAG_ADD, delta), now);
-                    Self::pump(r);
+                    Self::pump(r, &mut self.trace, None);
                     out.push(self.reply(&src, msg_id, Payload::AddOk));
                 }
                 out
@@ -392,8 +408,9 @@ impl MaelstromNode {
                     return Vec::new();
                 };
                 let now = r.now;
+                r.probe.on_message(&frame);
                 let replies = r.protocol.on_receive(from, frame, now);
-                Self::pump(r);
+                Self::pump(r, &mut self.trace, Some(from));
                 self.frames_out(replies)
             }
             Payload::Tick { now } => {
@@ -403,7 +420,13 @@ impl MaelstromNode {
                 r.now = r.now.max(TimeMs::from_millis(now));
                 let now = r.now;
                 let out = r.protocol.on_round(now);
-                Self::pump(r);
+                r.probe.on_round(
+                    now,
+                    &out,
+                    r.protocol.buffer_len(),
+                    r.protocol.buffer_capacity(),
+                );
+                Self::pump(r, &mut self.trace, None);
                 self.frames_out(out)
             }
             // Acks and errors terminate at this node.
@@ -429,9 +452,19 @@ impl MaelstromNode {
         (!contacts.is_empty()).then_some(contacts)
     }
 
-    /// Drains protocol events into application state.
-    fn pump(r: &mut Running) {
-        for event in r.protocol.drain_events() {
+    /// Drains protocol events into application state and the trace
+    /// tally. `from` marks the events as produced by a datagram from
+    /// that peer, enabling the probe's duplicate detection.
+    fn pump(r: &mut Running, counts: &mut TraceCounts, from: Option<NodeId>) {
+        let events = r.protocol.drain_events();
+        r.probe.on_events(&events);
+        if let Some(from) = from {
+            r.probe.on_received(r.now, from, &events);
+        }
+        for record in r.probe.drain_pending() {
+            counts.observe(&record.kind);
+        }
+        for event in events {
             if let ProtocolEvent::Delivered { event, .. } = event {
                 match decode_app(event.payload()) {
                     Some((TAG_BROADCAST, value)) => {

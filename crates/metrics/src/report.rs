@@ -4,7 +4,8 @@
 use std::fmt;
 
 /// Formats a float compactly: integers without decimals, otherwise two
-/// decimal places.
+/// decimal places. Non-finite values render as `NaN` / `inf` / `-inf`
+/// rather than relying on the default float formatter.
 ///
 /// # Example
 ///
@@ -12,9 +13,14 @@ use std::fmt;
 /// use agb_metrics::format_f64;
 /// assert_eq!(format_f64(30.0), "30");
 /// assert_eq!(format_f64(5.333), "5.33");
+/// assert_eq!(format_f64(f64::INFINITY), "inf");
 /// ```
 pub fn format_f64(v: f64) -> String {
-    if v.is_finite() && (v - v.round()).abs() < 1e-9 {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "inf" } else { "-inf" }.to_string()
+    } else if (v - v.round()).abs() < 1e-9 {
         format!("{}", v.round() as i64)
     } else {
         format!("{v:.2}")
@@ -83,31 +89,49 @@ impl Table {
     }
 }
 
+/// Whether a rendered cell reads as a number ([`format_f64`] output,
+/// integers, percentages): decides column alignment.
+fn looks_numeric(cell: &str) -> bool {
+    let cell = cell.strip_suffix('%').unwrap_or(cell);
+    matches!(cell, "" | "NaN" | "inf" | "-inf") || cell.parse::<f64>().is_ok()
+}
+
+/// Renders one line of cells padded to `widths`, right-aligning numeric
+/// columns and left-aligning text columns (trailing spaces trimmed).
+fn render_line(cells: &[String], widths: &[usize], numeric: &[bool]) -> String {
+    let line: Vec<String> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if numeric[i] {
+                format!("{:>w$}", c, w = widths[i])
+            } else {
+                format!("{:<w$}", c, w = widths[i])
+            }
+        })
+        .collect();
+    line.join("  ").trim_end().to_string()
+}
+
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        // A column is numeric (right-aligned) when every data cell in it
+        // reads as a number; headers don't vote, and an empty column
+        // defaults to numeric like the all-numeric tables of old.
+        let mut numeric = vec![true; self.headers.len()];
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
+                numeric[i] = numeric[i] && looks_numeric(cell);
             }
         }
         writeln!(f, "# {}", self.title)?;
-        let header_line: Vec<String> = self
-            .headers
-            .iter()
-            .enumerate()
-            .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
-            .collect();
-        writeln!(f, "  {}", header_line.join("  "))?;
+        writeln!(f, "  {}", render_line(&self.headers, &widths, &numeric))?;
         let rule_len = widths.iter().sum::<usize>() + 2 * widths.len();
         writeln!(f, "  {}", "-".repeat(rule_len))?;
         for row in &self.rows {
-            let line: Vec<String> = row
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-                .collect();
-            writeln!(f, "  {}", line.join("  "))?;
+            writeln!(f, "  {}", render_line(row, &widths, &numeric))?;
         }
         Ok(())
     }
@@ -142,5 +166,32 @@ mod tests {
         assert_eq!(format_f64(-2.0), "-2");
         assert_eq!(format_f64(0.126), "0.13");
         assert_eq!(format_f64(f64::NAN), "NaN");
+        assert_eq!(format_f64(f64::INFINITY), "inf");
+        assert_eq!(format_f64(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn numeric_columns_right_align_and_text_columns_left_align() {
+        let mut t = Table::new("mixed", &["bucket", "count"]);
+        t.row(&["<= 1".into(), "7".into()]);
+        t.row(&["> 16".into(), "1234".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // Text column pads on the right, numeric column on the left.
+        assert_eq!(lines[3], "  <= 1        7");
+        assert_eq!(lines[4], "  > 16     1234");
+        // Header of a text column is left-aligned with its cells.
+        assert!(lines[1].starts_with("  bucket"));
+    }
+
+    #[test]
+    fn all_numeric_rows_stay_right_aligned() {
+        let mut t = Table::new("nums", &["x", "longer"]);
+        t.row_f64(&[1.0, 2.0]);
+        t.row_f64(&[10.0, f64::NAN]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[3], "   1       2");
+        assert_eq!(lines[4], "  10     NaN");
     }
 }

@@ -10,6 +10,7 @@ use agb_core::{AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, Lpbc
 use agb_membership::FullView;
 use agb_metrics::MetricsCollector;
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
+use agb_trace::{Recorder, TraceConfig, TraceProbe, TraceSummary};
 use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
@@ -54,6 +55,11 @@ pub struct RuntimeClusterConfig {
     /// Pull-based recovery layer (`agb-recovery`): `Some` wraps every
     /// node in a `RecoverableNode`.
     pub recovery: Option<RecoveryConfig>,
+    /// Causal-trace capture (`agb-trace`). Unlike the simulator, records
+    /// carry wall-clock timestamps relative to the cluster epoch, so the
+    /// digest is not reproducible across runs — use the counters and
+    /// histograms, not the digest, when asserting on threaded runs.
+    pub trace: TraceConfig,
 }
 
 impl RuntimeClusterConfig {
@@ -74,6 +80,7 @@ impl RuntimeClusterConfig {
             transport: TransportKind::Channel,
             metrics_bin: DurationMs::from_millis(250),
             recovery: None,
+            trace: TraceConfig::disabled(),
         }
     }
 }
@@ -113,6 +120,7 @@ fn build_protocol(
 pub struct RuntimeCluster {
     handles: Vec<NodeHandle>,
     metrics: Arc<Mutex<MetricsCollector>>,
+    trace: Option<Arc<Mutex<Recorder>>>,
     shutdown: Arc<AtomicBool>,
     epoch: Instant,
 }
@@ -135,6 +143,11 @@ impl RuntimeCluster {
         )));
         let shutdown = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
+        let trace = config.trace.enabled.then(|| {
+            Arc::new(Mutex::new(
+                Recorder::new(config.trace).with_round(config.gossip.gossip_period),
+            ))
+        });
         let seeds = SeedSequence::new(config.seed);
         let per_sender = if config.n_senders == 0 {
             0.0
@@ -149,7 +162,8 @@ impl RuntimeCluster {
                 let transports = UdpTransport::bind_cluster(config.n_nodes)?;
                 for (i, t) in transports.into_iter().enumerate() {
                     handles.push(Self::spawn_one(
-                        &config, i, t, &metrics, epoch, &shutdown, &seeds, per_sender, &payload,
+                        &config, i, t, &metrics, &trace, epoch, &shutdown, &seeds, per_sender,
+                        &payload,
                     ));
                 }
             }
@@ -157,7 +171,8 @@ impl RuntimeCluster {
                 let transports = ChannelTransport::cluster(config.n_nodes);
                 for (i, t) in transports.into_iter().enumerate() {
                     handles.push(Self::spawn_one(
-                        &config, i, t, &metrics, epoch, &shutdown, &seeds, per_sender, &payload,
+                        &config, i, t, &metrics, &trace, epoch, &shutdown, &seeds, per_sender,
+                        &payload,
                     ));
                 }
             }
@@ -165,6 +180,7 @@ impl RuntimeCluster {
         Ok(RuntimeCluster {
             handles,
             metrics,
+            trace,
             shutdown,
             epoch,
         })
@@ -176,6 +192,7 @@ impl RuntimeCluster {
         i: usize,
         transport: T,
         metrics: &Arc<Mutex<MetricsCollector>>,
+        trace: &Option<Arc<Mutex<Recorder>>>,
         epoch: Instant,
         shutdown: &Arc<AtomicBool>,
         seeds: &SeedSequence,
@@ -210,9 +227,11 @@ impl RuntimeCluster {
                 payload: payload.clone(),
                 max_backlog: 2,
                 rebuild: Some(rebuild),
+                probe: TraceProbe::new(config.trace, id),
             },
             transport,
             Arc::clone(metrics),
+            trace.clone(),
             epoch,
             Arc::clone(shutdown),
             rx,
@@ -288,6 +307,16 @@ impl RuntimeCluster {
     /// A snapshot of the collected metrics.
     pub fn metrics_snapshot(&self) -> MetricsCollector {
         self.metrics.lock().clone()
+    }
+
+    /// An aggregate trace summary (`None` unless tracing was enabled in
+    /// the configuration). Timestamps are wall-clock milliseconds since
+    /// the cluster epoch, so the digest varies run to run; the counters,
+    /// histograms and tree statistics are the stable part.
+    pub fn trace_summary(&self, label: &str) -> Option<TraceSummary> {
+        self.trace
+            .as_ref()
+            .map(|recorder| recorder.lock().summary(label))
     }
 
     /// Stops all node threads and returns the final metrics.
@@ -403,6 +432,37 @@ mod tests {
         assert!(!metrics
             .membership_timeline()
             .up_at(NodeId::new(3), TimeMs::from_secs(3600)));
+    }
+
+    #[test]
+    fn traced_cluster_records_dissemination() {
+        let mut config = RuntimeClusterConfig::quick(8, 11);
+        config.offered_rate = 20.0;
+        config.trace = TraceConfig::enabled();
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(600));
+        assert!(cluster.crash(NodeId::new(7)));
+        cluster.run_for(Duration::from_millis(200));
+        assert!(cluster.restart(NodeId::new(7)));
+        cluster.run_for(Duration::from_millis(400));
+        let summary = cluster.trace_summary("runtime").expect("tracing enabled");
+        assert!(summary.counts.publishes > 0, "senders publish");
+        assert!(summary.counts.relays > 0, "rounds relay");
+        assert!(summary.counts.delivers > 0, "receivers deliver");
+        assert_eq!(summary.counts.crashes, 1);
+        assert_eq!(summary.counts.restarts, 1);
+        assert!(summary.occupancy.count() > 0, "rounds snapshot occupancy");
+        assert!(summary.tree.events > 0, "trees observed events");
+        let _ = cluster.stop();
+    }
+
+    #[test]
+    fn untraced_cluster_has_no_summary() {
+        let config = RuntimeClusterConfig::quick(2, 12);
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(100));
+        assert!(cluster.trace_summary("runtime").is_none());
+        let _ = cluster.stop();
     }
 
     #[test]

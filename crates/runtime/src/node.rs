@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use agb_core::FrameProtocol;
 use agb_metrics::MetricsCollector;
+use agb_trace::{Recorder, TraceProbe, TraceSink};
 use agb_types::{NodeId, Payload, TimeMs};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
@@ -64,6 +65,9 @@ pub struct NodeRuntime {
     /// Factory rebuilding the protocol from scratch, used by
     /// [`Command::Restart`] to model restart-with-state-loss.
     pub rebuild: Option<Box<dyn Fn() -> Box<dyn FrameProtocol + Send> + Send>>,
+    /// Causal-trace probe. A disabled probe records nothing and the loop
+    /// takes none of the tracing branches.
+    pub probe: TraceProbe,
 }
 
 /// Spawns the node's event loop on a dedicated OS thread.
@@ -78,6 +82,7 @@ pub fn spawn_node<T: Transport>(
     runtime: NodeRuntime,
     transport: T,
     metrics: Arc<Mutex<MetricsCollector>>,
+    trace: Option<Arc<Mutex<Recorder>>>,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
     cmd_rx: Receiver<Command>,
@@ -85,7 +90,11 @@ pub fn spawn_node<T: Transport>(
 ) -> NodeHandle {
     let join = std::thread::Builder::new()
         .name(format!("agb-node-{}", id.index()))
-        .spawn(move || node_loop(id, runtime, transport, metrics, epoch, shutdown, cmd_rx))
+        .spawn(move || {
+            node_loop(
+                id, runtime, transport, metrics, trace, epoch, shutdown, cmd_rx,
+            )
+        })
         .expect("spawn node thread");
     NodeHandle {
         node: id,
@@ -94,11 +103,13 @@ pub fn spawn_node<T: Transport>(
     }
 }
 
+#[allow(clippy::too_many_arguments)] // mirrors spawn_node's wiring
 fn node_loop<T: Transport>(
     id: NodeId,
     mut runtime: NodeRuntime,
     transport: T,
     metrics: Arc<Mutex<MetricsCollector>>,
+    trace: Option<Arc<Mutex<Recorder>>>,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
     cmd_rx: Receiver<Command>,
@@ -141,9 +152,11 @@ fn node_loop<T: Transport>(
                     runtime.protocol.set_buffer_capacity(cap, now);
                 }
                 Command::Crash => {
+                    runtime.probe.on_crash(now);
                     down = true;
                 }
                 Command::Recover => {
+                    runtime.probe.on_restart(now);
                     down = false;
                     next_round = Instant::now() + period;
                     if let Some(gap) = offer_gap {
@@ -154,6 +167,7 @@ fn node_loop<T: Transport>(
                     if let Some(rebuild) = &runtime.rebuild {
                         runtime.protocol = rebuild();
                     }
+                    runtime.probe.on_restart(now);
                     down = false;
                     next_round = Instant::now() + period;
                     if let Some(gap) = offer_gap {
@@ -161,7 +175,9 @@ fn node_loop<T: Transport>(
                     }
                 }
                 Command::Leave => {
-                    for (to, frame) in runtime.protocol.leave(now) {
+                    let farewells = runtime.protocol.leave(now);
+                    runtime.probe.observe_frames(now, &farewells);
+                    for (to, frame) in farewells {
                         for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
                             transport.send(to, frag);
                         }
@@ -186,6 +202,10 @@ fn node_loop<T: Transport>(
             while at <= Instant::now() {
                 if runtime.protocol.pending_len() < runtime.max_backlog.max(1) {
                     runtime.protocol.offer(runtime.payload.clone(), now_ms(at));
+                } else {
+                    // Blocking application refused an offer: a congestion
+                    // drop in the trace taxonomy.
+                    runtime.probe.on_congestion_drops(now_ms(at), 1);
                 }
                 at += gap;
             }
@@ -201,12 +221,22 @@ fn node_loop<T: Transport>(
             match wire::decode_frame_interned(&bytes, &mut interner) {
                 Ok(frame) => {
                     let from = frame.sender();
-                    let replies = runtime
-                        .protocol
-                        .on_receive(from, frame, now_ms(Instant::now()));
+                    runtime.probe.on_message(&frame);
+                    let at = now_ms(Instant::now());
+                    let replies = runtime.protocol.on_receive(from, frame, at);
                     for (to, reply) in replies {
                         for frag in encoder.split_for_datagram(&reply, MAX_DATAGRAM) {
                             transport.send(to, frag);
+                        }
+                    }
+                    if runtime.probe.enabled() {
+                        // Drain per datagram so the probe can attribute the
+                        // events (and detect duplicates) to this sender.
+                        let events = runtime.protocol.drain_events();
+                        runtime.probe.on_events(&events);
+                        runtime.probe.on_received(at, from, &events);
+                        if !events.is_empty() {
+                            metrics.lock().on_events(id, &events);
                         }
                     }
                 }
@@ -216,7 +246,16 @@ fn node_loop<T: Transport>(
 
         // 4. Gossip round.
         if Instant::now() >= next_round {
-            let out = runtime.protocol.on_round(now_ms(next_round));
+            let at = now_ms(next_round);
+            let out = runtime.protocol.on_round(at);
+            if runtime.probe.enabled() {
+                runtime.probe.on_round(
+                    at,
+                    &out,
+                    runtime.protocol.buffer_len(),
+                    runtime.protocol.buffer_capacity(),
+                );
+            }
             for (to, frame) in out {
                 for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
                     transport.send(to, frag);
@@ -225,11 +264,23 @@ fn node_loop<T: Transport>(
             next_round += period;
         }
 
-        // 5. Drain protocol events into the shared collector.
+        // 5. Drain protocol events into the shared collector, and flush
+        //    any buffered trace records into the shared recorder.
         let events = runtime.protocol.drain_events();
         if !events.is_empty() {
+            runtime.probe.on_events(&events);
             let mut m = metrics.lock();
             m.on_events(id, &events);
+        }
+        if runtime.probe.pending_len() > 0 {
+            if let Some(recorder) = &trace {
+                let mut r = recorder.lock();
+                for record in runtime.probe.drain_pending() {
+                    r.record(record);
+                }
+            } else {
+                runtime.probe.drain_pending().for_each(drop);
+            }
         }
     }
 }
@@ -275,9 +326,11 @@ mod tests {
                     payload: Payload::new(),
                     max_backlog: 2,
                     rebuild: None,
+                    probe: TraceProbe::new(agb_trace::TraceConfig::disabled(), id),
                 },
                 transport,
                 Arc::clone(&metrics),
+                None,
                 epoch,
                 Arc::clone(&shutdown),
                 rx,

@@ -1,0 +1,174 @@
+//! The post-run trace report: one summary per traced run, JSON-shaped
+//! for `TRACE.json` (schema [`TRACE_SCHEMA`]).
+
+use agb_types::json::Json;
+
+use crate::histogram::Histogram;
+use crate::recorder::{Recorder, TraceCounts, FNV_PRIME};
+use crate::tree::TreeStats;
+
+/// Schema identifier written into `TRACE.json`.
+pub const TRACE_SCHEMA: &str = "agb-trace/v1";
+
+/// Everything a traced run reports: per-kind counts (the drop taxonomy),
+/// the four standard histograms, dissemination-tree statistics, ring
+/// accounting, and a stable digest over the whole trace.
+///
+/// Built from a [`Recorder`] with [`Recorder::summary`]; serialized into
+/// `TRACE.json` by the `repro trace` harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// What was traced (e.g. the protocol flavor name).
+    pub label: String,
+    /// Per-kind record counts.
+    pub counts: TraceCounts,
+    /// Delivery latency in gossip rounds.
+    pub latency: Histogram,
+    /// Hops-to-delivery.
+    pub hops: Histogram,
+    /// Buffer occupancy snapshots.
+    pub occupancy: Histogram,
+    /// Recovery round-trip time, ms.
+    pub recovery_rtt: Histogram,
+    /// Dissemination-tree aggregates.
+    pub tree: TreeStats,
+    /// Raw records still in the ring.
+    pub records_retained: usize,
+    /// Raw records evicted from the ring (aggregates still saw them).
+    pub records_evicted: u64,
+    /// Stable FNV-1a digest: the recorder's streaming record digest
+    /// folded with every aggregate. Identical traces yield identical
+    /// digests across runs and `AGB_THREADS` settings.
+    pub digest: u64,
+}
+
+impl TraceSummary {
+    /// JSON form (stable key order; the digest is a hex string because
+    /// JSON numbers lose u64 precision).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::Str(self.label.clone())),
+            ("counts", self.counts.to_json()),
+            (
+                "histograms",
+                Json::obj([
+                    ("delivery_latency_rounds", self.latency.to_json()),
+                    ("hops_to_delivery", self.hops.to_json()),
+                    ("buffer_occupancy", self.occupancy.to_json()),
+                    ("recovery_rtt_ms", self.recovery_rtt.to_json()),
+                ]),
+            ),
+            ("tree", self.tree.to_json()),
+            ("records_retained", Json::from(self.records_retained)),
+            ("records_evicted", Json::from(self.records_evicted)),
+            ("digest", Json::Str(format!("{:#018x}", self.digest))),
+        ])
+    }
+}
+
+impl Recorder {
+    /// Snapshots this recorder into a [`TraceSummary`] labeled `label`.
+    pub fn summary(&self, label: &str) -> TraceSummary {
+        let tree = self.trees().stats();
+        let mut digest = self.digest();
+        let mut mix = |w: u64| {
+            digest ^= w;
+            digest = digest.wrapping_mul(FNV_PRIME);
+        };
+        self.counts().fold_digest(&mut mix);
+        self.latency().fold_digest(&mut mix);
+        self.hops().fold_digest(&mut mix);
+        self.occupancy().fold_digest(&mut mix);
+        self.recovery_rtt().fold_digest(&mut mix);
+        tree.fold_digest(&mut mix);
+        TraceSummary {
+            label: label.to_string(),
+            counts: *self.counts(),
+            latency: self.latency().clone(),
+            hops: self.hops().clone(),
+            occupancy: self.occupancy().clone(),
+            recovery_rtt: self.recovery_rtt().clone(),
+            tree,
+            records_retained: self.records().count(),
+            records_evicted: self.evicted(),
+            digest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TraceKind, TraceRecord, TraceSink};
+    use crate::TraceConfig;
+    use agb_types::{EventId, NodeId, TimeMs};
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new(TraceConfig::enabled());
+        let id = EventId::new(NodeId::new(0), 0);
+        r.record(TraceRecord {
+            node: NodeId::new(0),
+            at: TimeMs::from_secs(1),
+            round: 1,
+            kind: TraceKind::Publish { id },
+        });
+        r.record(TraceRecord {
+            node: NodeId::new(2),
+            at: TimeMs::from_secs(3),
+            round: 3,
+            kind: TraceKind::Deliver {
+                id,
+                from: NodeId::new(0),
+                hops: 1,
+            },
+        });
+        r
+    }
+
+    #[test]
+    fn summary_json_has_schema_shape() {
+        let s = sample_recorder().summary("adaptive");
+        let j = s.to_json();
+        assert_eq!(j.get("label").unwrap().as_str(), Some("adaptive"));
+        assert_eq!(
+            j.get("counts").unwrap().get("publishes").unwrap().as_u64(),
+            Some(1)
+        );
+        assert!(j
+            .get("histograms")
+            .unwrap()
+            .get("delivery_latency_rounds")
+            .is_some());
+        assert_eq!(
+            j.get("tree").unwrap().get("deliveries").unwrap().as_u64(),
+            Some(1)
+        );
+        let digest = j.get("digest").unwrap().as_str().unwrap();
+        assert!(digest.starts_with("0x") && digest.len() == 18, "{digest}");
+    }
+
+    #[test]
+    fn identical_traces_summarize_identically() {
+        let a = sample_recorder().summary("x");
+        let b = sample_recorder().summary("x");
+        assert_eq!(a, b);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    #[test]
+    fn summary_digest_depends_on_aggregates_too() {
+        let plain = sample_recorder();
+        let mut extra = sample_recorder();
+        extra.record(TraceRecord {
+            node: NodeId::new(5),
+            at: TimeMs::from_secs(4),
+            round: 4,
+            kind: TraceKind::BufferOccupancy {
+                len: 3,
+                capacity: 30,
+            },
+        });
+        assert_ne!(plain.summary("x").digest, extra.summary("x").digest);
+    }
+}

@@ -10,6 +10,7 @@ use agb_membership::{FullView, PartialView, PartialViewConfig, PeerSampler};
 use agb_metrics::MetricsCollector;
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_sim::{NetStats, NetworkConfig, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId};
+use agb_trace::{Recorder, TraceConfig, TraceProbe, TraceSink, TraceSummary};
 use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
 use rand::RngExt;
 
@@ -109,6 +110,11 @@ pub struct ClusterConfig {
     /// the `AGB_THREADS` environment variable (unset: 1). Results are
     /// bit-identical at every `K`; only wall-clock time changes.
     pub threads: usize,
+    /// Dissemination tracing (`agb-trace`). Disabled by default; when
+    /// enabled, records flow through the engine's post-event hook in
+    /// canonical order, so the trace digest is bit-identical at every
+    /// thread count. Tracing never changes protocol or engine results.
+    pub trace: TraceConfig,
 }
 
 impl ClusterConfig {
@@ -133,6 +139,7 @@ impl ClusterConfig {
             recovery: None,
             absent_at_start: Vec::new(),
             threads: agb_sim::threads_from_env(),
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -241,11 +248,19 @@ pub struct ClusterNode {
     /// buffer into the collector at the merge barrier, in canonical
     /// event order — the same order the single-threaded engine feeds it.
     pending_events: Vec<agb_core::ProtocolEvent>,
+    /// Per-node trace producer (`agb-trace`). Buffers records locally —
+    /// like `pending_events` — so the node stays `Send`; the post-event
+    /// hook drains it into the shared recorder in canonical order.
+    probe: TraceProbe,
 }
 
 impl ClusterNode {
     fn drain(&mut self) {
+        let start = self.pending_events.len();
         self.protocol.drain_events_into(&mut self.pending_events);
+        if self.probe.enabled() {
+            self.probe.on_events(&self.pending_events[start..]);
+        }
     }
 
     /// Flushes buffered protocol events into the shared collector
@@ -256,6 +271,14 @@ impl ClusterNode {
         }
         collector.on_events(self.protocol.node_id(), &self.pending_events);
         self.pending_events.clear();
+    }
+
+    /// Flushes buffered trace records into the shared recorder (called
+    /// by the engine hook on the driving thread, in canonical order).
+    pub(crate) fn flush_trace(&mut self, recorder: &mut Recorder) {
+        for record in self.probe.drain_pending() {
+            recorder.record(record);
+        }
     }
 
     /// The wrapped protocol (for inspection by tests and scenario hooks).
@@ -310,6 +333,14 @@ impl SimNode for ClusterNode {
         match timer {
             ROUND => {
                 let out = self.protocol.on_round(ctx.now());
+                if self.probe.enabled() {
+                    self.probe.on_round(
+                        ctx.now(),
+                        &out,
+                        self.protocol.buffer_len(),
+                        self.protocol.buffer_capacity(),
+                    );
+                }
                 for (to, msg) in out {
                     ctx.send(to, msg);
                 }
@@ -325,10 +356,15 @@ impl SimNode for ClusterNode {
             ARRIVAL => {
                 let now = ctx.now();
                 if let Some(sender) = &mut self.sender {
+                    let before = sender.suppressed();
                     let backlog = self.protocol.pending_len();
                     let offers = sender.poll(now, backlog);
                     for _ in 0..offers {
                         self.protocol.offer(self.payload.clone(), now);
+                    }
+                    let refused = sender.suppressed() - before;
+                    if refused > 0 {
+                        self.probe.on_congestion_drops(now, refused);
                     }
                     let delay = sender.next_at().since(now);
                     ctx.set_timer(ARRIVAL, delay);
@@ -340,11 +376,19 @@ impl SimNode for ClusterNode {
     }
 
     fn on_message(&mut self, from: NodeId, frame: GossipFrame, ctx: &mut SimCtx<'_, GossipFrame>) {
+        self.probe.on_message(&frame);
         let replies = self.protocol.on_receive(from, frame, ctx.now());
         for (to, reply) in replies {
             ctx.send(to, reply);
         }
         self.drain();
+        if self.probe.enabled() {
+            // `pending_events` holds exactly this invocation's events
+            // (the hook flushed after the previous one): any incoming id
+            // not delivered by them arrived redundantly.
+            self.probe
+                .on_received(ctx.now(), from, &self.pending_events);
+        }
     }
 }
 
@@ -353,6 +397,7 @@ impl SimNode for ClusterNode {
 pub struct GossipCluster {
     sim: Simulation<ClusterNode>,
     metrics: Rc<RefCell<MetricsCollector>>,
+    trace: Option<Rc<RefCell<Recorder>>>,
     config: ClusterConfig,
     n_nodes: usize,
 }
@@ -441,6 +486,7 @@ impl GossipCluster {
                 period,
                 phase,
                 pending_events: Vec::new(),
+                probe: TraceProbe::new(config.trace, id),
             });
         }
 
@@ -449,17 +495,27 @@ impl GossipCluster {
             .initially_down(config.absent_at_start.iter().copied())
             .threads(config.threads.max(1))
             .build(nodes);
-        // Nodes buffer their protocol events locally; this hook flushes
-        // them into the shared collector after every handler invocation,
-        // in canonical event order, always on the driving thread.
+        let trace = config
+            .trace
+            .enabled
+            .then(|| Rc::new(RefCell::new(Recorder::new(config.trace).with_round(period))));
+        // Nodes buffer their protocol events (and trace records) locally;
+        // this hook flushes them into the shared collector/recorder after
+        // every handler invocation, in canonical event order, always on
+        // the driving thread.
         let hook_metrics = Rc::clone(&metrics);
+        let hook_trace = trace.clone();
         sim.set_post_event_hook(Box::new(move |node: &mut ClusterNode| {
             node.flush_metrics(&mut hook_metrics.borrow_mut());
+            if let Some(recorder) = &hook_trace {
+                node.flush_trace(&mut recorder.borrow_mut());
+            }
         }));
 
         GossipCluster {
             sim,
             metrics,
+            trace,
             n_nodes: config.n_nodes,
             config,
         }
@@ -502,6 +558,18 @@ impl GossipCluster {
     /// Read access to the collected metrics.
     pub fn metrics(&self) -> Ref<'_, MetricsCollector> {
         self.metrics.borrow()
+    }
+
+    /// Read access to the trace recorder, if tracing is enabled
+    /// ([`ClusterConfig::trace`]).
+    pub fn trace(&self) -> Option<Ref<'_, Recorder>> {
+        self.trace.as_ref().map(|t| t.borrow())
+    }
+
+    /// Snapshots the trace into a [`TraceSummary`] labeled `label`, if
+    /// tracing is enabled.
+    pub fn trace_summary(&self, label: &str) -> Option<TraceSummary> {
+        self.trace.as_ref().map(|t| t.borrow().summary(label))
     }
 
     /// Engine-level statistics (sends, drops, determinism checksum).
@@ -554,6 +622,14 @@ impl GossipCluster {
     /// [`schedule_recover`](Self::schedule_recover).
     pub fn schedule_crash(&mut self, at: TimeMs, node: NodeId) {
         self.metrics.borrow_mut().record_membership(node, at, false);
+        if self.config.trace.enabled {
+            // Scheduled before the crash at the same instant, so the
+            // record lands while the node is still up. Controls are
+            // barrier events on the driving thread — no sends, no RNG —
+            // so engine results are unchanged.
+            self.sim
+                .schedule_node_control(at, node, |n, now| n.probe.on_crash(now));
+        }
         self.sim.schedule_crash(at, node);
     }
 
@@ -571,8 +647,9 @@ impl GossipCluster {
     pub fn schedule_restart(&mut self, at: TimeMs, node: NodeId, epoch: u64) {
         self.metrics.borrow_mut().record_membership(node, at, true);
         let protocol = self.config.make_protocol(node, epoch, None);
-        self.sim.schedule_restart(at, node, move |n, _| {
+        self.sim.schedule_restart(at, node, move |n, now| {
             n.replace_protocol(protocol);
+            n.probe.on_restart(now);
         });
     }
 
@@ -584,8 +661,13 @@ impl GossipCluster {
     pub fn schedule_join(&mut self, at: TimeMs, node: NodeId, epoch: u64, contacts: Vec<NodeId>) {
         self.metrics.borrow_mut().record_membership(node, at, true);
         let protocol = self.config.make_protocol(node, epoch, Some(contacts));
-        self.sim.schedule_restart(at, node, move |n, _| {
+        self.sim.schedule_restart(at, node, move |n, now| {
             n.replace_protocol(protocol);
+            if n.probe.enabled() {
+                n.probe.on_restart(now);
+                n.probe
+                    .on_view_change(now, n.protocol.membership_view().len());
+            }
         });
     }
 
@@ -596,7 +678,9 @@ impl GossipCluster {
         self.metrics.borrow_mut().record_membership(node, at, false);
         self.sim.schedule_node_action(at, node, |n, ctx| {
             let now = ctx.now();
-            for (to, frame) in n.protocol.leave(now) {
+            let farewells = n.protocol.leave(now);
+            n.probe.observe_frames(now, &farewells);
+            for (to, frame) in farewells {
                 ctx.send(to, frame);
             }
             n.drain();
@@ -611,8 +695,13 @@ impl GossipCluster {
     /// unsubscription) — the external-failure-detector hook of churn
     /// scenarios.
     pub fn schedule_evict(&mut self, at: TimeMs, at_node: NodeId, dead: NodeId) {
-        self.sim
-            .schedule_node_control(at, at_node, move |n, _| n.evict_peer(dead));
+        self.sim.schedule_node_control(at, at_node, move |n, now| {
+            n.evict_peer(dead);
+            if n.probe.enabled() {
+                n.probe
+                    .on_view_change(now, n.protocol.membership_view().len());
+            }
+        });
     }
 
     /// Schedules a sender burst storm: `count` messages offered at once at
@@ -904,6 +993,96 @@ mod tests {
             (stats, m.admitted().total(), m.delivered().total())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn tracing_never_changes_engine_results() {
+        let run = |traced: bool| {
+            let mut config = small_config(Algorithm::Adaptive);
+            config.network = NetworkConfig::lossy(0.1);
+            config.recovery = Some(RecoveryConfig::default());
+            if traced {
+                config.trace = TraceConfig::enabled();
+            }
+            let mut c = GossipCluster::build(config);
+            c.schedule_crash(TimeMs::from_secs(5), NodeId::new(3));
+            c.schedule_restart(TimeMs::from_secs(9), NodeId::new(3), 1);
+            c.run_until(TimeMs::from_secs(20));
+            let m = c.metrics();
+            (c.sim_stats(), m.admitted().total(), m.delivered().total())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn traced_run_records_the_taxonomy() {
+        let mut config = small_config(Algorithm::Adaptive);
+        config.network = NetworkConfig::lossy(0.1);
+        config.recovery = Some(RecoveryConfig::default());
+        config.trace = TraceConfig::enabled();
+        let mut c = GossipCluster::build(config);
+        c.run_until(TimeMs::from_secs(30));
+        let trace = c.trace().expect("tracing enabled");
+        let counts = trace.counts();
+        assert!(counts.publishes > 0, "publishes");
+        assert!(counts.relays > 0, "relays");
+        assert!(counts.delivers > 0, "delivers");
+        assert!(counts.duplicates > 0, "duplicates");
+        assert!(trace.occupancy().count() > 0, "occupancy snapshots");
+        assert!(trace.latency().count() > 0, "latency samples");
+        assert!(trace.hops().count() > 0, "hop samples");
+        let tree = trace.trees().stats();
+        assert!(tree.events > 0 && tree.redundancy >= 1.0);
+        // Publishes are mirrored by the metrics layer's admitted count.
+        assert_eq!(counts.publishes, c.metrics().admitted().total());
+    }
+
+    #[test]
+    fn trace_digest_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut config = small_config(Algorithm::Adaptive);
+            config.network = NetworkConfig::lossy(0.15);
+            config.recovery = Some(RecoveryConfig::default());
+            config.trace = TraceConfig::enabled();
+            config.threads = threads;
+            let mut c = GossipCluster::build(config);
+            c.set_parallel_threshold(1);
+            c.schedule_crash(TimeMs::from_secs(6), NodeId::new(2));
+            c.schedule_restart(TimeMs::from_secs(11), NodeId::new(2), 1);
+            c.run_until(TimeMs::from_secs(25));
+            c.trace_summary("k-invariance").unwrap()
+        };
+        let k1 = run(1);
+        let k4 = run(4);
+        assert_eq!(k1.digest, k4.digest);
+        assert_eq!(k1, k4);
+    }
+
+    #[test]
+    fn sampling_traces_exactly_the_deterministic_subset() {
+        let run = |k: u64| {
+            let mut config = small_config(Algorithm::Lpbcast);
+            config.trace = TraceConfig::enabled().with_sample_one_in(k);
+            let mut c = GossipCluster::build(config);
+            c.run_until(TimeMs::from_secs(20));
+            let trace = c.trace().unwrap();
+            trace
+                .trees()
+                .per_event()
+                .iter()
+                .map(|s| s.id)
+                .collect::<Vec<_>>()
+        };
+        let all = run(1);
+        let sampled = run(3);
+        let expected: Vec<_> = all
+            .iter()
+            .copied()
+            .filter(|&id| TraceConfig::sample_key(id).is_multiple_of(3))
+            .collect();
+        assert!(!all.is_empty());
+        assert!(sampled.len() < all.len(), "sampling must thin the trace");
+        assert_eq!(sampled, expected);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`workload`] | `agb-workload` | sender models, cluster builder, pub/sub scenarios, schedules |
 //! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
 //! | [`metrics`] | `agb-metrics` | delivery/atomicity/rate/drop-age measurement |
+//! | [`trace`] | `agb-trace` | deterministic causal dissemination tracing: typed events, histograms, per-event trees |
 //! | [`experiments`] | `agb-experiments` | one harness per paper figure |
 //! | [`types`] | `agb-types` | ids, virtual time, RNG streams, stats primitives |
 //!
@@ -147,6 +148,43 @@
 //! (stable summary digest, `MAELSTROM.json` report), or the scripted
 //! scenario in `examples/maelstrom_broadcast.rs`.
 //!
+//! # Observability
+//!
+//! The [`trace`] subsystem records *why* dissemination behaved the way
+//! it did, not just the end-state metrics: every publish/relay/deliver/
+//! duplicate, the full drop taxonomy (age, buffer size, congestion),
+//! recovery repair traffic, and per-event causal dissemination trees
+//! (who infected whom, at what depth). Aggregates land in fixed-bucket
+//! histograms — delivery latency in rounds, hops, buffer occupancy,
+//! recovery RTT — and the whole trace carries a stable FNV digest that
+//! is bit-identical across runs and `AGB_THREADS` settings. Tracing is
+//! a pure observer: engine checksums are unchanged whether it is on or
+//! off.
+//!
+//! ```
+//! use adaptive_gossip::trace::TraceConfig;
+//! use adaptive_gossip::types::TimeMs;
+//! use adaptive_gossip::workload::{Algorithm, ClusterConfig, GossipCluster};
+//!
+//! let mut config = ClusterConfig::lossy(20, 42, 0.1);
+//! config.algorithm = Algorithm::Adaptive;
+//! config.n_senders = 2;
+//! config.offered_rate = 6.0;
+//! config.trace = TraceConfig::enabled();
+//! let mut cluster = GossipCluster::build(config);
+//! cluster.run_until(TimeMs::from_secs(30));
+//!
+//! let summary = cluster.trace_summary("adaptive").unwrap();
+//! assert!(summary.counts.delivers > 0);
+//! assert!(summary.tree.events > 0); // causal trees were reconstructed
+//! let p99_rounds = summary.latency.quantile(0.99);
+//! assert!(p99_rounds.is_some());
+//! ```
+//!
+//! Run the full observability report with `repro trace` (three-protocol
+//! dashboard under loss + partition, stable digest, `TRACE.json`), or
+//! the redundancy comparison in `examples/trace_dissemination.rs`.
+//!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction inventory.
 
@@ -162,5 +200,6 @@ pub use agb_perf as perf;
 pub use agb_recovery as recovery;
 pub use agb_runtime as runtime;
 pub use agb_sim as sim;
+pub use agb_trace as trace;
 pub use agb_types as types;
 pub use agb_workload as workload;

@@ -135,6 +135,17 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Number of messages currently queued (like the real crate's
+        /// `Receiver::len`); a snapshot, racy by nature.
+        pub fn len(&self) -> usize {
+            self.inner.lock().items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Dequeues a message if one is immediately available.
         ///
         /// # Errors

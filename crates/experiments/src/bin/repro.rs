@@ -2,12 +2,12 @@
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig9-runtime`, `ablation`, `recovery`, `churn`, `maelstrom`,
-//! `trace`, `perf`, `all`, plus the CI gate
+//! `trace`, `telemetry`, `perf`, `all`, plus the CI gate
 //! `perf-check <current.json> <baseline.json> [tolerance]`.
 //! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
 use agb_experiments::{
-    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, trace,
+    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, telemetry, trace,
 };
 
 // The perf harness reports allocations-per-round; the counting
@@ -37,6 +37,7 @@ fn main() {
         "churn" => run_churn(seed),
         "maelstrom" => run_maelstrom(seed),
         "trace" => run_trace(seed),
+        "telemetry" => run_telemetry(seed),
         "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
@@ -54,10 +55,11 @@ fn main() {
             run_churn(seed);
             run_maelstrom(seed);
             run_trace(seed);
+            run_telemetry(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|perf|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|telemetry|perf|all] [seed]");
             eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
         }
@@ -216,6 +218,46 @@ fn run_trace(seed: u64) {
     // Stable digest of the whole report: the CI smoke job replays the
     // same seed (at several thread counts) and compares this line.
     println!("  trace summary digest: {:#018x}", report.digest);
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn run_telemetry(seed: u64) {
+    let report = match telemetry::run(seed) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("telemetry runtime leg failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", telemetry::table_liveops(&report));
+    print!("{}", telemetry::table_slo(&report));
+    print!("{}", telemetry::table_sim(&report));
+    for failure in telemetry::failures(&report) {
+        println!("  FAILED {failure}");
+    }
+    let out_path =
+        std::env::var("AGB_TELEMETRY_OUT").unwrap_or_else(|_| String::from("TELEMETRY.json"));
+    let json = report.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  telemetry report written to {out_path}");
+    // The reproducible subset (sim leg only): the CI smoke job runs the
+    // same seed twice and diffs this file byte for byte.
+    if let Ok(repro_path) = std::env::var("AGB_TELEMETRY_REPRO_OUT") {
+        let repro_json = report.repro_json().pretty();
+        if let Err(e) = std::fs::write(&repro_path, &repro_json) {
+            eprintln!("cannot write {repro_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  reproducible subset written to {repro_path}");
+    }
+    // Stable digest of the reproducible subset; the wall-clock leg's
+    // numbers intentionally never feed it.
+    println!("  telemetry repro digest: {:#018x}", report.repro_digest);
     if !report.passed() {
         std::process::exit(1);
     }

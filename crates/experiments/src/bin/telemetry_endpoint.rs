@@ -1,0 +1,42 @@
+//! CI smoke helper: starts a telemetry-serving runtime cluster, prints
+//! every node's metrics endpoint, and holds the cluster up long enough
+//! for an external scraper (curl, a raw TCP `GET`) to hit it.
+//!
+//! Usage: `telemetry_endpoint [hold_ms] [seed]` — defaults 3000 ms,
+//! seed 42. Output, one line per node, before the hold begins:
+//!
+//! ```text
+//! endpoint 0 127.0.0.1:41234
+//! endpoint 1 127.0.0.1:41235
+//! ...
+//! ```
+
+use std::io::Write;
+use std::time::Duration;
+
+use agb_experiments::telemetry::runtime_config;
+use agb_runtime::RuntimeCluster;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hold_ms: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3_000);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let cluster = match RuntimeCluster::start(runtime_config(seed)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot start cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut out = std::io::stdout().lock();
+    for (i, addr) in cluster.telemetry_addrs().iter().enumerate() {
+        writeln!(out, "endpoint {i} {addr}").expect("stdout");
+    }
+    // The scraper watches for the endpoint lines; flush before holding.
+    out.flush().expect("stdout");
+    drop(out);
+
+    cluster.run_for(Duration::from_millis(hold_ms));
+    let _ = cluster.stop();
+}

@@ -14,6 +14,7 @@
 //! | [`churn`] | — (beyond the paper) | delivery among correct nodes under scripted churn (`agb-chaos`) |
 //! | [`maelstrom`] | — (beyond the paper) | Maelstrom-style workloads (broadcast / unique-ids / g-counter) over the line protocol (`agb-maelstrom`) |
 //! | [`trace`] | — (beyond the paper) | causal dissemination tracing dashboard + `TRACE.json` (`agb-trace`) |
+//! | [`telemetry`] | — (beyond the paper) | live wall-clock telemetry plane: scraped runtime cluster + SLO report + deterministic bridge leg, `TELEMETRY.json` (`agb-telemetry`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -34,4 +35,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod maelstrom;
 pub mod recovery;
+pub mod telemetry;
 pub mod trace;

@@ -2,6 +2,7 @@
 //! deployment ("60 processes ... deployed on 60 workstations").
 
 use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -10,12 +11,14 @@ use agb_core::{AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, Lpbc
 use agb_membership::FullView;
 use agb_metrics::MetricsCollector;
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
+use agb_telemetry::{Registry, TelemetryConfig, TelemetryServer};
 use agb_trace::{Recorder, TraceConfig, TraceProbe, TraceSummary};
 use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 
 use crate::node::{spawn_node, Command, NodeHandle, NodeRuntime};
+use crate::telemetry::NodeTelemetry;
 use crate::transport::{ChannelTransport, Transport, UdpTransport};
 
 /// Transport selection for a runtime cluster.
@@ -60,6 +63,18 @@ pub struct RuntimeClusterConfig {
     /// digest is not reproducible across runs — use the counters and
     /// histograms, not the digest, when asserting on threaded runs.
     pub trace: TraceConfig,
+    /// Interface address the UDP transports bind (loopback by default;
+    /// a real interface address takes the cluster onto a LAN). Ports are
+    /// always OS-assigned — read the chosen ones back with
+    /// [`RuntimeCluster::node_addrs`].
+    pub bind_addr: IpAddr,
+    /// Sender-side injected datagram loss probability in `[0, 1)`,
+    /// drawn from a per-node deterministic RNG stream — exercises the
+    /// recovery plane over real transports without an unreliable network.
+    pub loss: f64,
+    /// Wall-clock telemetry plane (`agb-telemetry`): per-node metric
+    /// registries and, optionally, one exposition endpoint per node.
+    pub telemetry: TelemetryConfig,
 }
 
 impl RuntimeClusterConfig {
@@ -81,6 +96,9 @@ impl RuntimeClusterConfig {
             metrics_bin: DurationMs::from_millis(250),
             recovery: None,
             trace: TraceConfig::disabled(),
+            bind_addr: IpAddr::V4(Ipv4Addr::LOCALHOST),
+            loss: 0.0,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -123,6 +141,12 @@ pub struct RuntimeCluster {
     trace: Option<Arc<Mutex<Recorder>>>,
     shutdown: Arc<AtomicBool>,
     epoch: Instant,
+    /// Per-node metric registries (empty when telemetry is disabled).
+    registries: Vec<Arc<Registry>>,
+    /// Per-node exposition endpoints (empty unless `telemetry.serve`).
+    servers: Vec<TelemetryServer>,
+    /// UDP socket addresses by node (empty for the channel transport).
+    node_addrs: Vec<SocketAddr>,
 }
 
 impl RuntimeCluster {
@@ -136,6 +160,10 @@ impl RuntimeCluster {
         assert!(
             config.n_senders <= config.n_nodes,
             "more senders than nodes"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.loss),
+            "loss probability must be in [0, 1)"
         );
         let metrics = Arc::new(Mutex::new(MetricsCollector::new(
             config.n_nodes,
@@ -156,14 +184,45 @@ impl RuntimeCluster {
         };
         let payload = Payload::from(vec![0u8; config.payload_size]);
 
+        // The telemetry plane: one registry per node so exposition and
+        // scrape-side merging mirror a real per-process deployment.
+        let registries: Vec<Arc<Registry>> = if config.telemetry.enabled {
+            (0..config.n_nodes)
+                .map(|_| Arc::new(Registry::new()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let servers: Vec<TelemetryServer> = if config.telemetry.enabled && config.telemetry.serve {
+            registries
+                .iter()
+                .map(|r| TelemetryServer::serve(Arc::clone(r), (config.telemetry.bind, 0)))
+                .collect::<io::Result<_>>()?
+        } else {
+            Vec::new()
+        };
+
         let mut handles = Vec::with_capacity(config.n_nodes);
+        let mut node_addrs = Vec::new();
         match config.transport {
             TransportKind::Udp => {
-                let transports = UdpTransport::bind_cluster(config.n_nodes)?;
+                let transports = UdpTransport::bind_cluster_on(config.bind_addr, config.n_nodes)?;
+                if let Some(first) = transports.first() {
+                    node_addrs = first.peer_addrs().to_vec();
+                }
                 for (i, t) in transports.into_iter().enumerate() {
                     handles.push(Self::spawn_one(
-                        &config, i, t, &metrics, &trace, epoch, &shutdown, &seeds, per_sender,
+                        &config,
+                        i,
+                        t,
+                        &metrics,
+                        &trace,
+                        epoch,
+                        &shutdown,
+                        &seeds,
+                        per_sender,
                         &payload,
+                        &registries,
                     ));
                 }
             }
@@ -171,8 +230,17 @@ impl RuntimeCluster {
                 let transports = ChannelTransport::cluster(config.n_nodes);
                 for (i, t) in transports.into_iter().enumerate() {
                     handles.push(Self::spawn_one(
-                        &config, i, t, &metrics, &trace, epoch, &shutdown, &seeds, per_sender,
+                        &config,
+                        i,
+                        t,
+                        &metrics,
+                        &trace,
+                        epoch,
+                        &shutdown,
+                        &seeds,
+                        per_sender,
                         &payload,
+                        &registries,
                     ));
                 }
             }
@@ -183,6 +251,9 @@ impl RuntimeCluster {
             trace,
             shutdown,
             epoch,
+            registries,
+            servers,
+            node_addrs,
         })
     }
 
@@ -198,6 +269,7 @@ impl RuntimeCluster {
         seeds: &SeedSequence,
         per_sender: f64,
         payload: &Payload,
+        registries: &[Arc<Registry>],
     ) -> NodeHandle {
         let id = NodeId::new(i as u32);
         let rng: DetRng = seeds.rng_for("runtime-node", i as u64);
@@ -228,6 +300,12 @@ impl RuntimeCluster {
                 max_backlog: 2,
                 rebuild: Some(rebuild),
                 probe: TraceProbe::new(config.trace, id),
+                telemetry: registries
+                    .get(i)
+                    .map(|r| NodeTelemetry::new(r, id, epoch))
+                    .unwrap_or_else(NodeTelemetry::disabled),
+                loss: config.loss,
+                loss_rng: seeds.rng_for("runtime-loss", i as u64),
             },
             transport,
             Arc::clone(metrics),
@@ -242,6 +320,27 @@ impl RuntimeCluster {
     /// Number of node threads.
     pub fn n_nodes(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The UDP socket address of every node (empty for the channel
+    /// transport) — the ports the OS actually assigned.
+    pub fn node_addrs(&self) -> &[SocketAddr] {
+        &self.node_addrs
+    }
+
+    /// The per-node telemetry registries (empty when telemetry is
+    /// disabled). Render or snapshot them directly for in-process reads.
+    pub fn telemetry_registries(&self) -> &[Arc<Registry>] {
+        &self.registries
+    }
+
+    /// The per-node telemetry exposition endpoints (empty unless the
+    /// configuration asked for servers), indexed by node.
+    pub fn telemetry_addrs(&self) -> Vec<SocketAddr> {
+        self.servers
+            .iter()
+            .map(TelemetryServer::local_addr)
+            .collect()
     }
 
     /// Wall-clock time since the cluster epoch, as protocol time.
@@ -311,12 +410,15 @@ impl RuntimeCluster {
 
     /// An aggregate trace summary (`None` unless tracing was enabled in
     /// the configuration). Timestamps are wall-clock milliseconds since
-    /// the cluster epoch, so the digest varies run to run; the counters,
-    /// histograms and tree statistics are the stable part.
+    /// the cluster epoch, so the summary is marked
+    /// [`wall_clock`](TraceSummary::wall_clock) and its full `digest`
+    /// varies run to run; compare
+    /// [`stable_digest`](TraceSummary::stable_digest) (counters,
+    /// histograms, tree statistics) across runs instead.
     pub fn trace_summary(&self, label: &str) -> Option<TraceSummary> {
         self.trace
             .as_ref()
-            .map(|recorder| recorder.lock().summary(label))
+            .map(|recorder| recorder.lock().summary(label).mark_wall_clock())
     }
 
     /// Stops all node threads and returns the final metrics.
@@ -446,6 +548,7 @@ mod tests {
         assert!(cluster.restart(NodeId::new(7)));
         cluster.run_for(Duration::from_millis(400));
         let summary = cluster.trace_summary("runtime").expect("tracing enabled");
+        assert!(summary.wall_clock, "runtime traces are wall-clock-timed");
         assert!(summary.counts.publishes > 0, "senders publish");
         assert!(summary.counts.relays > 0, "rounds relay");
         assert!(summary.counts.delivers > 0, "receivers deliver");
@@ -463,6 +566,79 @@ mod tests {
         cluster.run_for(Duration::from_millis(100));
         assert!(cluster.trace_summary("runtime").is_none());
         let _ = cluster.stop();
+    }
+
+    #[test]
+    fn telemetry_cluster_records_and_serves() {
+        use agb_telemetry::{names, scrape, Snapshot};
+
+        let mut config = RuntimeClusterConfig::quick(4, 7);
+        config.offered_rate = 20.0;
+        config.payload_size = 32; // room for the latency stamp
+        config.telemetry = TelemetryConfig::serving();
+        let cluster = RuntimeCluster::start(config).unwrap();
+        let addrs = cluster.telemetry_addrs();
+        assert_eq!(addrs.len(), 4, "one endpoint per node");
+        cluster.run_for(Duration::from_millis(800));
+
+        // Scrape node 0 over TCP *while the cluster is under load*.
+        let body = scrape(addrs[0], Duration::from_secs(2)).expect("mid-run scrape");
+        assert!(body.contains("# TYPE agb_messages_sent_total counter"));
+        assert!(body.contains("agb_rounds_total{node=\"0\"}"));
+
+        // Merge every node's registry into the cluster-wide snapshot.
+        let mut merged = Snapshot::default();
+        for r in cluster.telemetry_registries() {
+            assert!(merged.merge(&r.snapshot()));
+        }
+        assert!(
+            merged.counter_sum(names::MESSAGES_SENT) > 0,
+            "gossip flowed"
+        );
+        assert!(
+            merged.counter_sum(names::DELIVERIES) > 0,
+            "events delivered"
+        );
+        assert!(merged.counter_sum(names::ROUNDS) > 0, "rounds ran");
+        let lat = merged
+            .histogram_merged(names::DELIVERY_LATENCY_SECONDS)
+            .expect("stamped payloads measured end-to-end latency");
+        assert!(lat.count > 0, "latency samples recorded");
+        assert!(
+            lat.quantile(0.5).unwrap() < 16.0,
+            "p50 within the bucket range"
+        );
+        let _ = cluster.stop();
+    }
+
+    #[test]
+    fn injected_loss_is_counted_and_recovery_repairs() {
+        use agb_telemetry::{names, Snapshot};
+
+        let mut config = RuntimeClusterConfig::quick(6, 9);
+        config.offered_rate = 30.0;
+        config.loss = 0.25;
+        config.recovery = Some(RecoveryConfig::default());
+        config.telemetry = TelemetryConfig::recording();
+        let cluster = RuntimeCluster::start(config).unwrap();
+        assert!(
+            cluster.telemetry_addrs().is_empty(),
+            "recording mode starts no servers"
+        );
+        cluster.run_for(Duration::from_millis(1_200));
+        let mut merged = Snapshot::default();
+        for r in cluster.telemetry_registries() {
+            assert!(merged.merge(&r.snapshot()));
+        }
+        let _ = cluster.stop();
+        assert!(
+            merged.counter_sum(names::LOSS_INJECTED) > 0,
+            "the loss harness dropped datagrams"
+        );
+        assert!(
+            merged.counter_sum(names::DELIVERIES) > 0,
+            "dissemination survived the loss"
+        );
     }
 
     #[test]

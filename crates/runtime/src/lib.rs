@@ -29,9 +29,11 @@
 
 mod cluster;
 mod node;
+pub mod telemetry;
 mod transport;
 pub mod wire;
 
 pub use cluster::{RuntimeCluster, RuntimeClusterConfig, TransportKind};
 pub use node::{Command, NodeHandle, NodeRuntime};
-pub use transport::{ChannelTransport, Transport, UdpTransport, MAX_DATAGRAM};
+pub use telemetry::{read_stamp, stamp_payload, LifecycleKind, NodeTelemetry, STAMP_LEN};
+pub use transport::{ChannelTransport, Transport, TransportError, UdpTransport, MAX_DATAGRAM};

@@ -5,13 +5,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use agb_core::FrameProtocol;
+use agb_core::{FrameProtocol, GossipFrame};
 use agb_metrics::MetricsCollector;
 use agb_trace::{Recorder, TraceProbe, TraceSink};
-use agb_types::{NodeId, Payload, TimeMs};
+use agb_types::{bernoulli, DetRng, NodeId, Payload, TimeMs};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
+use crate::telemetry::{stamp_payload, LifecycleKind, NodeTelemetry};
 use crate::transport::{Transport, MAX_DATAGRAM};
 use crate::wire;
 
@@ -68,6 +69,40 @@ pub struct NodeRuntime {
     /// Causal-trace probe. A disabled probe records nothing and the loop
     /// takes none of the tracing branches.
     pub probe: TraceProbe,
+    /// Wall-clock telemetry handles. A disabled instance records nothing
+    /// and paced offers are not latency-stamped.
+    pub telemetry: NodeTelemetry,
+    /// Sender-side injected datagram loss probability in `[0, 1)` — a
+    /// deterministic harness for exercising the recovery plane over real
+    /// transports.
+    pub loss: f64,
+    /// RNG stream driving the loss draws.
+    pub loss_rng: DetRng,
+}
+
+/// Encodes `frame`, applies the injected-loss harness, and hands each
+/// fragment to the transport, counting outcomes into the telemetry
+/// plane. Accepted fragments count as sent; refused ones by cause.
+fn transmit<T: Transport>(
+    transport: &T,
+    encoder: &mut wire::FrameEncoder,
+    telemetry: &NodeTelemetry,
+    loss: f64,
+    loss_rng: &mut DetRng,
+    to: NodeId,
+    frame: &GossipFrame,
+) {
+    for frag in encoder.split_for_datagram(frame, MAX_DATAGRAM) {
+        if loss > 0.0 && bernoulli(loss_rng, loss) {
+            telemetry.on_loss();
+            continue;
+        }
+        let len = frag.len();
+        match transport.send(to, frag) {
+            Ok(()) => telemetry.on_sent(frame, len),
+            Err(e) => telemetry.on_send_error(&e),
+        }
+    }
 }
 
 /// Spawns the node's event loop on a dedicated OS thread.
@@ -153,10 +188,12 @@ fn node_loop<T: Transport>(
                 }
                 Command::Crash => {
                     runtime.probe.on_crash(now);
+                    runtime.telemetry.on_lifecycle(LifecycleKind::Crash);
                     down = true;
                 }
                 Command::Recover => {
                     runtime.probe.on_restart(now);
+                    runtime.telemetry.on_lifecycle(LifecycleKind::Recover);
                     down = false;
                     next_round = Instant::now() + period;
                     if let Some(gap) = offer_gap {
@@ -168,6 +205,7 @@ fn node_loop<T: Transport>(
                         runtime.protocol = rebuild();
                     }
                     runtime.probe.on_restart(now);
+                    runtime.telemetry.on_lifecycle(LifecycleKind::Restart);
                     down = false;
                     next_round = Instant::now() + period;
                     if let Some(gap) = offer_gap {
@@ -177,10 +215,17 @@ fn node_loop<T: Transport>(
                 Command::Leave => {
                     let farewells = runtime.protocol.leave(now);
                     runtime.probe.observe_frames(now, &farewells);
+                    runtime.telemetry.on_lifecycle(LifecycleKind::Leave);
                     for (to, frame) in farewells {
-                        for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
-                            transport.send(to, frag);
-                        }
+                        transmit(
+                            &transport,
+                            &mut encoder,
+                            &runtime.telemetry,
+                            runtime.loss,
+                            &mut runtime.loss_rng,
+                            to,
+                            &frame,
+                        );
                     }
                     down = true;
                 }
@@ -201,11 +246,21 @@ fn node_loop<T: Transport>(
             let mut at = next;
             while at <= Instant::now() {
                 if runtime.protocol.pending_len() < runtime.max_backlog.max(1) {
-                    runtime.protocol.offer(runtime.payload.clone(), now_ms(at));
+                    // Under telemetry, stamp the send time into the payload
+                    // so the delivering node can measure end-to-end latency.
+                    let payload = if runtime.telemetry.enabled() {
+                        stamp_payload(&runtime.payload, epoch)
+                            .unwrap_or_else(|| runtime.payload.clone())
+                    } else {
+                        runtime.payload.clone()
+                    };
+                    runtime.protocol.offer(payload, now_ms(at));
                 } else {
                     // Blocking application refused an offer: a congestion
                     // drop in the trace taxonomy.
                     runtime.probe.on_congestion_drops(now_ms(at), 1);
+                    runtime.telemetry.on_offer_refused();
+                    runtime.telemetry.on_congestion_drop();
                 }
                 at += gap;
             }
@@ -222,12 +277,19 @@ fn node_loop<T: Transport>(
                 Ok(frame) => {
                     let from = frame.sender();
                     runtime.probe.on_message(&frame);
+                    runtime.telemetry.on_received(&frame, bytes.len());
                     let at = now_ms(Instant::now());
                     let replies = runtime.protocol.on_receive(from, frame, at);
                     for (to, reply) in replies {
-                        for frag in encoder.split_for_datagram(&reply, MAX_DATAGRAM) {
-                            transport.send(to, frag);
-                        }
+                        transmit(
+                            &transport,
+                            &mut encoder,
+                            &runtime.telemetry,
+                            runtime.loss,
+                            &mut runtime.loss_rng,
+                            to,
+                            &reply,
+                        );
                     }
                     if runtime.probe.enabled() {
                         // Drain per datagram so the probe can attribute the
@@ -235,12 +297,17 @@ fn node_loop<T: Transport>(
                         let events = runtime.protocol.drain_events();
                         runtime.probe.on_events(&events);
                         runtime.probe.on_received(at, from, &events);
+                        runtime.telemetry.on_events(&events);
                         if !events.is_empty() {
                             metrics.lock().on_events(id, &events);
                         }
                     }
                 }
-                Err(_) => { /* corrupt datagram: drop, like the network would */ }
+                Err(_) => {
+                    // Corrupt datagram: drop, like the network would — but
+                    // count it, unlike the network.
+                    runtime.telemetry.on_decode_error();
+                }
             }
         }
 
@@ -256,10 +323,22 @@ fn node_loop<T: Transport>(
                     runtime.protocol.buffer_capacity(),
                 );
             }
+            if runtime.telemetry.enabled() {
+                runtime.telemetry.on_round(
+                    runtime.protocol.buffer_len(),
+                    runtime.protocol.buffer_capacity(),
+                );
+            }
             for (to, frame) in out {
-                for frag in encoder.split_for_datagram(&frame, MAX_DATAGRAM) {
-                    transport.send(to, frag);
-                }
+                transmit(
+                    &transport,
+                    &mut encoder,
+                    &runtime.telemetry,
+                    runtime.loss,
+                    &mut runtime.loss_rng,
+                    to,
+                    &frame,
+                );
             }
             next_round += period;
         }
@@ -269,8 +348,14 @@ fn node_loop<T: Transport>(
         let events = runtime.protocol.drain_events();
         if !events.is_empty() {
             runtime.probe.on_events(&events);
+            runtime.telemetry.on_events(&events);
             let mut m = metrics.lock();
             m.on_events(id, &events);
+        }
+        if runtime.telemetry.enabled() {
+            runtime
+                .telemetry
+                .set_queue_depth(cmd_rx.len() + runtime.protocol.pending_len());
         }
         if runtime.probe.pending_len() > 0 {
             if let Some(recorder) = &trace {
@@ -327,6 +412,9 @@ mod tests {
                     max_backlog: 2,
                     rebuild: None,
                     probe: TraceProbe::new(agb_trace::TraceConfig::disabled(), id),
+                    telemetry: NodeTelemetry::disabled(),
+                    loss: 0.0,
+                    loss_rng: DetRng::seed_from_u64(0),
                 },
                 transport,
                 Arc::clone(&metrics),

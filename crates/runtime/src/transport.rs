@@ -2,13 +2,15 @@
 //!
 //! Two implementations behind one trait:
 //!
-//! * [`UdpTransport`] — one UDP socket per node on 127.0.0.1, the moral
-//!   equivalent of the paper's 60 workstations on an Ethernet LAN;
+//! * [`UdpTransport`] — one UDP socket per node, the moral equivalent of
+//!   the paper's 60 workstations on an Ethernet LAN; binds loopback by
+//!   default, any local interface via
+//!   [`bind_cluster_on`](UdpTransport::bind_cluster_on);
 //! * [`ChannelTransport`] — in-process crossbeam channels, for fast tests
 //!   and CI environments without network access.
 
 use std::io;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,19 +18,79 @@ use agb_types::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
+/// Why a datagram could not be handed to the transport.
+///
+/// Delivery stays best effort — a frame the transport *accepted* may
+/// still be lost — but a frame the transport *refused* is observable, so
+/// the node loop can count refusals instead of silently swallowing them.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The datagram exceeds the transport's size bound and was refused
+    /// before hitting the socket (a UDP `send` of this size would fail
+    /// or fragment unpredictably).
+    Oversize {
+        /// The attempted datagram length.
+        len: usize,
+        /// The transport's bound ([`MAX_DATAGRAM`]).
+        max: usize,
+    },
+    /// The destination is not a member of this cluster's peer table.
+    UnknownPeer(NodeId),
+    /// The OS socket send failed (buffer exhaustion, interface down…).
+    Io(io::Error),
+}
+
+impl TransportError {
+    /// A stable short label for the error class — the `cause` label of
+    /// the `agb_socket_send_errors_total` telemetry series.
+    pub fn cause_label(&self) -> &'static str {
+        match self {
+            TransportError::Oversize { .. } => "oversize",
+            TransportError::UnknownPeer(_) => "unknown_peer",
+            TransportError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Oversize { len, max } => {
+                write!(f, "datagram of {len} bytes exceeds the {max}-byte bound")
+            }
+            TransportError::UnknownPeer(n) => write!(f, "unknown peer {}", n.index()),
+            TransportError::Io(e) => write!(f, "socket send failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// A best-effort datagram channel between the nodes of one cluster.
 ///
-/// Sends never block and may silently drop (UDP semantics); receives are
-/// bounded waits.
+/// An accepted send may still be dropped in flight (UDP semantics); a
+/// refused send reports why. Receives are bounded waits.
 pub trait Transport: Send + 'static {
-    /// Sends one datagram to `to` (best effort).
-    fn send(&self, to: NodeId, bytes: Bytes);
+    /// Sends one datagram to `to` (best effort once accepted).
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError`] when the transport refuses the datagram:
+    /// oversized, unknown destination, or socket failure.
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), TransportError>;
 
     /// Waits up to `timeout` for one datagram.
     fn recv_timeout(&self, timeout: Duration) -> Option<Bytes>;
 }
 
-/// UDP-socket transport over the loopback interface.
+/// UDP-socket transport.
 #[derive(Debug)]
 pub struct UdpTransport {
     socket: UdpSocket,
@@ -47,10 +109,21 @@ impl UdpTransport {
     ///
     /// Propagates socket bind/configuration failures.
     pub fn bind_cluster(n_nodes: usize) -> io::Result<Vec<UdpTransport>> {
+        Self::bind_cluster_on(IpAddr::V4(Ipv4Addr::LOCALHOST), n_nodes)
+    }
+
+    /// Binds one socket per node on `addr` (port OS-assigned) — loopback
+    /// for single-host runs, a real interface address to take the cluster
+    /// onto a LAN.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind/configuration failures.
+    pub fn bind_cluster_on(addr: IpAddr, n_nodes: usize) -> io::Result<Vec<UdpTransport>> {
         let mut sockets = Vec::with_capacity(n_nodes);
         let mut addrs = Vec::with_capacity(n_nodes);
         for _ in 0..n_nodes {
-            let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+            let socket = UdpSocket::bind((addr, 0))?;
             addrs.push(socket.local_addr()?);
             sockets.push(socket);
         }
@@ -67,14 +140,37 @@ impl UdpTransport {
             })
             .collect()
     }
+
+    /// This node's bound socket address (the OS-chosen port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures from the OS.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// The full cluster's socket addresses, indexed by node.
+    pub fn peer_addrs(&self) -> &[SocketAddr] {
+        &self.peers
+    }
 }
 
 impl Transport for UdpTransport {
-    fn send(&self, to: NodeId, bytes: Bytes) {
-        if let Some(addr) = self.peers.get(to.index()) {
-            // Best effort: ignore transient send failures (full buffers),
-            // exactly like a lossy network.
-            let _ = self.socket.send_to(&bytes, addr);
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), TransportError> {
+        if bytes.len() > MAX_DATAGRAM {
+            return Err(TransportError::Oversize {
+                len: bytes.len(),
+                max: MAX_DATAGRAM,
+            });
+        }
+        let addr = self
+            .peers
+            .get(to.index())
+            .ok_or(TransportError::UnknownPeer(to))?;
+        match self.socket.send_to(&bytes, addr) {
+            Ok(_) => Ok(()),
+            Err(e) => Err(TransportError::Io(e)),
         }
     }
 
@@ -123,10 +219,25 @@ impl ChannelTransport {
 }
 
 impl Transport for ChannelTransport {
-    fn send(&self, to: NodeId, bytes: Bytes) {
-        if let Some(tx) = self.txs.get(to.index()) {
-            let _ = tx.send(bytes);
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), TransportError> {
+        // Enforce the same datagram bound as UDP so oversize bugs surface
+        // in socket-free CI runs too.
+        if bytes.len() > MAX_DATAGRAM {
+            return Err(TransportError::Oversize {
+                len: bytes.len(),
+                max: MAX_DATAGRAM,
+            });
         }
+        let tx = self
+            .txs
+            .get(to.index())
+            .ok_or(TransportError::UnknownPeer(to))?;
+        tx.send(bytes).map_err(|_| {
+            TransportError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "receiver disconnected",
+            ))
+        })
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
@@ -144,7 +255,9 @@ mod tests {
     #[test]
     fn channel_transport_delivers() {
         let cluster = ChannelTransport::cluster(3);
-        cluster[0].send(NodeId::new(2), Bytes::from_static(b"hello"));
+        cluster[0]
+            .send(NodeId::new(2), Bytes::from_static(b"hello"))
+            .unwrap();
         let got = cluster[2].recv_timeout(Duration::from_millis(100));
         assert_eq!(got, Some(Bytes::from_static(b"hello")));
         // Nothing for node 1.
@@ -152,17 +265,52 @@ mod tests {
     }
 
     #[test]
-    fn channel_send_to_unknown_node_is_noop() {
+    fn channel_send_to_unknown_node_reports() {
         let cluster = ChannelTransport::cluster(1);
-        cluster[0].send(NodeId::new(9), Bytes::from_static(b"x"));
+        let err = cluster[0]
+            .send(NodeId::new(9), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(n) if n.index() == 9));
+        assert_eq!(err.cause_label(), "unknown_peer");
+    }
+
+    #[test]
+    fn oversized_datagrams_are_refused_not_truncated() {
+        let big = Bytes::from(vec![0u8; MAX_DATAGRAM + 1]);
+        let channel = ChannelTransport::cluster(2);
+        let err = channel[0].send(NodeId::new(1), big.clone()).unwrap_err();
+        assert!(matches!(err, TransportError::Oversize { len, max }
+            if len == MAX_DATAGRAM + 1 && max == MAX_DATAGRAM));
+        assert_eq!(err.cause_label(), "oversize");
+        // Nothing partial arrived.
+        assert_eq!(channel[1].recv_timeout(Duration::from_millis(10)), None);
+
+        let udp = UdpTransport::bind_cluster(2).expect("bind loopback");
+        let err = udp[0].send(NodeId::new(1), big).unwrap_err();
+        assert!(matches!(err, TransportError::Oversize { .. }));
+        assert_eq!(udp[1].recv_timeout(Duration::from_millis(20)), None);
     }
 
     #[test]
     fn udp_transport_roundtrip() {
         let cluster = UdpTransport::bind_cluster(2).expect("bind loopback");
-        cluster[0].send(NodeId::new(1), Bytes::from_static(b"ping"));
+        cluster[0]
+            .send(NodeId::new(1), Bytes::from_static(b"ping"))
+            .unwrap();
         let got = cluster[1].recv_timeout(Duration::from_millis(500));
         assert_eq!(got, Some(Bytes::from_static(b"ping")));
+    }
+
+    #[test]
+    fn udp_exposes_bound_addresses() {
+        let cluster = UdpTransport::bind_cluster_on(IpAddr::V4(Ipv4Addr::LOCALHOST), 3)
+            .expect("bind loopback");
+        let addrs: Vec<SocketAddr> = cluster[0].peer_addrs().to_vec();
+        assert_eq!(addrs.len(), 3);
+        for (t, expect) in cluster.iter().zip(&addrs) {
+            assert_eq!(t.local_addr().unwrap(), *expect);
+            assert!(expect.port() != 0, "OS assigned a real port");
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The sim → telemetry bridge: fold deterministic
+//! [`TraceCounts`](agb_trace::TraceCounts) into a [`Registry`] under the
+//! shared metric vocabulary.
+
+use agb_trace::TraceCounts;
+
+use crate::names;
+use crate::registry::Registry;
+
+/// Folds a simulation's [`TraceCounts`] into `registry` under the same
+/// metric names the wall-clock runtime registers (see [`names`]), with
+/// `labels` (typically `[("node", …)]` or a run label) applied to every
+/// series.
+///
+/// Counts ADD onto whatever the registry already holds, so calling this
+/// per node (or per run leg) aggregates naturally. Because both the
+/// fold order and [`Registry::render`](crate::Registry::render) are
+/// deterministic, a registry fed only through this bridge renders
+/// byte-identically across runs — that is the reproducible subset the
+/// telemetry CI job diffs.
+pub fn fold_trace_counts(
+    registry: &Registry,
+    labels: &[(&'static str, &str)],
+    counts: &TraceCounts,
+) {
+    let with = |extra: (&'static str, &'static str)| -> Vec<(&'static str, &str)> {
+        let mut ls = labels.to_vec();
+        ls.push(extra);
+        ls
+    };
+    let add = |name: &'static str, help: &'static str, labels: &[(&'static str, &str)], n: u64| {
+        registry.counter(name, help, labels).add(n);
+    };
+
+    add(
+        names::PUBLISHES,
+        names::help::PUBLISHES,
+        labels,
+        counts.publishes,
+    );
+    add(names::RELAYS, names::help::RELAYS, labels, counts.relays);
+    add(
+        names::DELIVERIES,
+        names::help::DELIVERIES,
+        labels,
+        counts.delivers,
+    );
+    add(
+        names::DUPLICATES,
+        names::help::DUPLICATES,
+        labels,
+        counts.duplicates,
+    );
+    add(
+        names::DROPS,
+        names::help::DROPS,
+        &with(("cause", "age")),
+        counts.drops_age,
+    );
+    add(
+        names::DROPS,
+        names::help::DROPS,
+        &with(("cause", "size")),
+        counts.drops_size,
+    );
+    add(
+        names::DROPS,
+        names::help::DROPS,
+        &with(("cause", "congestion")),
+        counts.drops_congestion,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "ihave")),
+        counts.ihaves,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "graft")),
+        counts.grafts,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "retransmit")),
+        counts.retransmits,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "recovered")),
+        counts.recovered,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "duplicate")),
+        counts.recovery_duplicates,
+    );
+    add(
+        names::RECOVERY_EVENTS,
+        names::help::RECOVERY_EVENTS,
+        &with(("kind", "abandoned")),
+        counts.recovery_abandoned,
+    );
+    add(
+        names::VIEW_CHANGES,
+        names::help::VIEW_CHANGES,
+        labels,
+        counts.view_changes,
+    );
+    add(
+        names::LIFECYCLE,
+        names::help::LIFECYCLE,
+        &with(("kind", "crash")),
+        counts.crashes,
+    );
+    add(
+        names::LIFECYCLE,
+        names::help::LIFECYCLE,
+        &with(("kind", "restart")),
+        counts.restarts,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_counts() -> TraceCounts {
+        let mut c = TraceCounts::default();
+        c.publishes = 10;
+        c.delivers = 38;
+        c.duplicates = 5;
+        c.drops_congestion = 2;
+        c.grafts = 3;
+        c.recovered = 3;
+        c.crashes = 1;
+        c
+    }
+
+    #[test]
+    fn folds_counts_under_shared_names() {
+        let r = Registry::new();
+        fold_trace_counts(&r, &[("node", "0")], &sample_counts());
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(names::PUBLISHES, &[("node", "0")]), Some(10));
+        assert_eq!(snap.counter(names::DELIVERIES, &[("node", "0")]), Some(38));
+        assert_eq!(
+            snap.counter(names::DROPS, &[("cause", "congestion"), ("node", "0")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter(names::RECOVERY_EVENTS, &[("kind", "graft"), ("node", "0")]),
+            Some(3)
+        );
+        assert_eq!(
+            snap.counter(names::LIFECYCLE, &[("kind", "crash"), ("node", "0")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn folding_twice_accumulates() {
+        let r = Registry::new();
+        fold_trace_counts(&r, &[], &sample_counts());
+        fold_trace_counts(&r, &[], &sample_counts());
+        assert_eq!(r.snapshot().counter(names::PUBLISHES, &[]), Some(20));
+    }
+
+    #[test]
+    fn bridge_render_is_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            fold_trace_counts(&r, &[("node", "1")], &sample_counts());
+            fold_trace_counts(&r, &[("node", "0")], &sample_counts());
+            r.render()
+        };
+        assert_eq!(build(), build());
+    }
+}

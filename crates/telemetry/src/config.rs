@@ -1,0 +1,72 @@
+//! Telemetry configuration for runtime clusters.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+/// How (and whether) a runtime cluster exposes telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Register and record metrics at all. When `false` the runtime
+    /// skips instrumentation entirely (no registries, no servers).
+    pub enabled: bool,
+    /// Additionally start one exposition [`TelemetryServer`]
+    /// (`GET /metrics`) per node. Recording works without this; in-process
+    /// readers can use [`Registry::render`] or [`Registry::snapshot`]
+    /// directly.
+    ///
+    /// [`TelemetryServer`]: crate::TelemetryServer
+    /// [`Registry::render`]: crate::Registry::render
+    /// [`Registry::snapshot`]: crate::Registry::snapshot
+    pub serve: bool,
+    /// Address the exposition servers bind (always port 0 — the OS picks
+    /// a free port per node; read it back from the server).
+    pub bind: IpAddr,
+}
+
+impl TelemetryConfig {
+    /// Telemetry off — the default; the hot loop carries zero
+    /// instrumentation cost.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            serve: false,
+            bind: IpAddr::V4(Ipv4Addr::LOCALHOST),
+        }
+    }
+
+    /// Record metrics in-process, no sockets.
+    pub fn recording() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..TelemetryConfig::disabled()
+        }
+    }
+
+    /// Record metrics and serve `GET /metrics` per node on loopback.
+    pub fn serving() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            serve: true,
+            ..TelemetryConfig::disabled()
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_compose() {
+        assert!(!TelemetryConfig::default().enabled);
+        assert!(TelemetryConfig::recording().enabled);
+        assert!(!TelemetryConfig::recording().serve);
+        assert!(TelemetryConfig::serving().serve);
+        assert!(TelemetryConfig::serving().bind.is_loopback());
+    }
+}

@@ -1,0 +1,151 @@
+//! The exposition endpoint: a tiny std-only TCP responder per node and
+//! the matching raw scrape client.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// A minimal HTTP/1.0 metrics endpoint serving one [`Registry`].
+///
+/// One accept thread per server; each connection gets a fresh
+/// [`Registry::render`] regardless of the request path — this is a
+/// scrape target, not a web server. Dropping the server (or calling
+/// [`stop`](TelemetryServer::stop)) shuts the thread down.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `bind` (use port 0 for an OS-assigned port; see
+    /// [`local_addr`](TelemetryServer::local_addr)) and serves `registry`
+    /// until dropped.
+    pub fn serve(registry: Arc<Registry>, bind: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        // Poll accept with a short timeout so shutdown is prompt without
+        // needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("agb-telemetry-{}", addr.port()))
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = respond(stream, &registry);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads the request line (and discards the rest) then writes one
+/// exposition response.
+fn respond(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Drain up to one request's worth of header bytes; scrapers send a
+    // short GET, and we answer the same thing regardless.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = registry.render();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrapes a telemetry endpoint with a raw `GET /metrics`, returning
+/// the exposition body (headers stripped).
+pub fn scrape(addr: SocketAddr, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(raw);
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_text;
+
+    #[test]
+    fn serve_and_scrape_round_trip() {
+        let registry = Arc::new(Registry::new());
+        registry
+            .counter("up_total", "liveness", &[("node", "0")])
+            .inc();
+        let server =
+            TelemetryServer::serve(registry.clone(), "127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        let body = scrape(addr, Duration::from_secs(2)).expect("scrape");
+        assert!(body.contains("# TYPE up_total counter"));
+        let snap = parse_text(&body);
+        assert_eq!(snap.counter("up_total", &[("node", "0")]), Some(1));
+        // A second scrape sees live updates.
+        registry
+            .counter("up_total", "liveness", &[("node", "0")])
+            .add(4);
+        let snap = parse_text(&scrape(addr, Duration::from_secs(2)).expect("scrape"));
+        assert_eq!(snap.counter("up_total", &[("node", "0")]), Some(5));
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_frees_the_port() {
+        let registry = Arc::new(Registry::new());
+        let mut server = TelemetryServer::serve(registry, "127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.stop();
+        server.stop();
+        // Port is free again: a new bind on the same port succeeds.
+        let _rebound = TcpListener::bind(addr).expect("port released after stop");
+    }
+}

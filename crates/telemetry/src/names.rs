@@ -1,0 +1,129 @@
+//! The shared metric vocabulary.
+//!
+//! One set of names serves every execution surface: the threaded
+//! runtime's live instrumentation registers these directly, and the
+//! [`fold_trace_counts`](crate::fold_trace_counts) bridge folds a
+//! deterministic simulation's [`TraceCounts`](agb_trace::TraceCounts)
+//! into the same names — so a Grafana board (or the `repro telemetry`
+//! dashboard) reads identically whichever surface produced the numbers.
+//!
+//! | Metric | Type | Labels | Meaning |
+//! |--------|------|--------|---------|
+//! | [`MESSAGES_SENT`] | counter | `node`, `kind` | frames handed to the transport (`gossip`/`graft`/`retransmit`) |
+//! | [`MESSAGES_RECEIVED`] | counter | `node`, `kind` | frames decoded off the transport |
+//! | [`BYTES_SENT`] | counter | `node` | datagram payload bytes sent |
+//! | [`BYTES_RECEIVED`] | counter | `node` | datagram payload bytes received |
+//! | [`SEND_ERRORS`] | counter | `node`, `cause` | transport send failures (`io`/`oversize`/`unknown_peer`) |
+//! | [`DECODE_ERRORS`] | counter | `node` | datagrams that failed frame decoding |
+//! | [`LOSS_INJECTED`] | counter | `node` | datagrams dropped by the injected-loss harness |
+//! | [`PUBLISHES`] | counter | `node` | locally admitted broadcasts |
+//! | [`RELAYS`] | counter | `node` | forwarded event copies |
+//! | [`DELIVERIES`] | counter | `node` | first deliveries to the application |
+//! | [`DUPLICATES`] | counter | `node` | redundant gossip arrivals |
+//! | [`DROPS`] | counter | `node`, `cause` | buffer/throttle drops (`age`/`size`/`congestion`) |
+//! | [`RECOVERY_EVENTS`] | counter | `node`, `kind` | recovery plane (`ihave`/`graft`/`retransmit`/`recovered`/`duplicate`/`abandoned`) |
+//! | [`VIEW_CHANGES`] | counter | `node` | membership-view size changes |
+//! | [`LIFECYCLE`] | counter | `node`, `kind` | `crash`/`restart`/`recover`/`leave` commands |
+//! | [`ROUNDS`] | counter | `node` | gossip rounds executed |
+//! | [`OFFERS_REFUSED`] | counter | `node` | offers refused by the blocking-application backlog |
+//! | [`DELIVERY_LATENCY_SECONDS`] | histogram | `node` | publish → delivery, end to end wall clock |
+//! | [`RECOVERY_RTT_SECONDS`] | histogram | `node` | `Graft` sent → event recovered |
+//! | [`BUFFER_EVENTS`] | gauge | `node` | event-buffer occupancy after the last round |
+//! | [`BUFFER_CAPACITY`] | gauge | `node` | event-buffer capacity |
+//! | [`EVENT_QUEUE_DEPTH`] | gauge | `node` | node-loop backlog (pending offers + queued commands) |
+
+/// `agb_messages_sent_total{node,kind}`.
+pub const MESSAGES_SENT: &str = "agb_messages_sent_total";
+/// `agb_messages_received_total{node,kind}`.
+pub const MESSAGES_RECEIVED: &str = "agb_messages_received_total";
+/// `agb_bytes_sent_total{node}`.
+pub const BYTES_SENT: &str = "agb_bytes_sent_total";
+/// `agb_bytes_received_total{node}`.
+pub const BYTES_RECEIVED: &str = "agb_bytes_received_total";
+/// `agb_socket_send_errors_total{node,cause}`.
+pub const SEND_ERRORS: &str = "agb_socket_send_errors_total";
+/// `agb_decode_errors_total{node}`.
+pub const DECODE_ERRORS: &str = "agb_decode_errors_total";
+/// `agb_loss_injected_total{node}`.
+pub const LOSS_INJECTED: &str = "agb_loss_injected_total";
+/// `agb_publishes_total{node}`.
+pub const PUBLISHES: &str = "agb_publishes_total";
+/// `agb_relays_total{node}`.
+pub const RELAYS: &str = "agb_relays_total";
+/// `agb_deliveries_total{node}`.
+pub const DELIVERIES: &str = "agb_deliveries_total";
+/// `agb_duplicates_total{node}`.
+pub const DUPLICATES: &str = "agb_duplicates_total";
+/// `agb_drops_total{node,cause}`.
+pub const DROPS: &str = "agb_drops_total";
+/// `agb_recovery_events_total{node,kind}`.
+pub const RECOVERY_EVENTS: &str = "agb_recovery_events_total";
+/// `agb_view_changes_total{node}`.
+pub const VIEW_CHANGES: &str = "agb_view_changes_total";
+/// `agb_lifecycle_total{node,kind}`.
+pub const LIFECYCLE: &str = "agb_lifecycle_total";
+/// `agb_rounds_total{node}`.
+pub const ROUNDS: &str = "agb_rounds_total";
+/// `agb_offers_refused_total{node}`.
+pub const OFFERS_REFUSED: &str = "agb_offers_refused_total";
+/// `agb_delivery_latency_seconds{node}` (histogram).
+pub const DELIVERY_LATENCY_SECONDS: &str = "agb_delivery_latency_seconds";
+/// `agb_recovery_rtt_seconds{node}` (histogram).
+pub const RECOVERY_RTT_SECONDS: &str = "agb_recovery_rtt_seconds";
+/// `agb_buffer_events{node}` (gauge).
+pub const BUFFER_EVENTS: &str = "agb_buffer_events";
+/// `agb_buffer_capacity{node}` (gauge).
+pub const BUFFER_CAPACITY: &str = "agb_buffer_capacity";
+/// `agb_event_queue_depth{node}` (gauge).
+pub const EVENT_QUEUE_DEPTH: &str = "agb_event_queue_depth";
+
+/// Help strings, one per metric name. Both the runtime instrumentation
+/// and the [`fold_trace_counts`](crate::fold_trace_counts) bridge
+/// register through these, so a metric family carries one description
+/// no matter which surface registered it first.
+pub mod help {
+    /// Help for [`MESSAGES_SENT`](super::MESSAGES_SENT).
+    pub const MESSAGES_SENT: &str = "Frames handed to the transport, by kind";
+    /// Help for [`MESSAGES_RECEIVED`](super::MESSAGES_RECEIVED).
+    pub const MESSAGES_RECEIVED: &str = "Frames decoded off the transport, by kind";
+    /// Help for [`BYTES_SENT`](super::BYTES_SENT).
+    pub const BYTES_SENT: &str = "Datagram payload bytes sent";
+    /// Help for [`BYTES_RECEIVED`](super::BYTES_RECEIVED).
+    pub const BYTES_RECEIVED: &str = "Datagram payload bytes received";
+    /// Help for [`SEND_ERRORS`](super::SEND_ERRORS).
+    pub const SEND_ERRORS: &str = "Transport send refusals and failures, by cause";
+    /// Help for [`DECODE_ERRORS`](super::DECODE_ERRORS).
+    pub const DECODE_ERRORS: &str = "Datagrams that failed frame decoding";
+    /// Help for [`LOSS_INJECTED`](super::LOSS_INJECTED).
+    pub const LOSS_INJECTED: &str = "Datagrams dropped by the injected-loss harness";
+    /// Help for [`PUBLISHES`](super::PUBLISHES).
+    pub const PUBLISHES: &str = "Broadcasts admitted at their origin";
+    /// Help for [`RELAYS`](super::RELAYS).
+    pub const RELAYS: &str = "Forwarded event copies";
+    /// Help for [`DELIVERIES`](super::DELIVERIES).
+    pub const DELIVERIES: &str = "First deliveries to the application";
+    /// Help for [`DUPLICATES`](super::DUPLICATES).
+    pub const DUPLICATES: &str = "Redundant gossip arrivals";
+    /// Help for [`DROPS`](super::DROPS).
+    pub const DROPS: &str = "Buffer and throttle drops by cause";
+    /// Help for [`RECOVERY_EVENTS`](super::RECOVERY_EVENTS).
+    pub const RECOVERY_EVENTS: &str = "Recovery-plane events by kind";
+    /// Help for [`VIEW_CHANGES`](super::VIEW_CHANGES).
+    pub const VIEW_CHANGES: &str = "Membership-view size changes";
+    /// Help for [`LIFECYCLE`](super::LIFECYCLE).
+    pub const LIFECYCLE: &str = "Node lifecycle transitions by kind";
+    /// Help for [`ROUNDS`](super::ROUNDS).
+    pub const ROUNDS: &str = "Gossip rounds executed";
+    /// Help for [`OFFERS_REFUSED`](super::OFFERS_REFUSED).
+    pub const OFFERS_REFUSED: &str = "Offers refused by the blocking-application backlog";
+    /// Help for [`DELIVERY_LATENCY_SECONDS`](super::DELIVERY_LATENCY_SECONDS).
+    pub const DELIVERY_LATENCY_SECONDS: &str = "Publish to delivery, end-to-end wall clock";
+    /// Help for [`RECOVERY_RTT_SECONDS`](super::RECOVERY_RTT_SECONDS).
+    pub const RECOVERY_RTT_SECONDS: &str = "Graft sent to event recovered, wall clock";
+    /// Help for [`BUFFER_EVENTS`](super::BUFFER_EVENTS).
+    pub const BUFFER_EVENTS: &str = "Event-buffer occupancy after the last round";
+    /// Help for [`BUFFER_CAPACITY`](super::BUFFER_CAPACITY).
+    pub const BUFFER_CAPACITY: &str = "Event-buffer capacity";
+    /// Help for [`EVENT_QUEUE_DEPTH`](super::EVENT_QUEUE_DEPTH).
+    pub const EVENT_QUEUE_DEPTH: &str = "Node-loop backlog: pending offers plus queued commands";
+}

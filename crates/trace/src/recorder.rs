@@ -11,7 +11,7 @@ use crate::histogram::Histogram;
 use crate::record::{DropCause, TraceKind, TraceRecord, TraceSink};
 use crate::tree::TreeBuilder;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
 /// Per-kind record counts — the trace's drop taxonomy and traffic

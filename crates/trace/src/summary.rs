@@ -4,7 +4,7 @@
 use agb_types::json::Json;
 
 use crate::histogram::Histogram;
-use crate::recorder::{Recorder, TraceCounts, FNV_PRIME};
+use crate::recorder::{Recorder, TraceCounts, FNV_OFFSET, FNV_PRIME};
 use crate::tree::TreeStats;
 
 /// Schema identifier written into `TRACE.json`.
@@ -36,14 +36,38 @@ pub struct TraceSummary {
     pub records_retained: usize,
     /// Raw records evicted from the ring (aggregates still saw them).
     pub records_evicted: u64,
-    /// Stable FNV-1a digest: the recorder's streaming record digest
-    /// folded with every aggregate. Identical traces yield identical
-    /// digests across runs and `AGB_THREADS` settings.
+    /// Whether the trace's timestamps came from a wall clock (the
+    /// threaded runtime) rather than simulated time. Wall-clock traces
+    /// carry real scheduling jitter, so their [`digest`](Self::digest)
+    /// is **not** comparable across runs — compare
+    /// [`stable_digest`](Self::stable_digest) instead.
+    pub wall_clock: bool,
+    /// Full FNV-1a digest: the recorder's streaming record digest
+    /// (which mixes every record's absolute timestamp) folded with
+    /// every aggregate. Identical traces yield identical digests
+    /// across runs and `AGB_THREADS` settings — but only when
+    /// timestamps are deterministic (`wall_clock == false`).
     pub digest: u64,
+    /// Timestamp-shift-invariant FNV-1a digest over the aggregates
+    /// only: counts, the four histograms (whose observations are all
+    /// time *differences* or sizes), and tree statistics. Two traces
+    /// of the same behavior whose records differ only by when the
+    /// clock started yield the same `stable_digest`. This is the
+    /// digest CI compares for wall-clock runs.
+    pub stable_digest: u64,
 }
 
 impl TraceSummary {
-    /// JSON form (stable key order; the digest is a hex string because
+    /// Marks this summary as wall-clock-timed (see
+    /// [`wall_clock`](Self::wall_clock)). The threaded runtime calls
+    /// this; simulation traces stay at the default `false`.
+    #[must_use]
+    pub fn mark_wall_clock(mut self) -> Self {
+        self.wall_clock = true;
+        self
+    }
+
+    /// JSON form (stable key order; the digests are hex strings because
     /// JSON numbers lose u64 precision).
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -61,7 +85,12 @@ impl TraceSummary {
             ("tree", self.tree.to_json()),
             ("records_retained", Json::from(self.records_retained)),
             ("records_evicted", Json::from(self.records_evicted)),
+            ("wall_clock", Json::Bool(self.wall_clock)),
             ("digest", Json::Str(format!("{:#018x}", self.digest))),
+            (
+                "stable_digest",
+                Json::Str(format!("{:#018x}", self.stable_digest)),
+            ),
         ])
     }
 }
@@ -70,17 +99,28 @@ impl Recorder {
     /// Snapshots this recorder into a [`TraceSummary`] labeled `label`.
     pub fn summary(&self, label: &str) -> TraceSummary {
         let tree = self.trees().stats();
-        let mut digest = self.digest();
-        let mut mix = |w: u64| {
-            digest ^= w;
-            digest = digest.wrapping_mul(FNV_PRIME);
+        // The aggregate fold is computed twice: once seeded with the
+        // record-stream digest (which mixes absolute timestamps) for
+        // the full digest, and once from the bare FNV offset for the
+        // shift-invariant stable digest. Every aggregate observes only
+        // time *differences* (latency, RTT) or sizes, so the stable
+        // fold survives a constant clock offset.
+        let fold_aggregates = |seed: u64| {
+            let mut digest = seed;
+            let mut mix = |w: u64| {
+                digest ^= w;
+                digest = digest.wrapping_mul(FNV_PRIME);
+            };
+            self.counts().fold_digest(&mut mix);
+            self.latency().fold_digest(&mut mix);
+            self.hops().fold_digest(&mut mix);
+            self.occupancy().fold_digest(&mut mix);
+            self.recovery_rtt().fold_digest(&mut mix);
+            tree.fold_digest(&mut mix);
+            digest
         };
-        self.counts().fold_digest(&mut mix);
-        self.latency().fold_digest(&mut mix);
-        self.hops().fold_digest(&mut mix);
-        self.occupancy().fold_digest(&mut mix);
-        self.recovery_rtt().fold_digest(&mut mix);
-        tree.fold_digest(&mut mix);
+        let digest = fold_aggregates(self.digest());
+        let stable_digest = fold_aggregates(FNV_OFFSET);
         TraceSummary {
             label: label.to_string(),
             counts: *self.counts(),
@@ -91,7 +131,9 @@ impl Recorder {
             tree,
             records_retained: self.records().count(),
             records_evicted: self.evicted(),
+            wall_clock: false,
             digest,
+            stable_digest,
         }
     }
 }
@@ -154,6 +196,64 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.to_json().pretty(), b.to_json().pretty());
+    }
+
+    fn shifted_recorder(offset_secs: u64) -> Recorder {
+        let mut r = Recorder::new(TraceConfig::enabled());
+        let id = EventId::new(NodeId::new(0), 0);
+        r.record(TraceRecord {
+            node: NodeId::new(0),
+            at: TimeMs::from_secs(1 + offset_secs),
+            round: 1,
+            kind: TraceKind::Publish { id },
+        });
+        r.record(TraceRecord {
+            node: NodeId::new(2),
+            at: TimeMs::from_secs(3 + offset_secs),
+            round: 3,
+            kind: TraceKind::Deliver {
+                id,
+                from: NodeId::new(0),
+                hops: 1,
+            },
+        });
+        r
+    }
+
+    #[test]
+    fn stable_digest_survives_a_clock_shift() {
+        let base = shifted_recorder(0).summary("x");
+        let shifted = shifted_recorder(1_000).summary("x");
+        // Same behavior, clock started 1000 s later: the full digest
+        // diverges (it mixes absolute timestamps), the stable one holds.
+        assert_ne!(base.digest, shifted.digest);
+        assert_eq!(base.stable_digest, shifted.stable_digest);
+    }
+
+    #[test]
+    fn stable_digest_still_sees_behavior_changes() {
+        let base = shifted_recorder(0).summary("x");
+        let mut other = shifted_recorder(0);
+        other.record(TraceRecord {
+            node: NodeId::new(4),
+            at: TimeMs::from_secs(5),
+            round: 5,
+            kind: TraceKind::Crash,
+        });
+        assert_ne!(base.stable_digest, other.summary("x").stable_digest);
+    }
+
+    #[test]
+    fn wall_clock_marker_defaults_off_and_marks_on() {
+        let s = sample_recorder().summary("x");
+        assert!(!s.wall_clock);
+        assert_eq!(s.to_json().get("wall_clock"), Some(&Json::Bool(false)));
+        let marked = s.mark_wall_clock();
+        assert!(marked.wall_clock);
+        let j = marked.to_json();
+        assert_eq!(j.get("wall_clock"), Some(&Json::Bool(true)));
+        let stable = j.get("stable_digest").unwrap().as_str().unwrap();
+        assert!(stable.starts_with("0x") && stable.len() == 18, "{stable}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | [`runtime`] | `agb-runtime` | threaded UDP/channel runtime (the paper's 60-workstation prototype) |
 //! | [`metrics`] | `agb-metrics` | delivery/atomicity/rate/drop-age measurement |
 //! | [`trace`] | `agb-trace` | deterministic causal dissemination tracing: typed events, histograms, per-event trees |
+//! | [`telemetry`] | `agb-telemetry` | live wall-clock metrics: lock-free registry, Prometheus-text exposition, scrape + cluster-wide merge |
 //! | [`experiments`] | `agb-experiments` | one harness per paper figure |
 //! | [`types`] | `agb-types` | ids, virtual time, RNG streams, stats primitives |
 //!
@@ -150,6 +151,17 @@
 //!
 //! # Observability
 //!
+//! Two complementary planes, one metric vocabulary:
+//!
+//! * **Deterministic simulation tracing** ([`trace`]) — replayable
+//!   records with simulated timestamps, for explaining *why* a run
+//!   behaved as it did after the fact.
+//! * **Live wall-clock telemetry** ([`telemetry`]) — always-on atomic
+//!   counters/gauges/histograms on the threaded runtime, exposed as
+//!   Prometheus text per node, for watching a *real* cluster right now.
+//!
+//! ## Simulation tracing
+//!
 //! The [`trace`] subsystem records *why* dissemination behaved the way
 //! it did, not just the end-state metrics: every publish/relay/deliver/
 //! duplicate, the full drop taxonomy (age, buffer size, congestion),
@@ -185,6 +197,45 @@
 //! dashboard under loss + partition, stable digest, `TRACE.json`), or
 //! the redundancy comparison in `examples/trace_dissemination.rs`.
 //!
+//! ## Wall-clock telemetry
+//!
+//! The [`telemetry`] subsystem instruments the threaded runtime with
+//! lock-free metrics (relaxed atomics on the hot path), renders them in
+//! Prometheus text exposition format with stable names
+//! ([`telemetry::names`]), serves them per node over a tiny std-only
+//! TCP responder, and parses scrapes back into typed snapshots whose
+//! log-bucketed histograms merge exactly — cluster-wide p99 latency
+//! straight off the summed buckets. The same vocabulary is fed by
+//! deterministic simulations through
+//! [`telemetry::fold_trace_counts`], so dashboards read identically
+//! whichever surface produced the numbers:
+//!
+//! ```
+//! use adaptive_gossip::telemetry::{latency_seconds_bounds, parse_text, Registry};
+//!
+//! let registry = Registry::new();
+//! registry
+//!     .counter("agb_deliveries_total", "First deliveries", &[("node", "0")])
+//!     .add(3);
+//! registry
+//!     .histogram(
+//!         "agb_delivery_latency_seconds",
+//!         "Publish to delivery",
+//!         &[("node", "0")],
+//!         &latency_seconds_bounds(),
+//!     )
+//!     .observe(0.012);
+//!
+//! let text = registry.render(); // what `GET /metrics` serves
+//! assert!(text.contains("agb_deliveries_total{node=\"0\"} 3"));
+//! let snapshot = parse_text(&text); // what a scraper reconstructs
+//! assert_eq!(snapshot.counter_sum("agb_deliveries_total"), 3);
+//! ```
+//!
+//! Run the live plane end to end with `repro telemetry` (lossy UDP
+//! cluster, mid-run scrapes, SLO quantiles, `TELEMETRY.json`), or the
+//! one-node scrape loop in `examples/telemetry_scrape.rs`.
+//!
 //! See `examples/` for runnable scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction inventory.
 
@@ -200,6 +251,7 @@ pub use agb_perf as perf;
 pub use agb_recovery as recovery;
 pub use agb_runtime as runtime;
 pub use agb_sim as sim;
+pub use agb_telemetry as telemetry;
 pub use agb_trace as trace;
 pub use agb_types as types;
 pub use agb_workload as workload;

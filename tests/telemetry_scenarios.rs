@@ -1,0 +1,120 @@
+//! Acceptance scenarios for the wall-clock telemetry plane
+//! (`agb-telemetry`): a lossy UDP cluster stays scrapeable under load,
+//! the scraped series merge into sane cluster-wide aggregates, transport
+//! failure paths land in the shared vocabulary, and the trace/telemetry
+//! digest split holds (wall-clock summaries advertise themselves and
+//! keep a shift-invariant `stable_digest`).
+
+use std::time::Duration;
+
+use adaptive_gossip::recovery::RecoveryConfig;
+use adaptive_gossip::runtime::{
+    ChannelTransport, RuntimeCluster, RuntimeClusterConfig, Transport, TransportError,
+    TransportKind, MAX_DATAGRAM,
+};
+use adaptive_gossip::telemetry::{names, parse_text, scrape, Snapshot, TelemetryConfig};
+use adaptive_gossip::trace::TraceConfig;
+use adaptive_gossip::types::{NodeId, Payload};
+
+fn telemetry_cluster(seed: u64, n: usize) -> RuntimeClusterConfig {
+    let mut config = RuntimeClusterConfig::quick(n, seed);
+    config.transport = TransportKind::Udp;
+    config.n_senders = 2.min(n);
+    config.offered_rate = 30.0;
+    config.payload_size = 32; // room for the latency stamp
+    config.loss = 0.2;
+    config.recovery = Some(RecoveryConfig::default());
+    config.telemetry = TelemetryConfig::serving();
+    config
+}
+
+/// A lossy UDP cluster keeps answering `GET /metrics` while traffic
+/// flows, every scrape parses, and the sent-counter never goes
+/// backwards between scrapes of the same node.
+#[test]
+fn udp_cluster_stays_scrapeable_under_load() {
+    let cluster = RuntimeCluster::start(telemetry_cluster(71, 5)).expect("bind UDP + endpoints");
+    let addrs = cluster.telemetry_addrs();
+    assert_eq!(addrs.len(), 5, "one endpoint per node");
+    assert_eq!(cluster.node_addrs().len(), 5, "UDP ports are exposed");
+
+    let target = addrs[0];
+    let mut last_sent = 0u64;
+    let mut scrapes = 0;
+    for _ in 0..10 {
+        cluster.run_for(Duration::from_millis(60));
+        let text = scrape(target, Duration::from_secs(2)).expect("scrape mid-load");
+        let snap = parse_text(&text);
+        let sent = snap.counter_sum(names::MESSAGES_SENT);
+        assert!(
+            sent >= last_sent,
+            "sent counter went backwards: {sent} < {last_sent}"
+        );
+        last_sent = sent;
+        scrapes += 1;
+    }
+    assert_eq!(scrapes, 10);
+    assert!(last_sent > 0, "the scraped node sent traffic");
+
+    // Merge the final per-node registries: the cluster as a whole
+    // delivered, lost injected datagrams, and measured latency.
+    let mut merged = Snapshot::default();
+    for r in cluster.telemetry_registries() {
+        assert!(merged.merge(&r.snapshot()), "histogram bounds agree");
+    }
+    let _ = cluster.stop();
+    assert!(merged.counter_sum(names::DELIVERIES) > 0);
+    assert!(merged.counter_sum(names::LOSS_INJECTED) > 0);
+    let latency = merged
+        .histogram_merged(names::DELIVERY_LATENCY_SECONDS)
+        .expect("latency histogram present");
+    assert!(latency.count > 0, "stamped deliveries were measured");
+    let [p50, _, _, p999] = latency.slo_quantiles().expect("quantiles");
+    assert!(p50 <= p999);
+}
+
+/// Transport refusals carry a typed cause that maps onto the
+/// `agb_socket_send_errors_total{cause}` label vocabulary.
+#[test]
+fn transport_failures_map_onto_the_cause_vocabulary() {
+    let mut transports = ChannelTransport::cluster(2);
+    let t = transports.remove(0);
+
+    let oversize = t
+        .send(NodeId::new(1), Payload::from(vec![0u8; MAX_DATAGRAM + 1]))
+        .expect_err("oversized datagram must be refused");
+    assert!(matches!(oversize, TransportError::Oversize { .. }));
+    assert_eq!(oversize.cause_label(), "oversize");
+
+    let unknown = t
+        .send(NodeId::new(9), Payload::from_static(b"hello"))
+        .expect_err("unknown peer must be refused");
+    assert!(matches!(unknown, TransportError::UnknownPeer(_)));
+    assert_eq!(unknown.cause_label(), "unknown_peer");
+
+    // Sane sends still work after refusals.
+    t.send(NodeId::new(1), Payload::from_static(b"fine"))
+        .expect("normal send");
+}
+
+/// A traced threaded run advertises its wall-clock timestamps and
+/// exposes the shift-invariant digest, so consumers know which digest
+/// to compare.
+#[test]
+fn runtime_trace_summary_is_marked_wall_clock() {
+    let mut config = telemetry_cluster(72, 4);
+    config.trace = TraceConfig::enabled();
+    let cluster = RuntimeCluster::start(config).expect("start");
+    cluster.run_for(Duration::from_millis(400));
+    let summary = cluster.trace_summary("runtime").expect("tracing enabled");
+    let _ = cluster.stop();
+
+    assert!(summary.wall_clock, "threaded runs are wall-clock-timed");
+    let json = summary.to_json();
+    assert_eq!(json.get("wall_clock").and_then(|j| j.as_bool()), Some(true));
+    let stable = json
+        .get("stable_digest")
+        .and_then(|j| j.as_str())
+        .expect("stable digest serialized");
+    assert_eq!(stable, format!("{:#018x}", summary.stable_digest));
+}

@@ -2,7 +2,7 @@
 //! per-figure bench targets.
 //!
 //! Each bench target in `benches/` regenerates one table or figure of the
-//! paper (see DESIGN.md's experiment index) and prints the same rows the
+//! paper (see docs/ARCHITECTURE.md) and prints the same rows the
 //! paper plots. Set `AGB_QUICK=1` to shrink run lengths for CI.
 
 #![forbid(unsafe_code)]

@@ -149,7 +149,7 @@ pub struct CongestionConfig {
     /// relief age) avoids a cold-start decrease.
     pub initial_age: f64,
     /// Drift `avgAge` toward `relief_age` on receives with nothing to drop
-    /// (see DESIGN.md §3 on why pure Figure 5(b) can wedge).
+    /// (see docs/ARCHITECTURE.md on why pure Figure 5(b) can wedge).
     pub no_drop_relief: bool,
     /// The optimistic age used by the relief drift; a natural choice is the
     /// age cap `k`.

@@ -65,7 +65,7 @@ impl CongestionEstimator {
     /// no real eviction just happened either) and `no_drop_relief` is
     /// enabled, the average instead drifts toward `relief_age` — the escape
     /// hatch that lets a sender rediscover headroom after congestion clears
-    /// entirely (see DESIGN.md §3 for why the paper's verbatim rule can
+    /// entirely (see docs/ARCHITECTURE.md for why the paper's verbatim rule can
     /// deadlock).
     pub fn scan(&mut self, buffer: &EventBuffer, min_buff: usize, suppress_relief: bool) {
         let would = buffer.would_evict(min_buff, &self.lost);

@@ -8,7 +8,7 @@
 //!
 //! The paper's criterion is an average delivery fraction of 95%. On this
 //! substrate the degradation knee is more gradual than on the authors'
-//! system (dissemination is more redundant — see EXPERIMENTS.md), so the
+//! system (dissemination is more redundant — see docs/ARCHITECTURE.md), so the
 //! *atomicity* criterion (fraction of messages reaching >95% of the group)
 //! is the binding one and is used by default; both are available.
 

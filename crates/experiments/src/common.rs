@@ -18,7 +18,7 @@ pub const N_SENDERS: usize = 10;
 /// substrate disseminates more efficiently (its calibrated maximum is
 /// ≈ 1.0 msg/s per buffer slot instead of the paper's ≈ 0.25), so the
 /// offered load is scaled to put the capacity crossover in the same place
-/// of the sweep: between buffer 90 and 120. See EXPERIMENTS.md.
+/// of the sweep: between buffer 90 and 120. See docs/ARCHITECTURE.md (calibration notes).
 pub const OFFERED_RATE: f64 = 100.0;
 /// The buffer-size sweep of Figures 4 and 6–8.
 pub const BUFFER_SWEEP: [usize; 6] = [30, 60, 90, 120, 150, 180];

@@ -14,7 +14,7 @@ use crate::common::{paper_cluster, run_measured, RunOutcome, Windows};
 ///
 /// Chosen so the congestion knee (≈ 1.0 msg/s per buffer slot on this
 /// substrate) falls inside the paper's 10–60 msg/s axis, as it did on the
-/// authors' system; see EXPERIMENTS.md on the knee-scale substitution.
+/// authors' system; see docs/ARCHITECTURE.md on the knee-scale substitution.
 pub const FIG2_BUFFER: usize = 30;
 /// The offered-rate sweep.
 pub const FIG2_RATES: [f64; 6] = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0];

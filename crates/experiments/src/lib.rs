@@ -15,6 +15,7 @@
 //! | [`maelstrom`] | — (beyond the paper) | Maelstrom-style workloads (broadcast / unique-ids / g-counter) over the line protocol (`agb-maelstrom`) |
 //! | [`trace`] | — (beyond the paper) | causal dissemination tracing dashboard + `TRACE.json` (`agb-trace`) |
 //! | [`telemetry`] | — (beyond the paper) | live wall-clock telemetry plane: scraped runtime cluster + SLO report + deterministic bridge leg, `TELEMETRY.json` (`agb-telemetry`) |
+//! | [`topology`] | — (beyond the paper) | locality-biased sampling + probabilistic forwarding on structured overlays, `TOPOLOGY.json` (`agb-topology`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
 //! and is invoked both by the `repro` binary and by the `agb-bench` bench
@@ -36,4 +37,5 @@ pub mod fig9;
 pub mod maelstrom;
 pub mod recovery;
 pub mod telemetry;
+pub mod topology;
 pub mod trace;

@@ -26,6 +26,7 @@ use agb_recovery::RecoveryConfig;
 use agb_sim::{
     LatencyModel, NetworkConfig, Partition, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
 };
+use agb_topology::RoutingConfig;
 use agb_trace::TraceCounts;
 use agb_types::{fnv1a, json::Json, DetRng, DurationMs, NodeId, SeedSequence, TimeMs};
 use rand::RngExt;
@@ -56,6 +57,17 @@ pub struct HarnessConfig {
     pub recovery: RecoveryConfig,
     /// Partial-view hints (see [`NodeConfig::partial_view`]).
     pub partial_view: Option<PartialViewConfig>,
+    /// Probabilistic-forwarding parameters ([`Flavor::Routing`]).
+    pub routing: RoutingConfig,
+    /// Locality-bias escape probability ([`NodeConfig::locality_escape`]).
+    pub locality_escape: f64,
+    /// Region label per dense node id. When set, nodes tally gossip
+    /// frames crossing a region boundary and the checker adds the
+    /// `cross_region_traffic` property.
+    pub regions: Option<Vec<u32>>,
+    /// Upper bound on the fraction of inter-node frames allowed to cross
+    /// a region boundary (only checked when [`Self::regions`] is set).
+    pub max_cross_fraction: f64,
     /// Client operations to script (broadcasts / adds / generates).
     pub n_ops: usize,
     /// First client operation time.
@@ -91,6 +103,10 @@ impl HarnessConfig {
             adaptation: AdaptationConfig::default(),
             recovery: RecoveryConfig::default(),
             partial_view: None,
+            routing: RoutingConfig::default(),
+            locality_escape: 0.1,
+            regions: None,
+            max_cross_fraction: 1.0,
             n_ops: 20,
             ops_from: TimeMs::from_secs(5),
             ops_until: TimeMs::from_secs(35),
@@ -371,6 +387,13 @@ pub fn run_workload(config: &HarnessConfig) -> WorkloadReport {
         adaptation: config.adaptation.clone(),
         recovery: config.recovery.clone(),
         partial_view: config.partial_view,
+        routing: config.routing,
+        locality_escape: config.locality_escape,
+        regions: config.regions.clone(),
+    };
+    let period = match config.flavor {
+        Flavor::Routing => config.routing.gossip_period,
+        _ => config.gossip.gossip_period,
     };
     let nodes: Vec<HarnessNode> = roster
         .iter()
@@ -378,7 +401,7 @@ pub fn run_workload(config: &HarnessConfig) -> WorkloadReport {
             inner: MaelstromNode::new(node_config.clone()),
             me: me.clone(),
             roster: roster.clone(),
-            period: config.gossip.gossip_period,
+            period,
             client_outbox: Vec::new(),
             parse_errors: 0,
         })
@@ -665,6 +688,26 @@ fn check(
         }
     }
 
+    if config.regions.is_some() {
+        // Region-labelled run: dissemination must actually bridge the
+        // regions (a zero count with atomic delivery would mean the
+        // counter is wired wrong), and the cross-region share of frames
+        // must stay under the configured cap — the locality story.
+        let crossings = trace.cross_partition_msgs;
+        let frac = crossings as f64 / stats.sends.max(1) as f64;
+        properties.push(Property {
+            name: "cross_region_traffic",
+            ok: crossings > 0 && frac <= config.max_cross_fraction,
+            detail: format!(
+                "{crossings}/{} inter-node frames crossed a region boundary \
+                 ({:.1}%, cap {:.0}%)",
+                stats.sends,
+                frac * 100.0,
+                config.max_cross_fraction * 100.0
+            ),
+        });
+    }
+
     properties.push(Property {
         name: "no_protocol_errors",
         ok: proto_errors == 0,
@@ -726,12 +769,16 @@ fn mix_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
-/// The standard three-workload suite behind `repro maelstrom`:
+/// The standard workload suite behind `repro maelstrom`:
 ///
 /// 1. **broadcast** — 25 nodes, 10% loss, one 12 s partition window,
 ///    adaptive + recovery;
-/// 2. **unique-ids** — 12 nodes;
-/// 3. **g-counter** — 15 nodes, 10% loss, adaptive + recovery.
+/// 2. the same scenario on push-only **lpbcast** (comparison row);
+/// 3. **broadcast/routing** — 20 nodes, probabilistic forwarding over
+///    the ring topology hints, quadrant regions, cross-region traffic
+///    checked;
+/// 4. **unique-ids** — 12 nodes;
+/// 5. **g-counter** — 15 nodes, 10% loss, adaptive + recovery.
 pub fn standard_suite(seed: u64, quick: bool) -> MaelstromSummary {
     standard_suite_threads(seed, quick, agb_sim::threads_from_env())
 }
@@ -767,6 +814,20 @@ pub fn standard_suite_threads(seed: u64, quick: bool, threads: usize) -> Maelstr
     baseline.flavor = Flavor::Lpbcast;
     baseline.atomicity_threshold = 0.0;
     reports.push(run_workload(&baseline));
+
+    // Probabilistic forwarding over the harness's ring hints, with
+    // quadrant region labels: the topology flavor's row — the same
+    // broadcast checks plus bounded cross-region traffic.
+    let routing_n = 20usize;
+    let mut routing = HarnessConfig::new(WorkloadKind::Broadcast, routing_n, seed);
+    routing.flavor = Flavor::Routing;
+    routing.n_ops = if quick { 16 } else { 32 };
+    routing.ops_from = TimeMs::from_secs(5);
+    routing.ops_until = TimeMs::from_secs(if quick { 25 } else { 35 });
+    routing.read_at = TimeMs::from_secs(if quick { 45 } else { 60 });
+    routing.regions = Some((0..routing_n).map(|i| (i * 4 / routing_n) as u32).collect());
+    routing.threads = threads;
+    reports.push(run_workload(&routing));
 
     // Unique ids: pure RPC, no dissemination required.
     let mut unique = HarnessConfig::new(WorkloadKind::UniqueIds, 12, seed);
@@ -837,6 +898,27 @@ mod tests {
         let report = run_workload(&small(WorkloadKind::GCounter));
         assert!(report.passed(), "properties: {:?}", report.properties);
         assert_eq!(report.avg_fraction, 1.0);
+    }
+
+    #[test]
+    fn routing_broadcast_is_atomic_and_crosses_regions() {
+        let mut config = small(WorkloadKind::Broadcast);
+        config.flavor = Flavor::Routing;
+        config.regions = Some(vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        let report = run_workload(&config);
+        assert!(report.passed(), "properties: {:?}", report.properties);
+        assert!(
+            report.trace.cross_partition_msgs > 0,
+            "ring + escape hatch must bridge the two regions"
+        );
+        assert!(
+            report
+                .properties
+                .iter()
+                .any(|p| p.name == "cross_region_traffic" && p.ok),
+            "properties: {:?}",
+            report.properties
+        );
     }
 
     #[test]

@@ -15,13 +15,15 @@
 //! real stdin/stdout binary under the Maelstrom jar.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use agb_core::{
     AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, LpbcastNode, ProtocolEvent,
 };
-use agb_membership::{FullView, PartialView, PartialViewConfig};
+use agb_membership::{FullView, LocalitySampler, PartialView, PartialViewConfig};
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_runtime::wire::{decode_frame, encode_frame};
+use agb_topology::{RoutingConfig, RoutingNode};
 use agb_trace::{TraceConfig, TraceCounts, TraceProbe};
 use agb_types::{DetRng, NodeId, Payload as AppPayload, SeedSequence, TimeMs};
 
@@ -36,6 +38,10 @@ pub enum Flavor {
     Adaptive,
     /// Adaptive wrapped in the pull-based recovery layer.
     AdaptiveRecovery,
+    /// GOSSIP3-style probabilistic forwarding (`agb-topology`); the
+    /// `topology` message's neighbour hints become the overlay (degree +
+    /// locality-biased sampling).
+    Routing,
 }
 
 impl Flavor {
@@ -45,6 +51,7 @@ impl Flavor {
             "lpbcast" => Some(Flavor::Lpbcast),
             "adaptive" => Some(Flavor::Adaptive),
             "adaptive-recovery" | "adaptive+recovery" => Some(Flavor::AdaptiveRecovery),
+            "routing" | "topology-routing" => Some(Flavor::Routing),
             _ => None,
         }
     }
@@ -55,6 +62,7 @@ impl Flavor {
             Flavor::Lpbcast => "lpbcast",
             Flavor::Adaptive => "adaptive",
             Flavor::AdaptiveRecovery => "adaptive-recovery",
+            Flavor::Routing => "routing",
         }
     }
 
@@ -116,8 +124,18 @@ pub struct NodeConfig {
     pub recovery: RecoveryConfig,
     /// `Some`: honour `topology` hints by re-seeding an lpbcast partial
     /// view from the neighbour list. `None`: keep the full view built at
-    /// `init` (topology is acknowledged and recorded only).
+    /// `init` (topology is acknowledged and recorded only —
+    /// [`Flavor::Routing`] always honours the hints).
     pub partial_view: Option<PartialViewConfig>,
+    /// Probabilistic-forwarding parameters ([`Flavor::Routing`]).
+    pub routing: RoutingConfig,
+    /// Uniform escape-hatch probability of the locality bias applied to
+    /// [`Flavor::Routing`] once `topology` hints arrive.
+    pub locality_escape: f64,
+    /// Region label per dense node id (same roster order as `init`).
+    /// When set, each node's trace probe counts gossip frames crossing a
+    /// region boundary (`cross_partition_msgs`).
+    pub regions: Option<Vec<u32>>,
 }
 
 impl NodeConfig {
@@ -132,6 +150,9 @@ impl NodeConfig {
             adaptation: AdaptationConfig::default(),
             recovery: RecoveryConfig::default(),
             partial_view: None,
+            routing: RoutingConfig::default(),
+            locality_escape: 0.1,
+            regions: None,
         }
     }
 }
@@ -316,13 +337,17 @@ impl MaelstromNode {
                 };
                 let my_id = NodeId::new(my_id as u32);
                 let protocol = make_protocol(&self.config, my_id, roster.len(), None);
+                let mut probe = TraceProbe::new(TraceConfig::enabled(), my_id);
+                if let Some(regions) = &self.config.regions {
+                    probe.set_regions(Arc::from(regions.clone()));
+                }
                 self.state = Some(Running {
                     me: node_id,
                     my_id,
                     roster,
                     now: TimeMs::ZERO,
                     protocol,
-                    probe: TraceProbe::new(TraceConfig::enabled(), my_id),
+                    probe,
                     seen: BTreeSet::new(),
                     counter: 0,
                     generated: 0,
@@ -332,7 +357,9 @@ impl MaelstromNode {
             }
             Payload::Topology { topology } => {
                 let contacts = self.apply_topology(topology);
-                if let (Some(pv), Some(contacts)) = (self.config.partial_view, contacts) {
+                let honours_hints =
+                    self.config.partial_view.is_some() || self.config.flavor == Flavor::Routing;
+                if let (true, Some(contacts)) = (honours_hints, contacts) {
                     if let Some(r) = self.state.as_mut() {
                         // Re-seeding replaces the protocol wholesale, so
                         // it is only safe while the node is still fresh:
@@ -348,7 +375,7 @@ impl MaelstromNode {
                                 &self.config,
                                 r.my_id,
                                 r.roster.len(),
-                                Some((pv, contacts)),
+                                Some(contacts),
                             );
                         }
                     }
@@ -520,29 +547,31 @@ impl MaelstromNode {
 
 /// Builds the protocol state machine behind one Maelstrom node.
 ///
-/// `topology` carries `(partial-view config, neighbour contacts)` when a
-/// `topology` message re-seeds the view; `None` builds the `init`-time
-/// view (full, or bootstrap-sampled partial when
-/// [`NodeConfig::partial_view`] is set).
+/// `hints` carries this node's neighbour contacts when a `topology`
+/// message re-seeds the protocol; `None` builds the `init`-time view
+/// (full, or bootstrap-sampled partial when [`NodeConfig::partial_view`]
+/// is set). For [`Flavor::Routing`] the hints double as the overlay:
+/// they set the rescue-rule degree and feed the locality-biased sampler.
 fn make_protocol(
     config: &NodeConfig,
     id: NodeId,
     n: usize,
-    topology: Option<(PartialViewConfig, Vec<NodeId>)>,
+    hints: Option<Vec<NodeId>>,
 ) -> Box<dyn FrameProtocol + Send> {
     let seeds = SeedSequence::new(config.seed);
     let stream = u64::from(id.as_u32());
     let proto_rng: DetRng = seeds.rng_for("maelstrom-protocol", stream);
     let recovery = config.flavor.recovery(&config.recovery);
-    let partial = topology.or_else(|| {
-        let pv = config.partial_view?;
-        // Bootstrap a partial view from a deterministic contact sample,
-        // as the harness join service would.
-        use agb_membership::PeerSampler;
-        let mut boot: DetRng = seeds.rng_for("maelstrom-bootstrap", stream);
-        let full = FullView::new(n);
-        let contacts = full.sample(&mut boot, pv.max_view.min(8), id);
-        Some((pv, contacts))
+    let partial = config.partial_view.map(|pv| {
+        let contacts = hints.clone().unwrap_or_else(|| {
+            // Bootstrap a partial view from a deterministic contact
+            // sample, as the harness join service would.
+            use agb_membership::PeerSampler;
+            let mut boot: DetRng = seeds.rng_for("maelstrom-bootstrap", stream);
+            let full = FullView::new(n);
+            full.sample(&mut boot, pv.max_view.min(8), id)
+        });
+        (pv, contacts)
     });
     match (config.flavor, partial) {
         (Flavor::Lpbcast, None) => boxed_frame_protocol(
@@ -580,6 +609,40 @@ fn make_protocol(
                 ),
                 recovery,
             )
+        }
+        (Flavor::Routing, partial) => {
+            // Before hints arrive the overlay is the whole group (degree
+            // n-1, pure probabilistic relay); the hints shrink it. An
+            // empty neighbour list makes the LocalitySampler delegate to
+            // plain uniform draws.
+            let neighbours = hints.unwrap_or_default();
+            let degree = if neighbours.is_empty() {
+                n.saturating_sub(1)
+            } else {
+                neighbours.len()
+            };
+            let escape = config.locality_escape;
+            match partial {
+                Some((pv, contacts)) => {
+                    let mut boot: DetRng = seeds.rng_for("maelstrom-view", stream);
+                    let view = LocalitySampler::new(
+                        PartialView::with_initial_peers(id, pv, contacts, &mut boot),
+                        neighbours,
+                        escape,
+                    );
+                    boxed_frame_protocol(
+                        RoutingNode::new(id, config.routing, view, degree, proto_rng),
+                        recovery,
+                    )
+                }
+                None => {
+                    let view = LocalitySampler::new(FullView::new(n), neighbours, escape);
+                    boxed_frame_protocol(
+                        RoutingNode::new(id, config.routing, view, degree, proto_rng),
+                        recovery,
+                    )
+                }
+            }
         }
     }
 }
@@ -738,6 +801,65 @@ mod tests {
             .handle(client("n0", 1, Payload::Broadcast { message: 1 }))
             .is_empty());
         assert!(n.tick(1_000).is_empty());
+    }
+
+    #[test]
+    fn routing_flavor_disseminates_over_topology_hints() {
+        let mut a = node(Flavor::Routing, WorkloadKind::Broadcast, "n0", 2);
+        let mut b = node(Flavor::Routing, WorkloadKind::Broadcast, "n1", 2);
+        let hints = Payload::Topology {
+            topology: vec![
+                ("n0".into(), vec!["n1".into()]),
+                ("n1".into(), vec!["n0".into()]),
+            ],
+        };
+        a.handle(client("n0", 2, hints.clone()));
+        b.handle(client("n1", 2, hints));
+        a.handle(client("n0", 3, Payload::Broadcast { message: 9 }));
+        let out = a.tick(1_000);
+        assert!(!out.is_empty(), "routing round must emit gossip");
+        b.tick(1_000);
+        for m in out {
+            assert_eq!(m.dest, "n1");
+            b.handle(m);
+        }
+        assert_eq!(b.seen(), vec![9]);
+    }
+
+    #[test]
+    fn routing_rebuild_keeps_the_fresh_guard() {
+        // Hints arriving after traffic must not rebuild the protocol —
+        // the delivered value would otherwise be double-deliverable.
+        let mut n = node(Flavor::Routing, WorkloadKind::Broadcast, "n0", 2);
+        n.handle(client("n0", 2, Payload::Broadcast { message: 4 }));
+        assert_eq!(n.seen(), vec![4]);
+        let out = n.handle(client(
+            "n0",
+            3,
+            Payload::Topology {
+                topology: vec![
+                    ("n0".into(), vec!["n1".into()]),
+                    ("n1".into(), vec!["n0".into()]),
+                ],
+            },
+        ));
+        assert!(matches!(out[0].body.payload, Payload::TopologyOk));
+        assert_eq!(n.seen(), vec![4], "state must survive late hints");
+    }
+
+    #[test]
+    fn region_map_tallies_cross_partition_frames() {
+        let mut config = NodeConfig::new(Flavor::Lpbcast, WorkloadKind::Broadcast, 7);
+        config.regions = Some(vec![0, 1]);
+        let mut a = MaelstromNode::new(config);
+        a.handle_line(&init_line("n0", 2)).unwrap();
+        a.handle(client("n0", 2, Payload::Broadcast { message: 1 }));
+        let out = a.tick(1_000);
+        assert!(!out.is_empty());
+        assert!(
+            a.trace_counts().cross_partition_msgs > 0,
+            "n0 -> n1 crosses the region boundary"
+        );
     }
 
     #[test]

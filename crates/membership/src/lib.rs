@@ -15,6 +15,10 @@
 //!   unsubscription buffers and random eviction, exchanged through
 //!   [`MembershipDigest`]s.
 //!
+//! Either flavor can be wrapped in a [`LocalitySampler`] to bias peer
+//! selection towards topology neighbours (racks, clusters, radio range)
+//! while keeping a tunable uniform escape hatch.
+//!
 //! # Example
 //!
 //! ```
@@ -35,11 +39,13 @@
 mod digest;
 mod full;
 mod gossiper;
+mod locality;
 mod partial;
 mod sampler;
 
 pub use digest::{MembershipDigest, Unsubscription};
 pub use full::FullView;
 pub use gossiper::GossipMembership;
+pub use locality::LocalitySampler;
 pub use partial::{PartialView, PartialViewConfig};
 pub use sampler::PeerSampler;

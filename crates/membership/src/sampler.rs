@@ -6,6 +6,25 @@ use agb_types::{DetRng, NodeId};
 ///
 /// Implementations must never return the excluded node (the caller itself)
 /// and must not return duplicates within one call.
+///
+/// # Example
+///
+/// Samplers compose: protocols take any `PeerSampler` (plain views,
+/// locality-biased wrappers) behind the same four methods.
+///
+/// ```
+/// use agb_membership::{FullView, PeerSampler};
+/// use agb_types::{DetRng, NodeId};
+/// use rand::SeedableRng;
+///
+/// fn fanout_targets(s: &dyn PeerSampler, rng: &mut DetRng) -> Vec<NodeId> {
+///     s.sample(rng, 4, NodeId::new(0))
+/// }
+///
+/// let view = FullView::new(12);
+/// let mut rng = DetRng::seed_from_u64(2);
+/// assert_eq!(fanout_targets(&view, &mut rng).len(), 4);
+/// ```
 pub trait PeerSampler {
     /// Draws up to `fanout` distinct peers, excluding `exclude`.
     ///

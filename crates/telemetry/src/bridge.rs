@@ -112,6 +112,12 @@ pub fn fold_trace_counts(
         counts.view_changes,
     );
     add(
+        names::CROSS_PARTITION_MSGS,
+        names::help::CROSS_PARTITION_MSGS,
+        labels,
+        counts.cross_partition_msgs,
+    );
+    add(
         names::LIFECYCLE,
         names::help::LIFECYCLE,
         &with(("kind", "crash")),
@@ -138,6 +144,7 @@ mod tests {
         c.grafts = 3;
         c.recovered = 3;
         c.crashes = 1;
+        c.cross_partition_msgs = 4;
         c
     }
 
@@ -159,6 +166,10 @@ mod tests {
         assert_eq!(
             snap.counter(names::LIFECYCLE, &[("kind", "crash"), ("node", "0")]),
             Some(1)
+        );
+        assert_eq!(
+            snap.counter(names::CROSS_PARTITION_MSGS, &[("node", "0")]),
+            Some(4)
         );
     }
 

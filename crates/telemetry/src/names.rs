@@ -23,6 +23,7 @@
 //! | [`DROPS`] | counter | `node`, `cause` | buffer/throttle drops (`age`/`size`/`congestion`) |
 //! | [`RECOVERY_EVENTS`] | counter | `node`, `kind` | recovery plane (`ihave`/`graft`/`retransmit`/`recovered`/`duplicate`/`abandoned`) |
 //! | [`VIEW_CHANGES`] | counter | `node` | membership-view size changes |
+//! | [`CROSS_PARTITION_MSGS`] | counter | `node` | gossip frames sent across a topology-region boundary |
 //! | [`LIFECYCLE`] | counter | `node`, `kind` | `crash`/`restart`/`recover`/`leave` commands |
 //! | [`ROUNDS`] | counter | `node` | gossip rounds executed |
 //! | [`OFFERS_REFUSED`] | counter | `node` | offers refused by the blocking-application backlog |
@@ -60,6 +61,8 @@ pub const DROPS: &str = "agb_drops_total";
 pub const RECOVERY_EVENTS: &str = "agb_recovery_events_total";
 /// `agb_view_changes_total{node}`.
 pub const VIEW_CHANGES: &str = "agb_view_changes_total";
+/// `agb_cross_partition_msgs_total{node}`.
+pub const CROSS_PARTITION_MSGS: &str = "agb_cross_partition_msgs_total";
 /// `agb_lifecycle_total{node,kind}`.
 pub const LIFECYCLE: &str = "agb_lifecycle_total";
 /// `agb_rounds_total{node}`.
@@ -110,6 +113,8 @@ pub mod help {
     pub const RECOVERY_EVENTS: &str = "Recovery-plane events by kind";
     /// Help for [`VIEW_CHANGES`](super::VIEW_CHANGES).
     pub const VIEW_CHANGES: &str = "Membership-view size changes";
+    /// Help for [`CROSS_PARTITION_MSGS`](super::CROSS_PARTITION_MSGS).
+    pub const CROSS_PARTITION_MSGS: &str = "Gossip frames sent across a topology-region boundary";
     /// Help for [`LIFECYCLE`](super::LIFECYCLE).
     pub const LIFECYCLE: &str = "Node lifecycle transitions by kind";
     /// Help for [`ROUNDS`](super::ROUNDS).

@@ -15,6 +15,8 @@
 //! draws randomness, or sends messages, so engine results are identical
 //! with tracing on and off.
 
+use std::sync::Arc;
+
 use agb_core::{GossipFrame, ProtocolEvent, PurgeReason};
 use agb_types::{EventId, NodeId, TimeMs};
 
@@ -30,6 +32,9 @@ pub struct TraceProbe {
     /// Incoming sampled event ids of the frame currently being handled,
     /// used to detect redundant arrivals (scratch; cleared per message).
     incoming: Vec<(EventId, u32)>,
+    /// Topology region per dense node id, shared across a harness's
+    /// probes. `None` (the default) disables cross-partition accounting.
+    regions: Option<Arc<[u32]>>,
     pending: Vec<TraceRecord>,
 }
 
@@ -41,8 +46,23 @@ impl TraceProbe {
             node,
             round: 0,
             incoming: Vec::new(),
+            regions: None,
             pending: Vec::new(),
         }
+    }
+
+    /// Arms cross-partition accounting: `regions[i]` is the topology
+    /// region of dense node id `i`. Outgoing gossip frames whose target
+    /// lives in a different region than this probe's node produce a
+    /// [`TraceKind::CrossPartition`] record (one per frame — the unit of
+    /// inter-region link cost). Out-of-range ids count as region 0.
+    pub fn set_regions(&mut self, regions: Arc<[u32]>) {
+        self.regions = Some(regions);
+    }
+
+    /// The region map, if cross-partition accounting is armed.
+    pub fn regions(&self) -> Option<&Arc<[u32]>> {
+        self.regions.as_ref()
     }
 
     /// Whether this probe records anything at all.
@@ -117,6 +137,19 @@ impl TraceProbe {
         }
         for (to, frame) in frames {
             if let GossipFrame::Gossip { msg, ihave } = frame {
+                if let Some(regions) = &self.regions {
+                    let region_of = |n: NodeId| regions.get(n.index()).copied().unwrap_or(0);
+                    let target_region = region_of(*to);
+                    if target_region != region_of(self.node) {
+                        self.push(
+                            at,
+                            TraceKind::CrossPartition {
+                                to: *to,
+                                region: target_region,
+                            },
+                        );
+                    }
+                }
                 for event in &msg.events {
                     self.push(
                         at,
@@ -420,6 +453,34 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert!(matches!(recs[0].kind, TraceKind::BufferOccupancy { .. }));
         assert!(matches!(recs[1].kind, TraceKind::Crash));
+    }
+
+    #[test]
+    fn region_map_counts_cross_partition_frames() {
+        let mut p = TraceProbe::new(TraceConfig::enabled(), NodeId::new(0));
+        // Nodes 0-1 in region 0, node 2 in region 1.
+        p.set_regions(Arc::from(vec![0u32, 0, 1]));
+        assert!(p.regions().is_some());
+        let frames = vec![
+            (NodeId::new(1), gossip_frame(0, &[id(0, 0)])), // intra-region
+            (NodeId::new(2), gossip_frame(0, &[id(0, 0)])), // cross-region
+            (NodeId::new(9), gossip_frame(0, &[id(0, 0)])), // out of range -> region 0
+        ];
+        p.on_round(TimeMs::from_secs(1), &frames, 0, 10);
+        let crossings: Vec<(NodeId, u32)> = p
+            .drain_pending()
+            .filter_map(|r| match r.kind {
+                TraceKind::CrossPartition { to, region } => Some((to, region)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crossings, vec![(NodeId::new(2), 1)]);
+        // Without a region map the kind is never produced.
+        let mut bare = TraceProbe::new(TraceConfig::enabled(), NodeId::new(0));
+        bare.on_round(TimeMs::from_secs(1), &frames, 0, 10);
+        assert!(bare
+            .drain_pending()
+            .all(|r| !matches!(r.kind, TraceKind::CrossPartition { .. })));
     }
 
     #[test]

@@ -152,6 +152,17 @@ pub enum TraceKind {
         /// Buffer capacity at snapshot time.
         capacity: u32,
     },
+    /// An outgoing gossip frame crossed a topology-region boundary (rack,
+    /// cluster, site). The raw signal for locality-bias effectiveness:
+    /// counted per frame, not per event, because the expensive resource is
+    /// the inter-region link. Never recorded unless the probe was given a
+    /// region map.
+    CrossPartition {
+        /// The frame's destination in the foreign region.
+        to: NodeId,
+        /// The destination's region label.
+        region: u32,
+    },
 }
 
 impl TraceKind {
@@ -189,6 +200,7 @@ impl TraceKind {
             TraceKind::Crash => "crash",
             TraceKind::Restart => "restart",
             TraceKind::BufferOccupancy { .. } => "buffer_occupancy",
+            TraceKind::CrossPartition { .. } => "cross_partition",
         }
     }
 
@@ -210,6 +222,7 @@ impl TraceKind {
             TraceKind::Crash => 13,
             TraceKind::Restart => 14,
             TraceKind::BufferOccupancy { .. } => 15,
+            TraceKind::CrossPartition { .. } => 16,
         }
     }
 }
@@ -335,6 +348,10 @@ mod tests {
             TraceKind::BufferOccupancy {
                 len: 5,
                 capacity: 30,
+            },
+            TraceKind::CrossPartition {
+                to: NodeId::new(1),
+                region: 2,
             },
         ];
         let mut labels: Vec<_> = kinds.iter().map(TraceKind::label).collect();

@@ -53,6 +53,9 @@ pub struct TraceCounts {
     pub crashes: u64,
     /// Node restarts.
     pub restarts: u64,
+    /// Gossip frames sent across a topology-region boundary (only
+    /// tallied when the probe carries a region map).
+    pub cross_partition_msgs: u64,
 }
 
 impl TraceCounts {
@@ -78,6 +81,7 @@ impl TraceCounts {
             TraceKind::Crash => self.crashes += 1,
             TraceKind::Restart => self.restarts += 1,
             TraceKind::BufferOccupancy { .. } => {}
+            TraceKind::CrossPartition { .. } => self.cross_partition_msgs += 1,
         }
     }
 
@@ -99,6 +103,7 @@ impl TraceCounts {
         self.view_changes += other.view_changes;
         self.crashes += other.crashes;
         self.restarts += other.restarts;
+        self.cross_partition_msgs += other.cross_partition_msgs;
     }
 
     /// Total records tallied (excluding occupancy snapshots, which are
@@ -113,7 +118,7 @@ impl TraceCounts {
     }
 
     /// `(label, count)` pairs in stable declaration order.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 16] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
         [
             ("publishes", self.publishes),
             ("relays", self.relays),
@@ -131,6 +136,7 @@ impl TraceCounts {
             ("view_changes", self.view_changes),
             ("crashes", self.crashes),
             ("restarts", self.restarts),
+            ("cross_partition_msgs", self.cross_partition_msgs),
         ]
     }
 
@@ -318,6 +324,10 @@ impl Recorder {
             TraceKind::BufferOccupancy { len, capacity } => {
                 self.mix(u64::from(*len));
                 self.mix(u64::from(*capacity));
+            }
+            TraceKind::CrossPartition { to, region } => {
+                self.mix(u64::from(to.as_u32()));
+                self.mix(u64::from(*region));
             }
             _ => {}
         }

@@ -37,6 +37,7 @@ mod rng;
 mod shard;
 mod stats;
 mod time;
+pub mod topology;
 
 pub use env::{env_flag, env_usize, parse_flag};
 pub use error::{ConfigError, ConfigResult};
@@ -47,6 +48,7 @@ pub use rng::{bernoulli, fnv1a, fork_seed, DetRng, SeedSequence};
 pub use shard::ShardMap;
 pub use stats::{Ewma, MinWindow, RunningStats, SlidingWindow, WelfordStats};
 pub use time::{DurationMs, TimeMs};
+pub use topology::Topology;
 
 /// Message payload carried by broadcast events.
 ///

@@ -2,16 +2,22 @@
 
 use std::cell::{Ref, RefCell};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use agb_core::{
     AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, GossipFrame, LpbcastNode,
 };
-use agb_membership::{FullView, PartialView, PartialViewConfig, PeerSampler};
+use agb_membership::{
+    FullView, GossipMembership, LocalitySampler, PartialView, PartialViewConfig, PeerSampler,
+};
 use agb_metrics::MetricsCollector;
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
-use agb_sim::{NetStats, NetworkConfig, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId};
+use agb_sim::{
+    NetStats, NetworkConfig, Partition, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
+};
+use agb_topology::{RoutingConfig, RoutingNode};
 use agb_trace::{Recorder, TraceConfig, TraceProbe, TraceSink, TraceSummary};
-use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs};
+use agb_types::{DetRng, DurationMs, NodeId, Payload, SeedSequence, TimeMs, Topology};
 use rand::RngExt;
 
 use crate::schedule::{ChurnEvent, ChurnSchedule, ResizeSchedule};
@@ -30,6 +36,10 @@ pub enum Algorithm {
     },
     /// The adaptive protocol of Figure 5.
     Adaptive,
+    /// GOSSIP3-style probabilistic forwarding (`agb-topology`): each rumor
+    /// is relayed a bounded number of rounds with a degree- and age-aware
+    /// relay gamble, instead of reshipping the whole buffer every round.
+    Routing(RoutingConfig),
 }
 
 /// Which membership service nodes use.
@@ -115,6 +125,17 @@ pub struct ClusterConfig {
     /// canonical order, so the trace digest is bit-identical at every
     /// thread count. Tracing never changes protocol or engine results.
     pub trace: TraceConfig,
+    /// Overlay topology hint (`None`: flat group, no locality structure).
+    /// Must match `n_nodes` when set. It feeds three planes: the
+    /// [`LocalitySampler`] wrap selected by
+    /// [`Self::locality_escape`], per-node overlay degrees for
+    /// [`Algorithm::Routing`], and — when tracing is enabled — the region
+    /// map that arms the probes' cross-partition counter.
+    pub topology: Option<Topology>,
+    /// Wrap every node's membership view in a [`LocalitySampler`] with
+    /// this uniform-escape probability (requires [`Self::topology`]).
+    /// `None` keeps plain uniform sampling.
+    pub locality_escape: Option<f64>,
 }
 
 impl ClusterConfig {
@@ -140,6 +161,8 @@ impl ClusterConfig {
             absent_at_start: Vec::new(),
             threads: agb_sim::threads_from_env(),
             trace: TraceConfig::disabled(),
+            topology: None,
+            locality_escape: None,
         }
     }
 
@@ -190,40 +213,86 @@ impl ClusterConfig {
         let stream = i + (epoch << 32);
         let proto_rng: DetRng = seeds.rng_for(proto_label, stream);
         let recovery = self.recovery.clone();
-        match (&self.algorithm, &self.membership) {
-            (Algorithm::Adaptive, MembershipKind::Full) => boxed_frame_protocol(
-                AdaptiveNode::new(
-                    id,
-                    gossip,
-                    self.adaptation.clone(),
-                    FullView::new(self.n_nodes),
-                    proto_rng,
-                ),
-                recovery,
-            ),
-            (Algorithm::Adaptive, MembershipKind::Partial(pv)) => {
-                let mut boot_rng: DetRng = seeds.rng_for(boot_label, stream);
-                let view = match contacts {
-                    Some(c) => PartialView::with_initial_peers(id, *pv, c, &mut boot_rng),
-                    None => bootstrap_view(id, self.n_nodes, *pv, &mut boot_rng),
-                };
-                boxed_frame_protocol(
-                    AdaptiveNode::new(id, gossip, self.adaptation.clone(), view, proto_rng),
-                    recovery,
-                )
+        match &self.membership {
+            MembershipKind::Full => {
+                self.wrap_locality(id, gossip, FullView::new(self.n_nodes), proto_rng, recovery)
             }
-            (_, MembershipKind::Full) => boxed_frame_protocol(
-                LpbcastNode::new(id, gossip, FullView::new(self.n_nodes), proto_rng),
-                recovery,
-            ),
-            (_, MembershipKind::Partial(pv)) => {
+            MembershipKind::Partial(pv) => {
                 let mut boot_rng: DetRng = seeds.rng_for(boot_label, stream);
                 let view = match contacts {
                     Some(c) => PartialView::with_initial_peers(id, *pv, c, &mut boot_rng),
                     None => bootstrap_view(id, self.n_nodes, *pv, &mut boot_rng),
                 };
+                self.wrap_locality(id, gossip, view, proto_rng, recovery)
+            }
+        }
+    }
+
+    /// Applies the topology plane to a freshly built membership view:
+    /// with a topology and a `locality_escape`, the view gets the
+    /// neighbour-biased [`LocalitySampler`] wrap; otherwise it is used
+    /// as-is (draw-identical to the pre-topology builds).
+    fn wrap_locality<S>(
+        &self,
+        id: NodeId,
+        gossip: GossipConfig,
+        view: S,
+        proto_rng: DetRng,
+        recovery: Option<RecoveryConfig>,
+    ) -> Box<dyn FrameProtocol + Send>
+    where
+        S: GossipMembership + Send + 'static,
+    {
+        match (&self.topology, self.locality_escape) {
+            (Some(topo), Some(escape)) => {
+                let sampler = LocalitySampler::new(view, topo.neighbors(id).to_vec(), escape);
+                self.finish_protocol(id, gossip, sampler, proto_rng, recovery)
+            }
+            _ => self.finish_protocol(id, gossip, view, proto_rng, recovery),
+        }
+    }
+
+    /// Builds the selected algorithm over an assembled membership view
+    /// and composes the optional recovery layer on top.
+    fn finish_protocol<S>(
+        &self,
+        id: NodeId,
+        gossip: GossipConfig,
+        view: S,
+        proto_rng: DetRng,
+        recovery: Option<RecoveryConfig>,
+    ) -> Box<dyn FrameProtocol + Send>
+    where
+        S: GossipMembership + Send + 'static,
+    {
+        match &self.algorithm {
+            Algorithm::Adaptive => boxed_frame_protocol(
+                AdaptiveNode::new(id, gossip, self.adaptation.clone(), view, proto_rng),
+                recovery,
+            ),
+            Algorithm::Routing(rc) => {
+                // Without a topology the overlay is the full group, so the
+                // degree is n-1 (the rescue rule then never fires for
+                // groups above the threshold — pure probabilistic relay).
+                let degree = self
+                    .topology
+                    .as_ref()
+                    .map_or(self.n_nodes.saturating_sub(1), |t| t.degree(id));
+                boxed_frame_protocol(RoutingNode::new(id, *rc, view, degree, proto_rng), recovery)
+            }
+            Algorithm::Lpbcast | Algorithm::LpbcastStatic { .. } => {
                 boxed_frame_protocol(LpbcastNode::new(id, gossip, view, proto_rng), recovery)
             }
+        }
+    }
+
+    /// The gossip-round period actually driving the round timers —
+    /// [`RoutingConfig::gossip_period`] for the routing flavor, the base
+    /// [`GossipConfig::gossip_period`] otherwise.
+    pub fn round_period(&self) -> DurationMs {
+        match self.algorithm {
+            Algorithm::Routing(rc) => rc.gossip_period,
+            _ => self.gossip.gossip_period,
         }
     }
 }
@@ -425,6 +494,21 @@ impl GossipCluster {
                 .validate()
                 .unwrap_or_else(|e| panic!("invalid adaptation config: {e}"));
         }
+        if let Algorithm::Routing(rc) = &config.algorithm {
+            rc.validate()
+                .unwrap_or_else(|e| panic!("invalid routing config: {e}"));
+        }
+        if let Some(topo) = &config.topology {
+            assert_eq!(
+                topo.len(),
+                config.n_nodes,
+                "topology size must match n_nodes"
+            );
+        }
+        assert!(
+            config.locality_escape.is_none() || config.topology.is_some(),
+            "locality_escape requires a topology"
+        );
 
         let seeds = SeedSequence::new(config.seed);
         let metrics = Rc::new(RefCell::new(MetricsCollector::new(
@@ -433,7 +517,17 @@ impl GossipCluster {
         )));
         let payload = Payload::from(vec![0u8; config.payload_size]);
         let per_sender_rate = config.per_sender_rate();
-        let period = config.gossip.gossip_period;
+        let period = config.round_period();
+        // One shared region map, handed to every probe: cross-partition
+        // accounting is observational, so it only exists while tracing.
+        let regions: Option<Arc<[u32]>> = if config.trace.enabled {
+            config
+                .topology
+                .as_ref()
+                .map(|t| Arc::from(t.regions().to_vec()))
+        } else {
+            None
+        };
 
         for absent in &config.absent_at_start {
             assert!(
@@ -479,6 +573,10 @@ impl GossipCluster {
                 }
             };
 
+            let mut probe = TraceProbe::new(config.trace, id);
+            if let Some(r) = &regions {
+                probe.set_regions(Arc::clone(r));
+            }
             nodes.push(ClusterNode {
                 protocol,
                 sender,
@@ -486,7 +584,7 @@ impl GossipCluster {
                 period,
                 phase,
                 pending_events: Vec::new(),
-                probe: TraceProbe::new(config.trace, id),
+                probe,
             });
         }
 
@@ -719,6 +817,31 @@ impl GossipCluster {
         f: impl FnOnce(&mut NetworkConfig, TimeMs) + 'static,
     ) {
         self.sim.schedule_network_control(at, f);
+    }
+
+    /// Schedules a clean partition isolating one topology region during
+    /// `[from, until)` — chaos aligned to the overlay's real fault
+    /// domains (a rack losing its uplink, a cluster dropping off the
+    /// backbone) instead of an arbitrary node split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster was built without a
+    /// [`topology`](ClusterConfig::topology).
+    pub fn schedule_region_partition(&mut self, from: TimeMs, until: TimeMs, region: u32) {
+        let topo = self
+            .config
+            .topology
+            .as_ref()
+            .expect("region partition requires a topology");
+        let side_a = topo.region_members(region);
+        self.schedule_network_control(from, move |net, _now| {
+            net.partitions.push(Partition {
+                side_a,
+                from,
+                until,
+            });
+        });
     }
 
     /// Whether `node` is currently down (crashed, left, or not yet
@@ -1091,5 +1214,93 @@ mod tests {
         let mut c = ClusterConfig::new(2, 1);
         c.n_senders = 3;
         let _ = GossipCluster::build(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology size must match n_nodes")]
+    fn rejects_mismatched_topology() {
+        let mut c = ClusterConfig::new(16, 1);
+        c.topology = Some(Topology::grid(3, 3));
+        let _ = GossipCluster::build(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "locality_escape requires a topology")]
+    fn rejects_escape_without_topology() {
+        let mut c = ClusterConfig::new(16, 1);
+        c.locality_escape = Some(0.1);
+        let _ = GossipCluster::build(c);
+    }
+
+    #[test]
+    fn routing_cluster_delivers_on_a_grid() {
+        let mut config = small_config(Algorithm::Routing(RoutingConfig::default()));
+        config.topology = Some(Topology::grid(4, 4));
+        config.locality_escape = Some(0.1);
+        let mut cluster = GossipCluster::build(config);
+        cluster.run_until(TimeMs::from_secs(30));
+        let m = cluster.metrics();
+        let report = m.deliveries().atomicity(0.95, None);
+        assert!(report.messages > 0);
+        assert!(
+            report.avg_receiver_fraction > 0.9,
+            "grid routing should still reach the group: {}",
+            report.avg_receiver_fraction
+        );
+    }
+
+    #[test]
+    fn locality_bias_cuts_cross_region_frames() {
+        // Clustered overlay: neighbour lists are intra-clique except for
+        // the bridges, so biased sampling concentrates traffic inside
+        // regions far more than any uniform run can.
+        let run = |escape: Option<f64>| {
+            let mut config = small_config(Algorithm::Lpbcast);
+            config.topology = Some(Topology::clustered(4, 4, 2, 5));
+            config.locality_escape = escape;
+            config.trace = TraceConfig::enabled();
+            let mut c = GossipCluster::build(config);
+            c.run_until(TimeMs::from_secs(30));
+            let trace = c.trace().unwrap();
+            let counts = trace.counts();
+            (counts.cross_partition_msgs, counts.delivers)
+        };
+        let (uniform_cross, uniform_delivers) = run(None);
+        let (biased_cross, biased_delivers) = run(Some(0.1));
+        assert!(uniform_cross > 0, "uniform gossip must cross regions");
+        assert!(uniform_delivers > 0 && biased_delivers > 0);
+        assert!(
+            biased_cross < uniform_cross / 2,
+            "bias must cut cross-region frames: biased {biased_cross}, uniform {uniform_cross}"
+        );
+    }
+
+    #[test]
+    fn region_partition_blocks_cross_region_traffic() {
+        let mut config = small_config(Algorithm::Lpbcast);
+        config.topology = Some(Topology::clustered(4, 4, 0, 9));
+        let mut cluster = GossipCluster::build(config);
+        let before = cluster.sim_stats().drops;
+        cluster.schedule_region_partition(TimeMs::from_secs(5), TimeMs::from_secs(20), 0);
+        cluster.run_until(TimeMs::from_secs(15));
+        assert!(
+            cluster.sim_stats().drops > before,
+            "partition must drop cross-region frames"
+        );
+    }
+
+    #[test]
+    fn routing_cluster_is_deterministic() {
+        let run = || {
+            let mut config = small_config(Algorithm::Routing(RoutingConfig::default()));
+            config.topology = Some(Topology::clustered(4, 4, 2, 3));
+            config.locality_escape = Some(0.2);
+            config.recovery = Some(RecoveryConfig::default());
+            let mut c = GossipCluster::build(config);
+            c.run_until(TimeMs::from_secs(25));
+            let m = c.metrics();
+            (c.sim_stats(), m.admitted().total(), m.delivered().total())
+        };
+        assert_eq!(run(), run());
     }
 }

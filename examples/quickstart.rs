@@ -14,7 +14,7 @@ fn main() {
     config.algorithm = Algorithm::Adaptive;
     config.n_senders = 10;
     config.offered_rate = 30.0;
-    // Controller thresholds calibrated for this simulator (EXPERIMENTS.md).
+    // Controller thresholds calibrated for this simulator (docs/ARCHITECTURE.md, calibration notes).
     config.adaptation = adaptive_gossip::experiments::common::paper_adaptation(3.0);
     config.max_backlog = 8;
 

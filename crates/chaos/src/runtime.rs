@@ -65,9 +65,13 @@ pub fn run_runtime_schedule(
                 }
                 Some(all)
             }
+            // The runtime's adversary is configured cluster-wide at
+            // startup (`RuntimeClusterConfig::adversary`), not as a timed
+            // window against live sockets.
             ChaosEvent::Evict { .. }
             | ChaosEvent::Partition { .. }
-            | ChaosEvent::LinkFault { .. } => None,
+            | ChaosEvent::LinkFault { .. }
+            | ChaosEvent::Adversary { .. } => None,
         };
         match ok {
             Some(true) => report.applied += 1,

@@ -3,6 +3,7 @@
 //! the substrate drivers ([`crate::ChaosCluster`] for the simulator,
 //! [`crate::run_runtime_schedule`] for the threaded runtime).
 
+use agb_failure::AdversaryConfig;
 use agb_types::{DurationMs, NodeId, TimeMs};
 
 /// One scripted fault or lifecycle action.
@@ -92,6 +93,21 @@ pub enum ChaosEvent {
         /// Messages offered in the burst.
         count: usize,
     },
+    /// A byte-level adversary episode: during `[from, until)` every
+    /// message touching `nodes` (empty: every link) is subject to the
+    /// fault rates in `faults` — corruption and truncation destroy the
+    /// frame (counted and dropped at the receiver's checksum), duplication
+    /// delivers it twice, reordering delays it past later traffic.
+    Adversary {
+        /// Episode start.
+        from: TimeMs,
+        /// Episode end.
+        until: TimeMs,
+        /// The nodes whose links are attacked (empty: all links).
+        nodes: Vec<NodeId>,
+        /// Per-datagram fault rates.
+        faults: AdversaryConfig,
+    },
 }
 
 impl ChaosEvent {
@@ -105,7 +121,9 @@ impl ChaosEvent {
             | ChaosEvent::Leave { at, .. }
             | ChaosEvent::Evict { at, .. }
             | ChaosEvent::Burst { at, .. } => *at,
-            ChaosEvent::Partition { from, .. } | ChaosEvent::LinkFault { from, .. } => *from,
+            ChaosEvent::Partition { from, .. }
+            | ChaosEvent::LinkFault { from, .. }
+            | ChaosEvent::Adversary { from, .. } => *from,
         }
     }
 
@@ -119,7 +137,9 @@ impl ChaosEvent {
             | ChaosEvent::Leave { node, .. }
             | ChaosEvent::Burst { node, .. } => Some(*node),
             ChaosEvent::Evict { at_node, .. } => Some(*at_node),
-            ChaosEvent::Partition { .. } | ChaosEvent::LinkFault { .. } => None,
+            ChaosEvent::Partition { .. }
+            | ChaosEvent::LinkFault { .. }
+            | ChaosEvent::Adversary { .. } => None,
         }
     }
 }
@@ -224,6 +244,23 @@ impl ChaosSchedule {
         self.push(ChaosEvent::Burst { at, node, count })
     }
 
+    /// Schedules a byte-level adversary episode over `nodes` (empty: all
+    /// links) during `[from, until)`.
+    pub fn adversary(
+        &mut self,
+        from: TimeMs,
+        until: TimeMs,
+        nodes: Vec<NodeId>,
+        faults: AdversaryConfig,
+    ) -> &mut Self {
+        self.push(ChaosEvent::Adversary {
+            from,
+            until,
+            nodes,
+            faults,
+        })
+    }
+
     /// Appends every event of `other`.
     pub fn merge(&mut self, other: &ChaosSchedule) -> &mut Self {
         self.events.extend(other.events.iter().cloned());
@@ -325,6 +362,23 @@ impl ChaosSchedule {
                 }
                 ChaosEvent::Burst { count, .. } if *count == 0 => {
                     return Err("zero-sized burst".into());
+                }
+                ChaosEvent::Adversary {
+                    from,
+                    until,
+                    nodes,
+                    faults,
+                } => {
+                    if until <= from {
+                        return Err(format!("adversary window inverted: {from} >= {until}"));
+                    }
+                    faults.validate()?;
+                    if faults.is_inert() {
+                        return Err("adversary with all-zero fault rates".into());
+                    }
+                    for &n in nodes {
+                        check_node(n)?;
+                    }
                 }
                 _ => {}
             }

@@ -154,6 +154,20 @@ impl GossipFrame {
         GossipFrame::Gossip { msg, ihave: None }
     }
 
+    /// An empty gossip frame used as an explicit heartbeat: carries no
+    /// events, only the sender identity — enough for a receiver's
+    /// failure detector to record the arrival while the normal receive
+    /// path treats it as a no-op gossip.
+    pub fn heartbeat(sender: NodeId) -> Self {
+        GossipFrame::plain(GossipMessage {
+            sender,
+            sample_period: 0,
+            min_buffs: Vec::new(),
+            events: Default::default(),
+            membership: Default::default(),
+        })
+    }
+
     /// The node that emitted this frame.
     pub fn sender(&self) -> NodeId {
         match self {

@@ -2,13 +2,13 @@
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig9-runtime`, `ablation`, `recovery`, `churn`, `maelstrom`,
-//! `trace`, `telemetry`, `topology`, `perf`, `all`, plus the CI gate
-//! `perf-check <current.json> <baseline.json> [tolerance]`.
+//! `trace`, `telemetry`, `topology`, `resilience`, `perf`, `all`, plus
+//! the CI gate `perf-check <current.json> <baseline.json> [tolerance]`.
 //! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
 use agb_experiments::{
-    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, telemetry, topology,
-    trace,
+    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, resilience,
+    telemetry, topology, trace,
 };
 
 // The perf harness reports allocations-per-round; the counting
@@ -40,6 +40,7 @@ fn main() {
         "trace" => run_trace(seed),
         "telemetry" => run_telemetry(seed),
         "topology" => run_topology(seed),
+        "resilience" => run_resilience(seed),
         "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
@@ -59,10 +60,11 @@ fn main() {
             run_trace(seed);
             run_telemetry(seed);
             run_topology(seed);
+            run_resilience(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|telemetry|topology|perf|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|telemetry|topology|resilience|perf|all] [seed]");
             eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
         }
@@ -243,6 +245,28 @@ fn run_topology(seed: u64) {
     // Stable digest of the whole report: the CI smoke job replays the
     // same seed (at several thread counts) and compares this line.
     println!("  topology summary digest: {:#018x}", report.digest);
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn run_resilience(seed: u64) {
+    let report = resilience::run(seed);
+    print!("{}", resilience::table_overview(&report));
+    for failure in resilience::failures(&report) {
+        println!("  FAILED {failure}");
+    }
+    let out_path =
+        std::env::var("AGB_RESILIENCE_OUT").unwrap_or_else(|_| String::from("RESILIENCE.json"));
+    let json = report.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  resilience report written to {out_path}");
+    // Stable digest of the whole report: the CI smoke job replays the
+    // same seed (at several thread counts) and compares this line.
+    println!("  resilience summary digest: {:#018x}", report.digest);
     if !report.passed() {
         std::process::exit(1);
     }

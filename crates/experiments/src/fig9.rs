@@ -233,6 +233,9 @@ pub fn run_runtime(config: &Fig9Config) -> std::io::Result<Fig9RuntimeResult> {
         bind_addr: std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
         loss: 0.0,
         telemetry: agb_telemetry::TelemetryConfig::disabled(),
+        detector: None,
+        adversary: None,
+        egress_capacity: 0,
     };
     let cluster = RuntimeCluster::start(rc)?;
     let scaled = |ms: u64| std::time::Duration::from_millis(ms / u64::from(scale));

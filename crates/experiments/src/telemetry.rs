@@ -80,6 +80,9 @@ pub fn runtime_config(seed: u64) -> RuntimeClusterConfig {
         bind_addr: IpAddr::V4(Ipv4Addr::LOCALHOST),
         loss: TELEMETRY_LOSS,
         telemetry: TelemetryConfig::serving(),
+        detector: None,
+        adversary: None,
+        egress_capacity: 0,
     }
 }
 

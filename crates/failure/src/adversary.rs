@@ -1,0 +1,295 @@
+//! Seed-deterministic byte-level network adversary.
+//!
+//! Mutates encoded datagrams the way a hostile or broken network does:
+//! bit flips, truncation, duplication, and reordering delays. Every
+//! decision is drawn from a caller-owned [`DetRng`], so a given seed
+//! replays the identical fault sequence — in the simulator (where the
+//! per-link variant lives in `NetworkConfig`) and in the threaded
+//! runtime (where [`ByteAdversary`] wraps a transport's outgoing bytes).
+
+use agb_types::{bernoulli, DetRng, DurationMs};
+use rand::RngExt;
+
+/// Per-link fault rates of one adversary window.
+///
+/// Rates are independent per datagram; `corrupt` and `truncate` are
+/// destructive (the frame checksum rejects the result), `duplicate` and
+/// `reorder` are traffic-shape faults (the copy/original still decodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryConfig {
+    /// Probability a datagram gets 1–4 random bit flips.
+    pub corrupt: f64,
+    /// Probability a datagram is truncated to a random prefix.
+    pub truncate: f64,
+    /// Probability a datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability a datagram is held back (reordered past later
+    /// traffic) by up to [`reorder_delay`](Self::reorder_delay).
+    pub reorder: f64,
+    /// Maximum extra delay of a reordered datagram.
+    pub reorder_delay: DurationMs,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            corrupt: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: DurationMs::from_millis(50),
+        }
+    }
+}
+
+impl AdversaryConfig {
+    /// An adversary that only corrupts (bit flips + truncations), the
+    /// decode-hardening workload.
+    pub fn corrupting(rate: f64) -> Self {
+        AdversaryConfig {
+            corrupt: rate,
+            truncate: rate / 2.0,
+            ..AdversaryConfig::default()
+        }
+    }
+
+    /// True when every rate is zero — the adversary never acts.
+    pub fn is_inert(&self) -> bool {
+        self.corrupt <= 0.0 && self.truncate <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0
+    }
+
+    /// Validates that all rates are probabilities.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("corrupt", self.corrupt),
+            ("truncate", self.truncate),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("adversary {name} rate {p} outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws one datagram's fate without touching any bytes. At most one
+    /// fault fires, checked in destructive-first order (corrupt,
+    /// truncate, duplicate, reorder), so fault classes stay attributable
+    /// in counters. The simulator uses this directly (its messages have
+    /// no byte representation to mutate); [`ByteAdversary::mutate`] draws
+    /// the same fate and then applies it to real bytes.
+    pub fn draw(&self, rng: &mut DetRng) -> Mutation {
+        if self.is_inert() {
+            return Mutation::None;
+        }
+        if self.corrupt > 0.0 && bernoulli(rng, self.corrupt) {
+            return Mutation::Corrupted;
+        }
+        if self.truncate > 0.0 && bernoulli(rng, self.truncate) {
+            return Mutation::Truncated;
+        }
+        if self.duplicate > 0.0 && bernoulli(rng, self.duplicate) {
+            return Mutation::Duplicated;
+        }
+        if self.reorder > 0.0 && bernoulli(rng, self.reorder) {
+            let max = self.reorder_delay.as_millis().max(1);
+            let delay = DurationMs::from_millis(rng.random_range(1..=max));
+            return Mutation::Reordered(delay);
+        }
+        Mutation::None
+    }
+}
+
+/// What the adversary did to one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Passed through untouched.
+    None,
+    /// Bytes were bit-flipped in place.
+    Corrupted,
+    /// The datagram was cut to a prefix (possibly empty).
+    Truncated,
+    /// Deliver a second copy.
+    Duplicated,
+    /// Hold the datagram back by the given extra delay.
+    Reordered(DurationMs),
+}
+
+/// Applies [`AdversaryConfig`] faults to outgoing datagrams using a
+/// caller-supplied deterministic RNG stream.
+#[derive(Debug, Clone)]
+pub struct ByteAdversary {
+    config: AdversaryConfig,
+}
+
+impl ByteAdversary {
+    /// Creates an adversary with the given fault rates.
+    pub fn new(config: AdversaryConfig) -> Self {
+        ByteAdversary { config }
+    }
+
+    /// The fault rates.
+    pub fn config(&self) -> &AdversaryConfig {
+        &self.config
+    }
+
+    /// Draws this datagram's fate ([`AdversaryConfig::draw`]) and applies
+    /// any byte mutation in place: bit flips for `Corrupted`, a random
+    /// prefix cut for `Truncated`. Traffic-shape fates (`Duplicated`,
+    /// `Reordered`) leave the bytes intact — the caller sends the copy or
+    /// delays the datagram.
+    pub fn mutate(&self, bytes: &mut Vec<u8>, rng: &mut DetRng) -> Mutation {
+        let fate = self.config.draw(rng);
+        match fate {
+            Mutation::Corrupted => self.flip_bits(bytes, rng),
+            Mutation::Truncated => {
+                let keep = if bytes.is_empty() {
+                    0
+                } else {
+                    rng.random_range(0..bytes.len())
+                };
+                bytes.truncate(keep);
+            }
+            Mutation::None | Mutation::Duplicated | Mutation::Reordered(_) => {}
+        }
+        fate
+    }
+
+    fn flip_bits(&self, bytes: &mut [u8], rng: &mut DetRng) {
+        if bytes.is_empty() {
+            return;
+        }
+        let flips = rng.random_range(1..=4usize);
+        for _ in 0..flips {
+            let at = rng.random_range(0..bytes.len());
+            let bit = rng.random_range(0..8u32);
+            bytes[at] ^= 1 << bit;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> DetRng {
+        DetRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn inert_adversary_never_touches_bytes() {
+        let adv = ByteAdversary::new(AdversaryConfig::default());
+        let mut r = rng(1);
+        let original = vec![1u8, 2, 3, 4];
+        let mut bytes = original.clone();
+        for _ in 0..100 {
+            assert_eq!(adv.mutate(&mut bytes, &mut r), Mutation::None);
+        }
+        assert_eq!(bytes, original);
+    }
+
+    #[test]
+    fn corruption_flips_bits_in_place() {
+        let adv = ByteAdversary::new(AdversaryConfig {
+            corrupt: 1.0,
+            ..AdversaryConfig::default()
+        });
+        let mut r = rng(2);
+        let original = vec![0u8; 64];
+        let mut bytes = original.clone();
+        assert_eq!(adv.mutate(&mut bytes, &mut r), Mutation::Corrupted);
+        assert_eq!(bytes.len(), original.len());
+        assert_ne!(bytes, original);
+    }
+
+    #[test]
+    fn truncation_shortens() {
+        let adv = ByteAdversary::new(AdversaryConfig {
+            truncate: 1.0,
+            ..AdversaryConfig::default()
+        });
+        let mut r = rng(3);
+        let mut bytes = vec![7u8; 50];
+        assert_eq!(adv.mutate(&mut bytes, &mut r), Mutation::Truncated);
+        assert!(bytes.len() < 50);
+    }
+
+    #[test]
+    fn duplicate_and_reorder_leave_bytes_intact() {
+        let dup = ByteAdversary::new(AdversaryConfig {
+            duplicate: 1.0,
+            ..AdversaryConfig::default()
+        });
+        let reo = ByteAdversary::new(AdversaryConfig {
+            reorder: 1.0,
+            reorder_delay: DurationMs::from_millis(20),
+            ..AdversaryConfig::default()
+        });
+        let mut r = rng(4);
+        let original = vec![9u8; 16];
+        let mut bytes = original.clone();
+        assert_eq!(dup.mutate(&mut bytes, &mut r), Mutation::Duplicated);
+        assert_eq!(bytes, original);
+        match reo.mutate(&mut bytes, &mut r) {
+            Mutation::Reordered(d) => {
+                assert!(d.as_millis() >= 1 && d.as_millis() <= 20);
+            }
+            other => panic!("expected reorder, got {other:?}"),
+        }
+        assert_eq!(bytes, original);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let adv = ByteAdversary::new(AdversaryConfig {
+            corrupt: 0.3,
+            truncate: 0.2,
+            duplicate: 0.2,
+            reorder: 0.2,
+            reorder_delay: DurationMs::from_millis(30),
+        });
+        let run = |seed: u64| {
+            let mut r = rng(seed);
+            let mut log = Vec::new();
+            for i in 0..200u8 {
+                let mut bytes = vec![i; 32];
+                log.push((adv.mutate(&mut bytes, &mut r), bytes));
+            }
+            log
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn empty_datagrams_survive_every_fault() {
+        let adv = ByteAdversary::new(AdversaryConfig {
+            corrupt: 0.5,
+            truncate: 0.5,
+            duplicate: 0.5,
+            reorder: 0.5,
+            ..AdversaryConfig::default()
+        });
+        let mut r = rng(5);
+        for _ in 0..100 {
+            let mut bytes = Vec::new();
+            let _ = adv.mutate(&mut bytes, &mut r);
+        }
+    }
+
+    #[test]
+    fn config_validation_and_presets() {
+        assert!(AdversaryConfig::default().validate().is_ok());
+        assert!(AdversaryConfig::default().is_inert());
+        let c = AdversaryConfig::corrupting(0.1);
+        assert!(c.validate().is_ok());
+        assert!(!c.is_inert());
+        let bad = AdversaryConfig {
+            corrupt: 1.5,
+            ..AdversaryConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

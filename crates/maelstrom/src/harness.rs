@@ -799,6 +799,7 @@ pub fn standard_suite_threads(seed: u64, quick: bool, threads: usize) -> Maelstr
             until: TimeMs::from_secs(32),
         }],
         link_faults: Vec::new(),
+        adversaries: Vec::new(),
     };
     broadcast.n_ops = if quick { 24 } else { 48 };
     broadcast.ops_from = TimeMs::from_secs(5);

@@ -8,6 +8,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use agb_core::{AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, LpbcastNode};
+use agb_failure::{
+    ring_monitors, ring_successors, AdversaryConfig, ByteAdversary, DetectorConfig, PhiDetector,
+};
 use agb_membership::FullView;
 use agb_metrics::MetricsCollector;
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
@@ -75,6 +78,18 @@ pub struct RuntimeClusterConfig {
     /// Wall-clock telemetry plane (`agb-telemetry`): per-node metric
     /// registries and, optionally, one exposition endpoint per node.
     pub telemetry: TelemetryConfig,
+    /// φ-accrual failure detection (`agb-failure`): `Some` gives every
+    /// node a ring-monitor detector fed by decoded frames, plus the
+    /// heartbeat fallback for uncovered links; detector evictions flow
+    /// through the protocol's own `evict_peer` path.
+    pub detector: Option<DetectorConfig>,
+    /// Sender-side byte-level adversary (`agb-failure`): encoded
+    /// datagrams are mangled before they reach the transport, proving
+    /// the hardened decode path panic-free over real sockets.
+    pub adversary: Option<AdversaryConfig>,
+    /// Per-node egress queue bound in frames (`0` = default). Overflow
+    /// sheds in priority order: app before recovery before control.
+    pub egress_capacity: usize,
 }
 
 impl RuntimeClusterConfig {
@@ -99,6 +114,9 @@ impl RuntimeClusterConfig {
             bind_addr: IpAddr::V4(Ipv4Addr::LOCALHOST),
             loss: 0.0,
             telemetry: TelemetryConfig::disabled(),
+            detector: None,
+            adversary: None,
+            egress_capacity: 0,
         }
     }
 }
@@ -306,6 +324,19 @@ impl RuntimeCluster {
                     .unwrap_or_else(NodeTelemetry::disabled),
                 loss: config.loss,
                 loss_rng: seeds.rng_for("runtime-loss", i as u64),
+                detector: config.detector.clone().map(|dc| {
+                    let monitored = ring_monitors(id, config.n_nodes, dc.monitors);
+                    PhiDetector::new(dc, monitored, TimeMs::from_millis(0))
+                }),
+                heartbeat_targets: config
+                    .detector
+                    .as_ref()
+                    .filter(|dc| dc.heartbeat)
+                    .map(|dc| ring_successors(id, config.n_nodes, dc.monitors))
+                    .unwrap_or_default(),
+                adversary: config.adversary.clone().map(ByteAdversary::new),
+                adversary_rng: seeds.rng_for("runtime-adversary", i as u64),
+                egress_capacity: config.egress_capacity,
             },
             transport,
             Arc::clone(metrics),
@@ -638,6 +669,87 @@ mod tests {
         assert!(
             merged.counter_sum(names::DELIVERIES) > 0,
             "dissemination survived the loss"
+        );
+    }
+
+    #[test]
+    fn detector_evicts_a_crashed_peer() {
+        let mut config = RuntimeClusterConfig::quick(6, 17);
+        config.offered_rate = 10.0;
+        config.trace = TraceConfig::enabled();
+        config.detector = Some(DetectorConfig::default());
+        let cluster = RuntimeCluster::start(config).unwrap();
+        // Let the detectors learn the healthy inter-arrival rhythm first.
+        cluster.run_for(Duration::from_millis(600));
+        assert!(cluster.crash(NodeId::new(5)));
+        // ~18 silent gossip periods: far past the evict-φ threshold.
+        cluster.run_for(Duration::from_millis(900));
+        let summary = cluster.trace_summary("detector").expect("tracing enabled");
+        let _ = cluster.stop();
+        assert!(
+            summary.counts.heartbeats > 0,
+            "heartbeat fallback keeps monitored links sampled"
+        );
+        assert!(
+            summary.counts.suspects > 0,
+            "the silent peer crosses the suspicion threshold"
+        );
+        assert!(
+            summary.counts.detector_evicts > 0,
+            "the silent peer is evicted through the protocol path"
+        );
+    }
+
+    #[test]
+    fn detector_has_no_false_positives_on_a_healthy_cluster() {
+        let mut config = RuntimeClusterConfig::quick(6, 23);
+        config.offered_rate = 10.0;
+        config.trace = TraceConfig::enabled();
+        config.detector = Some(DetectorConfig::default());
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(1_200));
+        let summary = cluster.trace_summary("healthy").expect("tracing enabled");
+        let _ = cluster.stop();
+        assert_eq!(
+            summary.counts.detector_evicts, 0,
+            "no evictions without a fault"
+        );
+    }
+
+    #[test]
+    fn byte_adversary_is_survived_and_counted() {
+        use agb_telemetry::{names, Snapshot};
+
+        let mut config = RuntimeClusterConfig::quick(6, 31);
+        config.offered_rate = 30.0;
+        config.recovery = Some(RecoveryConfig::default());
+        config.telemetry = TelemetryConfig::recording();
+        config.adversary = Some(AdversaryConfig {
+            corrupt: 0.15,
+            truncate: 0.05,
+            duplicate: 0.10,
+            reorder: 0.10,
+            reorder_delay: DurationMs::from_millis(40),
+        });
+        let cluster = RuntimeCluster::start(config).unwrap();
+        cluster.run_for(Duration::from_millis(1_500));
+        let mut merged = Snapshot::default();
+        for r in cluster.telemetry_registries() {
+            assert!(merged.merge(&r.snapshot()));
+        }
+        let metrics = cluster.stop();
+        // Destructive faults landed and were rejected at decode, never
+        // misdelivered — and dissemination still finished.
+        assert!(
+            merged.counter_sum(names::DECODE_ERRORS) > 0,
+            "corrupted datagrams were counted at the decode boundary"
+        );
+        let report = metrics.deliveries().atomicity(0.95, None);
+        assert!(report.messages > 3, "only {} messages", report.messages);
+        assert!(
+            report.avg_receiver_fraction > 0.80,
+            "fraction {}",
+            report.avg_receiver_fraction
         );
     }
 

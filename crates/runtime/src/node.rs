@@ -1,19 +1,22 @@
 //! The per-node runtime thread.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use agb_core::{FrameProtocol, GossipFrame};
+use agb_failure::{ByteAdversary, Mutation, PhiDetector, Verdict};
 use agb_metrics::MetricsCollector;
 use agb_trace::{Recorder, TraceProbe, TraceSink};
 use agb_types::{bernoulli, DetRng, NodeId, Payload, TimeMs};
+use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 
-use crate::telemetry::{stamp_payload, LifecycleKind, NodeTelemetry};
-use crate::transport::{Transport, MAX_DATAGRAM};
+use crate::telemetry::{stamp_payload, LifecycleKind, NodeTelemetry, ShedClass};
+use crate::transport::{RecvOutcome, Transport, TransportError, MAX_DATAGRAM};
 use crate::wire;
 
 /// Control-plane commands accepted by a running node.
@@ -78,31 +81,262 @@ pub struct NodeRuntime {
     pub loss: f64,
     /// RNG stream driving the loss draws.
     pub loss_rng: DetRng,
+    /// φ-accrual failure detector (`None` = detection plane off). Fed
+    /// by every decoded frame; verdicts drive `evict_peer` on the
+    /// protocol.
+    pub detector: Option<PhiDetector>,
+    /// Ring successors owed a heartbeat whenever a round's regular
+    /// gossip does not cover them (empty when the detection plane is
+    /// off; see [`agb_failure::ring_successors`]).
+    pub heartbeat_targets: Vec<NodeId>,
+    /// Egress byte adversary harness (`None` = clean wire): mutates
+    /// encoded datagrams before they reach the transport.
+    pub adversary: Option<ByteAdversary>,
+    /// RNG stream driving the adversary's fault draws.
+    pub adversary_rng: DetRng,
+    /// Bound on frames queued for transmission inside one loop
+    /// iteration; beyond it the egress queue sheds in priority order
+    /// (control > recovery > app).
+    pub egress_capacity: usize,
 }
 
-/// Encodes `frame`, applies the injected-loss harness, and hands each
-/// fragment to the transport, counting outcomes into the telemetry
-/// plane. Accepted fragments count as sent; refused ones by cause.
-fn transmit<T: Transport>(
-    transport: &T,
-    encoder: &mut wire::FrameEncoder,
-    telemetry: &NodeTelemetry,
-    loss: f64,
-    loss_rng: &mut DetRng,
+/// Maximum resend attempts of one retried frame.
+const MAX_RETRIES: u32 = 4;
+/// First-retry backoff; doubles per attempt up to [`RETRY_CAP`].
+const RETRY_BASE: Duration = Duration::from_millis(10);
+/// Backoff ceiling.
+const RETRY_CAP: Duration = Duration::from_millis(160);
+/// Default egress bound when the caller passes 0.
+const DEFAULT_EGRESS_CAPACITY: usize = 1024;
+
+/// The egress priority class of a frame: graft requests steer recovery
+/// (control), retransmissions repair gaps (recovery), regular gossip
+/// carries the app payload and is shed first under overload.
+fn frame_class(frame: &GossipFrame) -> ShedClass {
+    match frame {
+        GossipFrame::Gossip { .. } => ShedClass::App,
+        GossipFrame::Retransmit(_) => ShedClass::Recovery,
+        GossipFrame::Graft(_) => ShedClass::Control,
+    }
+}
+
+/// A frame awaiting a backed-off resend after an I/O send failure.
+struct Retry {
     to: NodeId,
-    frame: &GossipFrame,
-) {
-    for frag in encoder.split_for_datagram(frame, MAX_DATAGRAM) {
-        if loss > 0.0 && bernoulli(loss_rng, loss) {
-            telemetry.on_loss();
-            continue;
-        }
-        let len = frag.len();
-        match transport.send(to, frag) {
-            Ok(()) => telemetry.on_sent(frame, len),
-            Err(e) => telemetry.on_send_error(&e),
+    frame: GossipFrame,
+    attempts: u32,
+    due: Instant,
+}
+
+/// The node's send side: bounded priority queues with overload
+/// shedding, capped-exponential-backoff retries for control/recovery
+/// frames, the injected-loss harness, and the byte adversary (with its
+/// reorder hold-back buffer).
+struct Egress {
+    /// Per-class frame queues, indexed by [`ShedClass::as_u8`]
+    /// (app, recovery, control).
+    queues: [VecDeque<(NodeId, GossipFrame)>; 3],
+    capacity: usize,
+    retries: Vec<Retry>,
+    /// Datagrams the adversary held back for reordering, with their
+    /// release times.
+    holdback: Vec<(Instant, NodeId, Bytes)>,
+    encoder: wire::FrameEncoder,
+    loss: f64,
+    loss_rng: DetRng,
+    adversary: Option<ByteAdversary>,
+    adversary_rng: DetRng,
+}
+
+impl Egress {
+    fn new(
+        capacity: usize,
+        loss: f64,
+        loss_rng: DetRng,
+        adversary: Option<ByteAdversary>,
+        adversary_rng: DetRng,
+    ) -> Self {
+        Egress {
+            queues: Default::default(),
+            capacity: if capacity == 0 {
+                DEFAULT_EGRESS_CAPACITY
+            } else {
+                capacity
+            },
+            retries: Vec::new(),
+            holdback: Vec::new(),
+            encoder: wire::FrameEncoder::default(),
+            loss,
+            loss_rng,
+            adversary,
+            adversary_rng,
         }
     }
+
+    /// Queues one frame, shedding under overload: the victim is the
+    /// oldest frame of the lowest-priority backlogged class at or below
+    /// the incoming class — an app frame arriving into a queue full of
+    /// higher classes sheds itself.
+    fn enqueue(
+        &mut self,
+        to: NodeId,
+        frame: GossipFrame,
+        at: TimeMs,
+        probe: &mut TraceProbe,
+        telemetry: &NodeTelemetry,
+    ) {
+        const CLASSES: [ShedClass; 3] = [ShedClass::App, ShedClass::Recovery, ShedClass::Control];
+        let class = frame_class(&frame);
+        let idx = class.as_u8() as usize;
+        let total: usize = self.queues.iter().map(VecDeque::len).sum();
+        if total >= self.capacity {
+            match (0..=idx).find(|&i| !self.queues[i].is_empty()) {
+                Some(victim) => {
+                    self.queues[victim].pop_front();
+                    probe.on_sheds(at, victim as u8, 1);
+                    telemetry.on_shed(CLASSES[victim]);
+                }
+                None => {
+                    probe.on_sheds(at, class.as_u8(), 1);
+                    telemetry.on_shed(class);
+                    return;
+                }
+            }
+        }
+        self.queues[idx].push_back((to, frame));
+    }
+
+    /// Transmits everything queued, highest class first. Control and
+    /// recovery frames whose send fails with an I/O error are scheduled
+    /// for a backed-off retry; app frames are best-effort (the gossip
+    /// redundancy already covers them).
+    fn flush<T: Transport>(&mut self, transport: &T, telemetry: &NodeTelemetry) {
+        for idx in (0..3).rev() {
+            while let Some((to, frame)) = self.queues[idx].pop_front() {
+                let io_failed = self.transmit(transport, telemetry, to, &frame);
+                if io_failed && idx >= 1 {
+                    self.schedule_retry(to, frame, 0);
+                }
+            }
+        }
+    }
+
+    fn schedule_retry(&mut self, to: NodeId, frame: GossipFrame, attempts: u32) {
+        let backoff = RETRY_CAP.min(RETRY_BASE * 2u32.saturating_pow(attempts));
+        self.retries.push(Retry {
+            to,
+            frame,
+            attempts: attempts + 1,
+            due: Instant::now() + backoff,
+        });
+    }
+
+    /// Releases due hold-back datagrams and re-sends due retries. Called
+    /// once per loop iteration.
+    fn pump<T: Transport>(&mut self, transport: &T, telemetry: &NodeTelemetry) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.holdback.len() {
+            if self.holdback[i].0 <= now {
+                let (_, to, bytes) = self.holdback.swap_remove(i);
+                // Already counted as sent when held back; only failures
+                // are news here.
+                if let Err(e) = transport.send(to, bytes) {
+                    telemetry.on_send_error(&e);
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.retries.len() {
+            if self.retries[i].due <= now {
+                let r = self.retries.swap_remove(i);
+                telemetry.on_send_retry();
+                let io_failed = self.transmit(transport, telemetry, r.to, &r.frame);
+                if io_failed && r.attempts < MAX_RETRIES {
+                    self.schedule_retry(r.to, r.frame, r.attempts);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Encodes `frame`, applies the injected-loss harness and the byte
+    /// adversary, and hands each fragment to the transport, counting
+    /// outcomes into the telemetry plane. Returns whether any fragment
+    /// failed with an I/O error (the retryable cause).
+    fn transmit<T: Transport>(
+        &mut self,
+        transport: &T,
+        telemetry: &NodeTelemetry,
+        to: NodeId,
+        frame: &GossipFrame,
+    ) -> bool {
+        let mut io_failed = false;
+        for frag in self.encoder.split_for_datagram(frame, MAX_DATAGRAM) {
+            if self.loss > 0.0 && bernoulli(&mut self.loss_rng, self.loss) {
+                telemetry.on_loss();
+                continue;
+            }
+            let frag = match &self.adversary {
+                Some(adv) => {
+                    let mut bytes = frag.to_vec();
+                    match adv.mutate(&mut bytes, &mut self.adversary_rng) {
+                        Mutation::None => frag,
+                        // The mangled datagram still goes out — the
+                        // receiver's checksum is what must reject it.
+                        Mutation::Corrupted | Mutation::Truncated => Bytes::from(bytes),
+                        Mutation::Duplicated => {
+                            io_failed |= send_raw(transport, telemetry, frame, to, frag.clone());
+                            frag
+                        }
+                        Mutation::Reordered(delay) => {
+                            // Count the send now (the frame was accepted
+                            // for transmission); release later.
+                            telemetry.on_sent(frame, frag.len());
+                            self.holdback
+                                .push((Instant::now() + delay.to_std(), to, frag));
+                            continue;
+                        }
+                    }
+                }
+                None => frag,
+            };
+            io_failed |= send_raw(transport, telemetry, frame, to, frag);
+        }
+        io_failed
+    }
+}
+
+/// Sends one encoded fragment, counting the outcome. Returns whether
+/// the send failed with an I/O error.
+fn send_raw<T: Transport>(
+    transport: &T,
+    telemetry: &NodeTelemetry,
+    frame: &GossipFrame,
+    to: NodeId,
+    bytes: Bytes,
+) -> bool {
+    let len = bytes.len();
+    match transport.send(to, bytes) {
+        Ok(()) => {
+            telemetry.on_sent(frame, len);
+            false
+        }
+        Err(e) => {
+            let retryable = matches!(e, TransportError::Io(_));
+            telemetry.on_send_error(&e);
+            retryable
+        }
+    }
+}
+
+/// An empty gossip frame used as an explicit heartbeat (see
+/// [`GossipFrame::heartbeat`]).
+fn heartbeat_frame(sender: NodeId) -> GossipFrame {
+    GossipFrame::heartbeat(sender)
 }
 
 /// Spawns the node's event loop on a dedicated OS thread.
@@ -162,9 +396,15 @@ fn node_loop<T: Transport>(
     let mut next_offer = offer_gap.map(|g| epoch + g);
 
     let now_ms = |at: Instant| TimeMs::from_millis(at.duration_since(epoch).as_millis() as u64);
-    // Pooled wire buffers: frames encode into recycled scratch, and
-    // decoded payloads intern into shared handles.
-    let mut encoder = wire::FrameEncoder::default();
+    // The send side: priority queues + shedding + retries + the
+    // loss/adversary harnesses (owns the pooled frame encoder).
+    let mut egress = Egress::new(
+        runtime.egress_capacity,
+        runtime.loss,
+        runtime.loss_rng.clone(),
+        runtime.adversary.take(),
+        runtime.adversary_rng.clone(),
+    );
     // Bounded small: entries pin their payload bytes until the table's
     // wholesale reset, so a long-lived node must not retain tens of
     // thousands of distinct datagram-sized payloads.
@@ -174,6 +414,9 @@ fn node_loop<T: Transport>(
     let mut down = false;
 
     while !shutdown.load(Ordering::Relaxed) {
+        // 0. Release due reorder hold-backs and backed-off retries.
+        egress.pump(&transport, &runtime.telemetry);
+
         // 1. Control commands.
         while let Ok(cmd) = cmd_rx.try_recv() {
             let now = now_ms(Instant::now());
@@ -217,16 +460,9 @@ fn node_loop<T: Transport>(
                     runtime.probe.observe_frames(now, &farewells);
                     runtime.telemetry.on_lifecycle(LifecycleKind::Leave);
                     for (to, frame) in farewells {
-                        transmit(
-                            &transport,
-                            &mut encoder,
-                            &runtime.telemetry,
-                            runtime.loss,
-                            &mut runtime.loss_rng,
-                            to,
-                            &frame,
-                        );
+                        egress.enqueue(to, frame, now, &mut runtime.probe, &runtime.telemetry);
                     }
+                    egress.flush(&transport, &runtime.telemetry);
                     down = true;
                 }
             }
@@ -236,7 +472,10 @@ fn node_loop<T: Transport>(
             // Keep the socket drained (datagrams addressed to a crashed
             // node are lost, not queued) and the command channel
             // responsive.
-            let _ = transport.recv_timeout(Duration::from_millis(5));
+            if let RecvOutcome::Closed = transport.recv_outcome(Duration::from_millis(5)) {
+                runtime.telemetry.on_recv_closed();
+                break;
+            }
             continue;
         }
 
@@ -272,42 +511,53 @@ fn node_loop<T: Transport>(
         let now_instant = Instant::now();
         let until_round = next_round.saturating_duration_since(now_instant);
         let slice = until_round.min(Duration::from_millis(5));
-        if let Some(bytes) = transport.recv_timeout(slice) {
-            match wire::decode_frame_interned(&bytes, &mut interner) {
-                Ok(frame) => {
-                    let from = frame.sender();
-                    runtime.probe.on_message(&frame);
-                    runtime.telemetry.on_received(&frame, bytes.len());
-                    let at = now_ms(Instant::now());
-                    let replies = runtime.protocol.on_receive(from, frame, at);
-                    for (to, reply) in replies {
-                        transmit(
-                            &transport,
-                            &mut encoder,
-                            &runtime.telemetry,
-                            runtime.loss,
-                            &mut runtime.loss_rng,
-                            to,
-                            &reply,
-                        );
-                    }
-                    if runtime.probe.enabled() {
-                        // Drain per datagram so the probe can attribute the
-                        // events (and detect duplicates) to this sender.
-                        let events = runtime.protocol.drain_events();
-                        runtime.probe.on_events(&events);
-                        runtime.probe.on_received(at, from, &events);
-                        runtime.telemetry.on_events(&events);
-                        if !events.is_empty() {
-                            metrics.lock().on_events(id, &events);
+        match transport.recv_outcome(slice) {
+            RecvOutcome::Datagram(bytes) => {
+                match wire::decode_frame_interned(&bytes, &mut interner) {
+                    Ok(frame) => {
+                        let from = frame.sender();
+                        runtime.probe.on_message(&frame);
+                        runtime.telemetry.on_received(&frame, bytes.len());
+                        let at = now_ms(Instant::now());
+                        // Every decoded frame is an arrival sample for the
+                        // detector — gossip piggybacks the liveness signal.
+                        if let Some(det) = runtime.detector.as_mut() {
+                            if let Some(Verdict::Rejoin(peer)) = det.observe(from, at) {
+                                runtime.probe.on_rejoin(at, peer);
+                            }
+                        }
+                        let replies = runtime.protocol.on_receive(from, frame, at);
+                        for (to, reply) in replies {
+                            egress.enqueue(to, reply, at, &mut runtime.probe, &runtime.telemetry);
+                        }
+                        egress.flush(&transport, &runtime.telemetry);
+                        if runtime.probe.enabled() {
+                            // Drain per datagram so the probe can attribute the
+                            // events (and detect duplicates) to this sender.
+                            let events = runtime.protocol.drain_events();
+                            runtime.probe.on_events(&events);
+                            runtime.probe.on_received(at, from, &events);
+                            runtime.telemetry.on_events(&events);
+                            if !events.is_empty() {
+                                metrics.lock().on_events(id, &events);
+                            }
                         }
                     }
+                    Err(_) => {
+                        // Corrupt datagram: drop, like the network would — but
+                        // count it, unlike the network. The checksum trailer
+                        // guarantees this path never misdelivers an
+                        // adversary-mangled frame.
+                        runtime.telemetry.on_decode_error();
+                    }
                 }
-                Err(_) => {
-                    // Corrupt datagram: drop, like the network would — but
-                    // count it, unlike the network.
-                    runtime.telemetry.on_decode_error();
-                }
+            }
+            RecvOutcome::Timeout => {}
+            RecvOutcome::Closed => {
+                // Terminal transport teardown: no peer can reach this
+                // node again, so the loop ends.
+                runtime.telemetry.on_recv_closed();
+                break;
             }
         }
 
@@ -329,16 +579,49 @@ fn node_loop<T: Transport>(
                     runtime.protocol.buffer_capacity(),
                 );
             }
+            // Heartbeat fallback: ring successors the regular gossip did
+            // not cover this round still get an (empty) liveness frame,
+            // so their detectors keep seeing ~one arrival per period.
+            if !runtime.heartbeat_targets.is_empty() {
+                for i in 0..runtime.heartbeat_targets.len() {
+                    let hb = runtime.heartbeat_targets[i];
+                    if !out.iter().any(|&(to, _)| to == hb) {
+                        runtime.probe.on_heartbeat(at, hb);
+                        runtime.telemetry.on_heartbeat();
+                        egress.enqueue(
+                            hb,
+                            heartbeat_frame(id),
+                            at,
+                            &mut runtime.probe,
+                            &runtime.telemetry,
+                        );
+                    }
+                }
+            }
             for (to, frame) in out {
-                transmit(
-                    &transport,
-                    &mut encoder,
-                    &runtime.telemetry,
-                    runtime.loss,
-                    &mut runtime.loss_rng,
-                    to,
-                    &frame,
-                );
+                egress.enqueue(to, frame, at, &mut runtime.probe, &runtime.telemetry);
+            }
+            egress.flush(&transport, &runtime.telemetry);
+            // Judge the monitored peers once per round; eviction removes
+            // the condemned peer from this node's view through the same
+            // path a scripted eviction uses.
+            if let Some(det) = runtime.detector.as_mut() {
+                for verdict in det.check(at) {
+                    match verdict {
+                        Verdict::Suspect(peer) => {
+                            runtime.probe.on_suspect(at, peer);
+                            runtime.telemetry.on_suspect();
+                        }
+                        Verdict::Evict(peer) => {
+                            runtime.protocol.evict_peer(peer);
+                            runtime.probe.on_detector_evict(at, peer);
+                            runtime.telemetry.on_detector_evict();
+                        }
+                        Verdict::Rejoin(peer) => {
+                            runtime.probe.on_rejoin(at, peer);
+                        }
+                    }
+                }
             }
             next_round += period;
         }
@@ -415,6 +698,11 @@ mod tests {
                     telemetry: NodeTelemetry::disabled(),
                     loss: 0.0,
                     loss_rng: DetRng::seed_from_u64(0),
+                    detector: None,
+                    heartbeat_targets: vec![],
+                    adversary: None,
+                    adversary_rng: DetRng::seed_from_u64(0),
+                    egress_capacity: 0,
                 },
                 transport,
                 Arc::clone(&metrics),

@@ -87,6 +87,14 @@ struct Cells {
     lifecycle_leave: Counter,
     rounds: Counter,
     offers_refused: Counter,
+    suspicions: Counter,
+    detector_evictions: Counter,
+    heartbeats: Counter,
+    shed_app: Counter,
+    shed_recovery: Counter,
+    shed_control: Counter,
+    send_retries: Counter,
+    recv_closed: Counter,
     delivery_latency: WallHistogram,
     recovery_rtt: WallHistogram,
     buffer_events: Gauge,
@@ -224,6 +232,30 @@ impl NodeTelemetry {
             ),
             rounds: counter(names::ROUNDS, names::help::ROUNDS, by_node),
             offers_refused: counter(names::OFFERS_REFUSED, names::help::OFFERS_REFUSED, by_node),
+            suspicions: counter(names::SUSPICIONS, names::help::SUSPICIONS, by_node),
+            detector_evictions: counter(
+                names::DETECTOR_EVICTIONS,
+                names::help::DETECTOR_EVICTIONS,
+                by_node,
+            ),
+            heartbeats: counter(names::HEARTBEATS, names::help::HEARTBEATS, by_node),
+            shed_app: counter(
+                names::SHEDS,
+                names::help::SHEDS,
+                &[("node", n), ("class", "app")],
+            ),
+            shed_recovery: counter(
+                names::SHEDS,
+                names::help::SHEDS,
+                &[("node", n), ("class", "recovery")],
+            ),
+            shed_control: counter(
+                names::SHEDS,
+                names::help::SHEDS,
+                &[("node", n), ("class", "control")],
+            ),
+            send_retries: counter(names::SEND_RETRIES, names::help::SEND_RETRIES, by_node),
+            recv_closed: counter(names::RECV_CLOSED, names::help::RECV_CLOSED, by_node),
             delivery_latency: registry.histogram(
                 names::DELIVERY_LATENCY_SECONDS,
                 names::help::DELIVERY_LATENCY_SECONDS,
@@ -396,6 +428,86 @@ impl NodeTelemetry {
     pub fn on_congestion_drop(&self) {
         if let Some(c) = &self.inner {
             c.drops_congestion.inc();
+        }
+    }
+
+    /// The φ-accrual detector first suspected a peer.
+    pub fn on_suspect(&self) {
+        if let Some(c) = &self.inner {
+            c.suspicions.inc();
+        }
+    }
+
+    /// The detector condemned a peer and this node evicted it.
+    pub fn on_detector_evict(&self) {
+        if let Some(c) = &self.inner {
+            c.detector_evictions.inc();
+        }
+    }
+
+    /// An explicit heartbeat was sent to a ring successor that gossip
+    /// did not cover this round.
+    pub fn on_heartbeat(&self) {
+        if let Some(c) = &self.inner {
+            c.heartbeats.inc();
+        }
+    }
+
+    /// An overloaded egress queue shed a frame of the given class.
+    pub fn on_shed(&self, class: ShedClass) {
+        if let Some(c) = &self.inner {
+            match class {
+                ShedClass::App => c.shed_app.inc(),
+                ShedClass::Recovery => c.shed_recovery.inc(),
+                ShedClass::Control => c.shed_control.inc(),
+            }
+        }
+    }
+
+    /// A recovery-class frame was re-sent after a backed-off retry.
+    pub fn on_send_retry(&self) {
+        if let Some(c) = &self.inner {
+            c.send_retries.inc();
+        }
+    }
+
+    /// The transport reported terminal teardown to the node loop.
+    pub fn on_recv_closed(&self) {
+        if let Some(c) = &self.inner {
+            c.recv_closed.inc();
+        }
+    }
+}
+
+/// Egress priority classes, highest shed-resistance last: under
+/// overload the queue sheds `App` first, then `Recovery`; `Control`
+/// frames (membership, graft requests) go last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedClass {
+    /// Regular gossip data frames.
+    App,
+    /// Retransmissions and recovery replies.
+    Recovery,
+    /// Membership and graft-request frames.
+    Control,
+}
+
+impl ShedClass {
+    /// Stable lowercase label (metric `class` label, trace class byte).
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedClass::App => "app",
+            ShedClass::Recovery => "recovery",
+            ShedClass::Control => "control",
+        }
+    }
+
+    /// The trace-record class byte (0 = app, 1 = recovery, 2 = control).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            ShedClass::App => 0,
+            ShedClass::Recovery => 1,
+            ShedClass::Control => 2,
         }
     }
 }

@@ -11,7 +11,8 @@
 
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, UdpSocket};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use agb_types::NodeId;
@@ -73,6 +74,22 @@ impl std::error::Error for TransportError {
     }
 }
 
+/// Outcome of one bounded receive wait.
+///
+/// Distinguishes "the network was quiet" from "this transport can never
+/// produce another datagram" — conflating the two turns a torn-down peer
+/// channel into an infinite quiet-timeout loop in the node loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// One datagram arrived.
+    Datagram(Bytes),
+    /// Nothing arrived within the timeout; try again later.
+    Timeout,
+    /// The transport is permanently closed (every sender endpoint is
+    /// gone). The node loop should exit, not spin.
+    Closed,
+}
+
 /// A best-effort datagram channel between the nodes of one cluster.
 ///
 /// An accepted send may still be dropped in flight (UDP semantics); a
@@ -86,8 +103,20 @@ pub trait Transport: Send + 'static {
     /// oversized, unknown destination, or socket failure.
     fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), TransportError>;
 
-    /// Waits up to `timeout` for one datagram.
-    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes>;
+    /// Waits up to `timeout` for one datagram, reporting whether a quiet
+    /// wait can ever succeed again.
+    fn recv_outcome(&self, timeout: Duration) -> RecvOutcome;
+
+    /// Waits up to `timeout` for one datagram ([`recv_outcome`]
+    /// flattened; `Closed` looks like a quiet timeout here).
+    ///
+    /// [`recv_outcome`]: Transport::recv_outcome
+    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
+        match self.recv_outcome(timeout) {
+            RecvOutcome::Datagram(b) => Some(b),
+            RecvOutcome::Timeout | RecvOutcome::Closed => None,
+        }
+    }
 }
 
 /// UDP-socket transport.
@@ -96,6 +125,13 @@ pub struct UdpTransport {
     socket: UdpSocket,
     peers: Arc<Vec<SocketAddr>>,
     recv_buf_size: usize,
+    /// The read timeout currently armed on the socket. `set_read_timeout`
+    /// is a syscall per call otherwise — the node loop calls
+    /// `recv_outcome` with the same ~5 ms slice thousands of times per
+    /// second, so re-arm only when the requested timeout changes.
+    armed_timeout: Mutex<Option<Duration>>,
+    /// `set_read_timeout` syscalls issued (regression guard).
+    rearms: AtomicU64,
 }
 
 /// The UDP datagram payload bound used when splitting gossip messages.
@@ -136,6 +172,8 @@ impl UdpTransport {
                     socket,
                     peers: Arc::clone(&peers),
                     recv_buf_size: 64 * 1024,
+                    armed_timeout: Mutex::new(None),
+                    rearms: AtomicU64::new(0),
                 })
             })
             .collect()
@@ -153,6 +191,25 @@ impl UdpTransport {
     /// The full cluster's socket addresses, indexed by node.
     pub fn peer_addrs(&self) -> &[SocketAddr] {
         &self.peers
+    }
+
+    /// How many `set_read_timeout` syscalls this transport has issued.
+    /// Steady-state receiving with a constant timeout costs exactly one.
+    pub fn rearm_count(&self) -> u64 {
+        self.rearms.load(Ordering::Relaxed)
+    }
+
+    /// Arms the socket read timeout only when it differs from what is
+    /// already armed.
+    fn arm_timeout(&self, timeout: Duration) -> io::Result<()> {
+        let mut armed = self.armed_timeout.lock().expect("timeout lock");
+        if *armed == Some(timeout) {
+            return Ok(());
+        }
+        self.socket.set_read_timeout(Some(timeout))?;
+        self.rearms.fetch_add(1, Ordering::Relaxed);
+        *armed = Some(timeout);
+        Ok(())
     }
 }
 
@@ -174,19 +231,21 @@ impl Transport for UdpTransport {
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
+    fn recv_outcome(&self, timeout: Duration) -> RecvOutcome {
         // A zero timeout would put the socket in nonblocking mode forever.
         let timeout = timeout.max(Duration::from_millis(1));
-        if self.socket.set_read_timeout(Some(timeout)).is_err() {
-            return None;
+        if self.arm_timeout(timeout).is_err() {
+            return RecvOutcome::Timeout;
         }
         let mut buf = vec![0u8; self.recv_buf_size];
         match self.socket.recv_from(&mut buf) {
             Ok((n, _)) => {
                 buf.truncate(n);
-                Some(Bytes::from(buf))
+                RecvOutcome::Datagram(Bytes::from(buf))
             }
-            Err(_) => None,
+            // UDP sockets have no peer lifetime: every error here (the
+            // timeout included) is a quiet wait, never terminal.
+            Err(_) => RecvOutcome::Timeout,
         }
     }
 }
@@ -240,10 +299,23 @@ impl Transport for ChannelTransport {
         })
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Option<Bytes> {
+    fn recv_outcome(&self, timeout: Duration) -> RecvOutcome {
         match self.rx.recv_timeout(timeout) {
-            Ok(b) => Some(b),
-            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+            Ok(b) => RecvOutcome::Datagram(b),
+            // Every transport shares one sender table (self-send
+            // included), so crossbeam's `Disconnected` can never fire
+            // while this receiver is alive. Teardown is detected through
+            // the table's reference count instead: when this transport
+            // holds the last reference, every peer that could have sent
+            // to it is gone and quiet waits can never succeed again.
+            Err(RecvTimeoutError::Timeout) => {
+                if Arc::strong_count(&self.txs) == 1 {
+                    RecvOutcome::Closed
+                } else {
+                    RecvOutcome::Timeout
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
         }
     }
 }
@@ -318,5 +390,53 @@ mod tests {
         let cluster = UdpTransport::bind_cluster(1).expect("bind loopback");
         let got = cluster[0].recv_timeout(Duration::from_millis(20));
         assert_eq!(got, None);
+        // And the outcome API agrees: quiet, not closed.
+        assert_eq!(
+            cluster[0].recv_outcome(Duration::from_millis(10)),
+            RecvOutcome::Timeout
+        );
+    }
+
+    #[test]
+    fn udp_rearms_read_timeout_only_on_change() {
+        let cluster = UdpTransport::bind_cluster(1).expect("bind loopback");
+        let t = &cluster[0];
+        assert_eq!(t.rearm_count(), 0);
+        for _ in 0..5 {
+            let _ = t.recv_timeout(Duration::from_millis(5));
+        }
+        assert_eq!(t.rearm_count(), 1, "constant timeout arms exactly once");
+        let _ = t.recv_timeout(Duration::from_millis(9));
+        assert_eq!(t.rearm_count(), 2, "a new timeout re-arms");
+        let _ = t.recv_timeout(Duration::from_millis(5));
+        let _ = t.recv_timeout(Duration::from_millis(5));
+        assert_eq!(
+            t.rearm_count(),
+            3,
+            "returning to a prior timeout re-arms once"
+        );
+        // Sub-millisecond requests clamp to 1 ms and share one arming.
+        let _ = t.recv_timeout(Duration::ZERO);
+        let _ = t.recv_timeout(Duration::from_micros(10));
+        assert_eq!(t.rearm_count(), 4);
+    }
+
+    #[test]
+    fn channel_disconnect_is_terminal_not_quiet() {
+        let mut cluster = ChannelTransport::cluster(2);
+        let receiver = cluster.pop().expect("node 1");
+        // While peers hold sender halves the channel is merely quiet.
+        assert_eq!(
+            receiver.recv_outcome(Duration::from_millis(5)),
+            RecvOutcome::Timeout
+        );
+        // Tear down every other transport: the cluster is gone.
+        drop(cluster);
+        assert_eq!(
+            receiver.recv_outcome(Duration::from_millis(5)),
+            RecvOutcome::Closed
+        );
+        // The flattened legacy view still reads None.
+        assert_eq!(receiver.recv_timeout(Duration::from_millis(5)), None);
     }
 }

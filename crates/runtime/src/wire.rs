@@ -26,6 +26,25 @@ const TAG_GRAFT: u8 = 1;
 /// Frame tag: retransmission reply.
 const TAG_RETRANSMIT: u8 = 2;
 
+/// Trailing frame-checksum width: a truncated FNV-1a over every byte
+/// before it. UDP's 16-bit checksum (often offloaded away entirely) is
+/// no defence against the byte-level adversary, and a length-guarded
+/// parse alone can still mis-decode a bit-flipped frame into a
+/// *different valid* frame. The trailer makes corruption detectable:
+/// corrupt frames are counted and dropped, never misdelivered.
+const CHECKSUM_LEN: usize = 4;
+
+/// Checksum of a frame's pre-trailer bytes.
+fn frame_checksum(bytes: &[u8]) -> u32 {
+    agb_types::fnv1a(bytes) as u32
+}
+
+/// Appends the checksum trailer over everything already in `buf`.
+fn seal_frame(buf: &mut BytesMut) {
+    let sum = frame_checksum(buf);
+    buf.put_u32_le(sum);
+}
+
 /// Decoding failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
@@ -35,6 +54,9 @@ pub enum WireError {
     BadMagic(u8),
     /// A declared length is implausible for the remaining buffer.
     BadLength,
+    /// The frame checksum trailer did not match — bytes were corrupted
+    /// in flight.
+    BadChecksum,
 }
 
 impl std::fmt::Display for WireError {
@@ -43,6 +65,7 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "message truncated"),
             WireError::BadMagic(m) => write!(f, "bad magic byte {m:#04x}"),
             WireError::BadLength => write!(f, "declared length exceeds buffer"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
         }
     }
 }
@@ -275,15 +298,19 @@ fn get_events_with(
 /// assert_eq!(decode_frame(&encode_frame(&frame)).unwrap(), frame);
 /// ```
 pub fn encode_frame(frame: &GossipFrame) -> Bytes {
-    let mut buf = BytesMut::with_capacity(8 + frame.wire_size());
+    let mut buf = BytesMut::with_capacity(8 + CHECKSUM_LEN + frame.wire_size());
     encode_frame_to(frame, &mut buf);
+    seal_frame(&mut buf);
     buf.freeze()
 }
 
 /// Serializes a recovery-capable frame by appending to a reusable buffer
 /// (byte-identical to [`encode_frame`], without the per-call allocation).
 pub fn encode_frame_into(frame: &GossipFrame, out: &mut Vec<u8>) {
+    let start = out.len();
     encode_frame_to(frame, out);
+    let sum = frame_checksum(&out[start..]);
+    out.extend_from_slice(&sum.to_le_bytes());
 }
 
 fn encode_frame_to<B: BufMut>(frame: &GossipFrame, buf: &mut B) {
@@ -357,7 +384,7 @@ impl FrameEncoder {
     /// [`encode_frame`].
     pub fn encode(&mut self, frame: &GossipFrame) -> Bytes {
         let mut buf = self.pool.take();
-        encode_frame_to(frame, &mut buf);
+        encode_frame_into(frame, &mut buf);
         let bytes = Bytes::copy_from_slice(&buf);
         self.pool.put(buf);
         bytes
@@ -387,7 +414,7 @@ impl FrameEncoder {
         // correctness of the fit check itself.
         if frame.wire_size() <= 2 * max_bytes {
             let mut buf = self.pool.take();
-            encode_frame_to(frame, &mut buf);
+            encode_frame_into(frame, &mut buf);
             if buf.len() <= max_bytes {
                 let bytes = Bytes::copy_from_slice(&buf);
                 self.pool.put(buf);
@@ -426,12 +453,22 @@ fn decode_frame_with(
     bytes: &[u8],
     interner: &mut Option<&mut agb_types::PayloadInterner>,
 ) -> Result<GossipFrame, WireError> {
-    let mut buf = bytes;
-    need(&buf, 2)?;
-    let magic = buf.get_u8();
-    if magic != FRAME_MAGIC {
-        return Err(WireError::BadMagic(magic));
+    need(&bytes, 1)?;
+    if bytes[0] != FRAME_MAGIC {
+        return Err(WireError::BadMagic(bytes[0]));
     }
+    // Verify the checksum trailer before trusting a single declared
+    // length: corrupted frames must fail here, not half-way through a
+    // parse that might still happen to succeed with different content.
+    if bytes.len() < 2 + CHECKSUM_LEN {
+        return Err(WireError::Truncated);
+    }
+    let body_end = bytes.len() - CHECKSUM_LEN;
+    let declared = u32::from_le_bytes(bytes[body_end..].try_into().expect("4-byte trailer"));
+    if declared != frame_checksum(&bytes[..body_end]) {
+        return Err(WireError::BadChecksum);
+    }
+    let mut buf = &bytes[1..body_end];
     let tag = buf.get_u8();
     match tag {
         TAG_GOSSIP => {
@@ -463,8 +500,8 @@ fn decode_frame_with(
 }
 
 /// Frame envelope bytes around an embedded gossip message: magic + tag +
-/// digest flag.
-const GOSSIP_FRAME_OVERHEAD: usize = 3;
+/// digest flag + checksum trailer.
+const GOSSIP_FRAME_OVERHEAD: usize = 3 + CHECKSUM_LEN;
 
 /// Splits a frame into datagrams no larger than `max_bytes` where
 /// possible, partitioning event lists ([`split_for_datagram`] semantics).
@@ -499,6 +536,7 @@ pub fn split_frame_for_datagram(frame: &GossipFrame, max_bytes: usize) -> Vec<By
                     _ => buf.put_u8(0),
                 }
                 buf.put_slice(fragment);
+                seal_frame(&mut buf);
                 out.push(buf.freeze());
             }
             if let (Some(digest), false) = (ihave, piggyback) {
@@ -514,7 +552,7 @@ pub fn split_frame_for_datagram(frame: &GossipFrame, max_bytes: usize) -> Vec<By
             if encoded.len() <= max_bytes || retransmission.events.len() <= 1 {
                 return vec![encoded];
             }
-            let overhead = 2 + 4 + 4;
+            let overhead = 2 + 4 + 4 + CHECKSUM_LEN;
             let mut out = Vec::new();
             let mut chunk: Vec<Event> = Vec::new();
             let mut used = overhead;
@@ -567,6 +605,7 @@ fn split_digest_frames(sender: NodeId, digest: &IHaveDigest, max_bytes: usize) -
             buf.put_u8(1);
             put_event_ids(&mut buf, ids);
             buf.put_slice(&encoded_header);
+            seal_frame(&mut buf);
             buf.freeze()
         })
         .collect()
@@ -800,8 +839,38 @@ mod tests {
 
     #[test]
     fn frame_rejects_bad_tag() {
-        let bytes = vec![FRAME_MAGIC, 9];
-        assert_eq!(decode_frame(&bytes), Err(WireError::BadMagic(9)));
+        let mut buf = BytesMut::new();
+        buf.put_u8(FRAME_MAGIC);
+        buf.put_u8(9);
+        seal_frame(&mut buf);
+        assert_eq!(decode_frame(&buf), Err(WireError::BadMagic(9)));
+        // Unsealed short garbage is truncation, not a parse attempt.
+        assert_eq!(decode_frame(&[FRAME_MAGIC, 9]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frame_rejects_every_single_bit_flip() {
+        let bytes = encode_frame(&GossipFrame::Gossip {
+            msg: sample_msg(),
+            ihave: Some(sample_digest()),
+        });
+        for at in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.to_vec();
+                corrupt[at] ^= 1 << bit;
+                assert!(
+                    decode_frame(&corrupt).is_err(),
+                    "flipping byte {at} bit {bit} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage() {
+        let mut bytes = encode_frame(&GossipFrame::plain(sample_msg())).to_vec();
+        bytes.push(0xFF);
+        assert_eq!(decode_frame(&bytes), Err(WireError::BadChecksum));
     }
 
     #[test]

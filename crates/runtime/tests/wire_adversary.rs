@@ -1,0 +1,211 @@
+//! Property-based tests of the frame codec under the byte-level
+//! adversary (`agb-failure`): every mutation class the adversary can
+//! apply — bit flips, truncation, duplication, reordering — against
+//! arbitrary full [`GossipFrame`]s, asserting the decoder is panic-free
+//! and never confuses a damaged frame with a *different* valid one.
+
+use agb_core::{BuffAd, Event, GossipFrame, GossipMessage, GraftRequest, IHaveDigest};
+use agb_failure::{AdversaryConfig, ByteAdversary, Mutation};
+use agb_membership::{MembershipDigest, Unsubscription};
+use agb_runtime::wire::{decode_frame, encode_frame};
+use agb_types::{DetRng, DurationMs, EventId, NodeId, Payload};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u32..64,
+        0u64..10_000,
+        0u32..64,
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(origin, seq, age, payload)| {
+            Event::with_age(
+                EventId::new(NodeId::new(origin), seq),
+                age,
+                Payload::from(payload),
+            )
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = GossipMessage> {
+    (
+        0u32..64,
+        0u64..1_000,
+        proptest::collection::vec((0u32..64, 1u32..1_000), 0..4),
+        proptest::collection::vec(arb_event(), 0..24),
+        proptest::collection::vec(0u32..64, 0..6),
+        proptest::collection::vec((0u32..64, 1u32..32), 0..6),
+    )
+        .prop_map(
+            |(sender, period, ads, events, subs, unsubs)| GossipMessage {
+                sender: NodeId::new(sender),
+                sample_period: period,
+                min_buffs: ads
+                    .into_iter()
+                    .map(|(node, capacity)| BuffAd {
+                        node: NodeId::new(node),
+                        capacity,
+                    })
+                    .collect(),
+                events: events.into(),
+                membership: MembershipDigest {
+                    subs: subs.into_iter().map(NodeId::new).collect(),
+                    unsubs: unsubs
+                        .into_iter()
+                        .map(|(node, ttl)| Unsubscription {
+                            node: NodeId::new(node),
+                            ttl,
+                        })
+                        .collect(),
+                },
+            },
+        )
+}
+
+fn arb_frame() -> impl Strategy<Value = GossipFrame> {
+    use agb_core::Retransmission;
+    (
+        arb_message(),
+        proptest::option::of(proptest::collection::vec((0u32..64, 0u64..10_000), 0..32)),
+        0u8..3,
+        0u32..64,
+        proptest::collection::vec(arb_event(), 0..8),
+    )
+        .prop_map(|(msg, digest, kind, sender, events)| {
+            let ids = |pairs: Vec<(u32, u64)>| -> Vec<EventId> {
+                pairs
+                    .into_iter()
+                    .map(|(o, s)| EventId::new(NodeId::new(o), s))
+                    .collect()
+            };
+            match kind {
+                0 => GossipFrame::Gossip {
+                    msg,
+                    ihave: digest.map(|d| IHaveDigest { ids: ids(d) }),
+                },
+                1 => GossipFrame::Graft(GraftRequest {
+                    sender: NodeId::new(sender),
+                    ids: digest.map(ids).unwrap_or_default(),
+                }),
+                _ => GossipFrame::Retransmit(Retransmission {
+                    sender: NodeId::new(sender),
+                    events,
+                }),
+            }
+        })
+}
+
+/// An adversary that always damages the payload (bit flips and
+/// truncation in a 2:1 mix — the two destructive mutation classes).
+fn destructive_adversary() -> ByteAdversary {
+    ByteAdversary::new(AdversaryConfig {
+        corrupt: 1.0,
+        truncate: 0.5,
+        duplicate: 0.0,
+        reorder: 0.0,
+        reorder_delay: DurationMs::from_millis(0),
+    })
+}
+
+/// An adversary drawing from every mutation class.
+fn mixed_adversary() -> ByteAdversary {
+    ByteAdversary::new(AdversaryConfig {
+        corrupt: 0.4,
+        truncate: 0.2,
+        duplicate: 0.2,
+        reorder: 0.2,
+        reorder_delay: DurationMs::from_millis(50),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Destructively mutated frames never panic the decoder, and a frame
+    /// that still decodes is never confused with a *different* valid
+    /// frame: either the damage is detected (`Err`) or — when the flipped
+    /// bits happen to cancel out into a consistent encoding — the decoded
+    /// value must be structurally valid on its own terms. Truncation in
+    /// particular must always be detected.
+    #[test]
+    fn mutated_frames_never_confuse_the_decoder(frame in arb_frame(), seed in 0u64..1_000_000) {
+        let bytes = encode_frame(&frame).to_vec();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let adversary = destructive_adversary();
+        let mut damaged = bytes.clone();
+        let mutation = adversary.mutate(&mut damaged, &mut rng);
+        prop_assert_ne!(mutation, Mutation::None, "corrupt=1.0 always acts");
+        if mutation == Mutation::Truncated {
+            prop_assert!(damaged.len() < bytes.len());
+            prop_assert!(decode_frame(&damaged).is_err(), "truncation must be detected");
+        } else if let Ok(decoded) = decode_frame(&damaged) {
+            // Bit flips: the checksum trailer catches essentially all of
+            // them; if one ever slips through it must decode into a frame
+            // whose re-encoding reproduces the damaged bytes exactly —
+            // i.e. a genuine alternative encoding, not a misparse.
+            prop_assert_eq!(encode_frame(&decoded).to_vec(), damaged);
+        }
+    }
+
+    /// The non-destructive mutation classes (duplicate, reorder) leave
+    /// the bytes intact, so the frame must still decode to the original;
+    /// destructive classes must never yield a silently different frame.
+    #[test]
+    fn mutation_classes_behave_as_labeled(frame in arb_frame(), seed in 0u64..1_000_000) {
+        let bytes = encode_frame(&frame).to_vec();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let adversary = mixed_adversary();
+        let mut damaged = bytes.clone();
+        match adversary.mutate(&mut damaged, &mut rng) {
+            Mutation::None | Mutation::Duplicated | Mutation::Reordered(_) => {
+                prop_assert_eq!(&damaged, &bytes);
+                prop_assert_eq!(decode_frame(&damaged).expect("intact"), frame);
+            }
+            Mutation::Truncated => {
+                prop_assert!(decode_frame(&damaged).is_err());
+            }
+            Mutation::Corrupted => {
+                prop_assert_ne!(&damaged, &bytes);
+                if let Ok(decoded) = decode_frame(&damaged) {
+                    prop_assert_eq!(encode_frame(&decoded).to_vec(), damaged);
+                }
+            }
+        }
+    }
+
+    /// Repeated mutation rounds (a worst-case link) still never panic the
+    /// decoder, even as damage compounds.
+    #[test]
+    fn compounded_damage_is_panic_free(frame in arb_frame(), seed in 0u64..1_000_000) {
+        let mut bytes = encode_frame(&frame).to_vec();
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+        let adversary = destructive_adversary();
+        for _ in 0..4 {
+            adversary.mutate(&mut bytes, &mut rng);
+            let _ = decode_frame(&bytes); // must return, not panic
+            if bytes.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// The clean round-trip stays a fixed point under zero-rate
+    /// adversaries: an inert config never touches the bytes.
+    #[test]
+    fn inert_adversary_is_a_fixed_point(frame in arb_frame(), seed in 0u64..1_000_000) {
+        let bytes = encode_frame(&frame).to_vec();
+        let mut rng = DetRng::seed_from_u64(seed);
+        let adversary = ByteAdversary::new(AdversaryConfig {
+            corrupt: 0.0,
+            truncate: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_delay: DurationMs::from_millis(0),
+        });
+        let mut untouched = bytes.clone();
+        prop_assert_eq!(adversary.mutate(&mut untouched, &mut rng), Mutation::None);
+        prop_assert_eq!(&untouched, &bytes);
+        prop_assert_eq!(decode_frame(&untouched).expect("clean"), frame);
+    }
+}

@@ -45,8 +45,9 @@ pub struct TimerId(pub u32);
 /// world, which is what makes runs reproducible (and, when the node type is
 /// `Send`, lets the sharded engine execute handlers on worker threads).
 pub trait SimNode {
-    /// The message type exchanged between nodes.
-    type Msg;
+    /// The message type exchanged between nodes. `Clone` lets the
+    /// network's byte adversary deliver duplicated copies.
+    type Msg: Clone;
 
     /// Called once at simulation start (virtual time 0).
     fn on_start(&mut self, ctx: &mut SimCtx<'_, Self::Msg>) {
@@ -230,6 +231,8 @@ pub struct NetStats {
     pub drops: u64,
     /// Timer fires dispatched to nodes.
     pub timer_fires: u64,
+    /// Frames destroyed by the byte adversary (subset of `drops`).
+    pub corrupted: u64,
     /// Order-sensitive checksum of the full event stream.
     pub checksum: u64,
 }
@@ -457,9 +460,15 @@ impl<N: SimNode> Simulation<N> {
         self.stats
     }
 
-    /// Messages dropped by the network model (loss/partitions only).
+    /// Messages dropped by the network model (loss, partitions, link
+    /// faults or adversary destruction — excludes drops at downed nodes).
     pub fn network_drops(&self) -> u64 {
         self.net.dropped()
+    }
+
+    /// Frames destroyed by the byte adversary so far.
+    pub fn network_corrupted(&self) -> u64 {
+        self.net.corrupted()
     }
 
     /// Installs a tracer receiving every engine event.
@@ -810,7 +819,8 @@ impl<N: SimNode> Simulation<N> {
             self.stats.deliveries += c.deliveries;
             self.stats.drops += c.drops;
             self.stats.timer_fires += c.timer_fires;
-            self.net.add_counts(c.sends, c.net_dropped);
+            self.stats.corrupted += c.corrupted;
+            self.net.add_counts(c.sends, c.net_dropped, c.corrupted);
             lane.buf.clear();
         }
         self.scratch.cursors = cursors;
@@ -1202,6 +1212,7 @@ mod tests {
                     loss: 0.0,
                     partitions: vec![],
                     link_faults: vec![],
+                    adversaries: vec![],
                 })
                 .build(vec![Echo::new(100), Echo::new(100)])
         };
@@ -1394,6 +1405,7 @@ mod tests {
                 loss: 1.0,
                 partitions: vec![],
                 link_faults: vec![],
+                adversaries: vec![],
             })
             .build(vec![Echo::new(50), Echo::new(50)]);
         sim.run_until(TimeMs::from_secs(1));
@@ -1459,6 +1471,7 @@ mod sharded_tests {
                 loss: 0.15,
                 partitions: vec![],
                 link_faults: vec![],
+                adversaries: vec![],
             }
         } else {
             NetworkConfig::perfect(DurationMs::from_millis(3))

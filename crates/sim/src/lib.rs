@@ -59,5 +59,7 @@ mod trace;
 pub use engine::{
     threads_from_env, NetStats, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
 };
-pub use network::{LatencyModel, LinkFault, NetworkConfig, NetworkModel, Partition};
+pub use network::{
+    AdversaryWindow, LatencyModel, LinkFault, NetworkConfig, NetworkModel, Partition, RouteOutcome,
+};
 pub use trace::{CountingTracer, NoopTracer, TraceEvent, Tracer};

@@ -5,6 +5,7 @@
 //! [`Partition`]s used by the failure-injection tests to show what happens
 //! when the assumption is violated.
 
+use agb_failure::{AdversaryConfig, Mutation};
 use agb_types::{DetRng, DurationMs, NodeId, TimeMs};
 use rand::RngExt;
 
@@ -147,6 +148,40 @@ impl LinkFault {
     }
 }
 
+/// A scheduled byte-adversary episode: during `[from, until)`, messages
+/// riding the affected links suffer the [`AdversaryConfig`] fault draws —
+/// bit flips and truncations (the frame is destroyed and counted as
+/// corrupted, never misdelivered), duplication (the receiver gets two
+/// copies) and reordering (an extra hold-back delay).
+///
+/// The simulator's messages have no byte representation, so destructive
+/// faults model the *receiver-side outcome* of the wire-level adversary:
+/// the frame checksum rejects the mangled datagram and the decode path
+/// drops it. The threaded runtime applies the identical fault draws to
+/// real encoded bytes ([`agb_failure::ByteAdversary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdversaryWindow {
+    /// Nodes whose links are attacked; empty means every link. A message
+    /// is affected when its sender **or** receiver is listed.
+    pub nodes: Vec<NodeId>,
+    /// The fault rates drawn per affected message.
+    pub faults: AdversaryConfig,
+    /// Episode start (inclusive).
+    pub from: TimeMs,
+    /// Episode end (exclusive).
+    pub until: TimeMs,
+}
+
+impl AdversaryWindow {
+    /// Whether a message from `a` to `b` at time `now` is attacked.
+    pub fn affects(&self, a: NodeId, b: NodeId, now: TimeMs) -> bool {
+        if now < self.from || now >= self.until {
+            return false;
+        }
+        self.nodes.is_empty() || self.nodes.contains(&a) || self.nodes.contains(&b)
+    }
+}
+
 /// Complete configuration of the simulated network.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NetworkConfig {
@@ -158,6 +193,9 @@ pub struct NetworkConfig {
     pub partitions: Vec<Partition>,
     /// Scheduled per-link degradations (latency inflation, loss spikes).
     pub link_faults: Vec<LinkFault>,
+    /// Scheduled byte-adversary episodes (corruption, truncation,
+    /// duplication, reordering).
+    pub adversaries: Vec<AdversaryWindow>,
 }
 
 impl NetworkConfig {
@@ -168,6 +206,7 @@ impl NetworkConfig {
             loss: 0.0,
             partitions: Vec::new(),
             link_faults: Vec::new(),
+            adversaries: Vec::new(),
         }
     }
 
@@ -178,33 +217,61 @@ impl NetworkConfig {
             loss,
             partitions: Vec::new(),
             link_faults: Vec::new(),
+            adversaries: Vec::new(),
+        }
+    }
+}
+
+/// The network's verdict on one routed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Delivered after the given latency.
+    Deliver(DurationMs),
+    /// Delivered twice (adversary duplication), each copy after its own
+    /// latency.
+    Duplicate(DurationMs, DurationMs),
+    /// Dropped by loss, a partition, or a link fault.
+    Drop,
+    /// Destroyed by the byte adversary (bit flip / truncation): the frame
+    /// checksum rejects it at the receiver, so it is counted separately
+    /// from plain loss and never misdelivered.
+    Corrupt,
+}
+
+impl RouteOutcome {
+    /// The first delivery latency, if any copy is delivered.
+    pub fn latency(self) -> Option<DurationMs> {
+        match self {
+            RouteOutcome::Deliver(d) | RouteOutcome::Duplicate(d, _) => Some(d),
+            RouteOutcome::Drop | RouteOutcome::Corrupt => None,
         }
     }
 }
 
 /// Routing decision for one message against a configuration and the
-/// *sender's* RNG stream: `None` means the network dropped it, otherwise
-/// the latency to apply.
+/// *sender's* RNG stream.
 ///
 /// Stateless apart from the stream, so shard workers can route their own
 /// nodes' traffic concurrently; because every draw comes from the
 /// per-sender stream, the draw sequence depends only on that sender's
 /// send order — which the canonical merge keeps identical at any thread
-/// count.
+/// count. Adversary draws happen only while a window covers the link, so
+/// adversary-free configurations consume the exact RNG sequence they
+/// always did and their run digests are unchanged.
 pub(crate) fn route_decision(
     config: &NetworkConfig,
     rng: &mut DetRng,
     from: NodeId,
     to: NodeId,
     now: TimeMs,
-) -> Option<DurationMs> {
+) -> RouteOutcome {
     for p in &config.partitions {
         if p.blocks(from, to, now) {
-            return None;
+            return RouteOutcome::Drop;
         }
     }
     if config.loss > 0.0 && rng.random::<f64>() < config.loss {
-        return None;
+        return RouteOutcome::Drop;
     }
     let mut extra = DurationMs::ZERO;
     for f in &config.link_faults {
@@ -212,12 +279,33 @@ pub(crate) fn route_decision(
             // One loss draw per active fault: overlapping faults
             // compound, as independent bad hops would.
             if f.extra_loss > 0.0 && rng.random::<f64>() < f.extra_loss {
-                return None;
+                return RouteOutcome::Drop;
             }
             extra += f.extra_latency;
         }
     }
-    Some(config.latency.sample(rng) + extra)
+    let mut fate = Mutation::None;
+    for w in &config.adversaries {
+        if w.affects(from, to, now) {
+            fate = w.faults.draw(rng);
+            // First window to fire claims the datagram; overlapping
+            // windows only get a draw if earlier ones passed it through.
+            if fate != Mutation::None {
+                break;
+            }
+        }
+    }
+    match fate {
+        Mutation::Corrupted | Mutation::Truncated => RouteOutcome::Corrupt,
+        Mutation::Duplicated => RouteOutcome::Duplicate(
+            config.latency.sample(rng) + extra,
+            config.latency.sample(rng) + extra,
+        ),
+        Mutation::Reordered(delay) => {
+            RouteOutcome::Deliver(config.latency.sample(rng) + extra + delay)
+        }
+        Mutation::None => RouteOutcome::Deliver(config.latency.sample(rng) + extra),
+    }
 }
 
 /// Decides the fate of each message: dropped, or delivered after a latency.
@@ -238,6 +326,7 @@ pub struct NetworkModel {
     streams: Vec<DetRng>,
     sent: u64,
     dropped: u64,
+    corrupted: u64,
 }
 
 impl NetworkModel {
@@ -250,6 +339,7 @@ impl NetworkModel {
             streams: Vec::new(),
             sent: 0,
             dropped: 0,
+            corrupted: 0,
         }
     }
 
@@ -271,21 +361,33 @@ impl NetworkModel {
     }
 
     /// Folds per-worker routing counters back into the model.
-    pub(crate) fn add_counts(&mut self, sent: u64, dropped: u64) {
+    pub(crate) fn add_counts(&mut self, sent: u64, dropped: u64, corrupted: u64) {
         self.sent += sent;
         self.dropped += dropped;
+        self.corrupted += corrupted;
     }
 
-    /// Routes one message: `None` means the network dropped it, otherwise
-    /// the latency to apply.
+    /// Routes one message: `None` means the network dropped (or the
+    /// adversary destroyed) it, otherwise the latency of the first copy.
     pub fn route(&mut self, from: NodeId, to: NodeId, now: TimeMs) -> Option<DurationMs> {
+        self.route_outcome(from, to, now).latency()
+    }
+
+    /// Routes one message, exposing the full verdict including adversary
+    /// duplication and corruption.
+    pub fn route_outcome(&mut self, from: NodeId, to: NodeId, now: TimeMs) -> RouteOutcome {
         self.ensure_streams(from.index() + 1);
         self.sent += 1;
-        let decision = route_decision(&self.config, &mut self.streams[from.index()], from, to, now);
-        if decision.is_none() {
-            self.dropped += 1;
+        let outcome = route_decision(&self.config, &mut self.streams[from.index()], from, to, now);
+        match outcome {
+            RouteOutcome::Drop => self.dropped += 1,
+            RouteOutcome::Corrupt => {
+                self.dropped += 1;
+                self.corrupted += 1;
+            }
+            RouteOutcome::Deliver(_) | RouteOutcome::Duplicate(_, _) => {}
         }
-        decision
+        outcome
     }
 
     /// Messages handed to the network so far.
@@ -293,9 +395,16 @@ impl NetworkModel {
         self.sent
     }
 
-    /// Messages dropped by loss or partitions so far.
+    /// Messages dropped by loss, partitions, or adversary destruction so
+    /// far (corrupted frames are a subset of this count).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages destroyed by the byte adversary (checksum-rejected at the
+    /// receiver) so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
     }
 
     /// The active configuration.
@@ -423,6 +532,7 @@ mod tests {
                 until: TimeMs::from_secs(1),
             }],
             link_faults: vec![],
+            adversaries: vec![],
         };
         let mut net = NetworkModel::new(config, rng());
         assert_eq!(
@@ -450,6 +560,7 @@ mod tests {
                 from: TimeMs::from_secs(10),
                 until: TimeMs::from_secs(20),
             }],
+            adversaries: vec![],
         };
         let mut net = NetworkModel::new(config, rng());
         // Outside the window or off the faulted node: base latency.
@@ -485,6 +596,7 @@ mod tests {
                 from: TimeMs::ZERO,
                 until: TimeMs::from_secs(100),
             }],
+            adversaries: vec![],
         };
         let mut net = NetworkModel::new(config, rng());
         let n = 20_000;
@@ -506,11 +618,143 @@ mod tests {
             loss: 1.0,
             partitions: vec![],
             link_faults: vec![],
+            adversaries: vec![],
         });
         assert_eq!(
             net.route(NodeId::new(0), NodeId::new(1), TimeMs::ZERO),
             None
         );
         assert_eq!(net.config().loss, 1.0);
+    }
+
+    fn adversary_config(faults: AdversaryConfig, from: u64, until: u64) -> NetworkConfig {
+        NetworkConfig {
+            latency: LatencyModel::Constant(DurationMs::from_millis(2)),
+            loss: 0.0,
+            partitions: vec![],
+            link_faults: vec![],
+            adversaries: vec![AdversaryWindow {
+                nodes: vec![],
+                faults,
+                from: TimeMs::from_secs(from),
+                until: TimeMs::from_secs(until),
+            }],
+        }
+    }
+
+    #[test]
+    fn corrupting_adversary_destroys_inside_window_only() {
+        let faults = AdversaryConfig {
+            corrupt: 1.0,
+            ..AdversaryConfig::default()
+        };
+        let mut net = NetworkModel::new(adversary_config(faults, 10, 20), rng());
+        assert_eq!(
+            net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(5)),
+            RouteOutcome::Deliver(DurationMs::from_millis(2))
+        );
+        assert_eq!(
+            net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(15)),
+            RouteOutcome::Corrupt
+        );
+        assert_eq!(
+            net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(20)),
+            RouteOutcome::Deliver(DurationMs::from_millis(2))
+        );
+        assert_eq!(net.corrupted(), 1);
+        assert_eq!(net.dropped(), 1);
+    }
+
+    #[test]
+    fn duplicating_adversary_yields_two_latencies() {
+        let faults = AdversaryConfig {
+            duplicate: 1.0,
+            ..AdversaryConfig::default()
+        };
+        let mut net = NetworkModel::new(adversary_config(faults, 0, 100), rng());
+        match net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(1)) {
+            RouteOutcome::Duplicate(a, b) => {
+                assert_eq!(a, DurationMs::from_millis(2));
+                assert_eq!(b, DurationMs::from_millis(2));
+            }
+            other => panic!("expected duplicate, got {other:?}"),
+        }
+        assert_eq!(net.dropped(), 0);
+        assert_eq!(net.corrupted(), 0);
+    }
+
+    #[test]
+    fn reordering_adversary_inflates_latency() {
+        let faults = AdversaryConfig {
+            reorder: 1.0,
+            reorder_delay: DurationMs::from_millis(40),
+            ..AdversaryConfig::default()
+        };
+        let mut net = NetworkModel::new(adversary_config(faults, 0, 100), rng());
+        match net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(1)) {
+            RouteOutcome::Deliver(d) => {
+                assert!(d > DurationMs::from_millis(2));
+                assert!(d <= DurationMs::from_millis(42));
+            }
+            other => panic!("expected delayed delivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn targeted_adversary_spares_unlisted_links() {
+        let faults = AdversaryConfig {
+            corrupt: 1.0,
+            ..AdversaryConfig::default()
+        };
+        let config = NetworkConfig {
+            adversaries: vec![AdversaryWindow {
+                nodes: vec![NodeId::new(3)],
+                faults,
+                from: TimeMs::ZERO,
+                until: TimeMs::from_secs(100),
+            }],
+            ..adversary_config(AdversaryConfig::default(), 0, 0)
+        };
+        let mut net = NetworkModel::new(config, rng());
+        assert_eq!(
+            net.route_outcome(NodeId::new(0), NodeId::new(1), TimeMs::from_secs(1)),
+            RouteOutcome::Deliver(DurationMs::from_millis(2))
+        );
+        assert_eq!(
+            net.route_outcome(NodeId::new(0), NodeId::new(3), TimeMs::from_secs(1)),
+            RouteOutcome::Corrupt
+        );
+        assert_eq!(
+            net.route_outcome(NodeId::new(3), NodeId::new(1), TimeMs::from_secs(1)),
+            RouteOutcome::Corrupt
+        );
+    }
+
+    #[test]
+    fn inactive_adversary_window_leaves_rng_stream_untouched() {
+        // The adversary draws from the sender stream only while a window
+        // is active, so a config with a never-active window routes the
+        // identical sequence as one with no adversary at all.
+        let faults = AdversaryConfig::corrupting(0.5);
+        let mut plain = NetworkModel::new(NetworkConfig::lossy(0.2), rng());
+        let mut windowed = NetworkModel::new(
+            NetworkConfig {
+                adversaries: vec![AdversaryWindow {
+                    nodes: vec![],
+                    faults,
+                    from: TimeMs::from_secs(900),
+                    until: TimeMs::from_secs(1000),
+                }],
+                ..NetworkConfig::lossy(0.2)
+            },
+            rng(),
+        );
+        for i in 0..5000u64 {
+            let now = TimeMs::from_millis(i);
+            assert_eq!(
+                plain.route_outcome(NodeId::new(0), NodeId::new(1), now),
+                windowed.route_outcome(NodeId::new(0), NodeId::new(1), now),
+            );
+        }
     }
 }

@@ -19,7 +19,7 @@
 use agb_types::{DetRng, NodeId, TimeMs};
 
 use crate::engine::{SimCtx, SimNode, TimerId, TimerKind, TimerRequest, TimerSlot};
-use crate::network::{route_decision, NetworkConfig};
+use crate::network::{route_decision, NetworkConfig, RouteOutcome};
 use crate::trace::TraceEvent;
 
 /// Armed timers of one node.
@@ -89,6 +89,8 @@ pub(crate) struct Counts {
     pub timer_fires: u64,
     /// Drops decided by the network model (subset of `drops`).
     pub net_dropped: u64,
+    /// Frames destroyed by the byte adversary (subset of `net_dropped`).
+    pub corrupted: u64,
 }
 
 /// End offsets of one executed event's effects within an [`EffectBuf`].
@@ -333,7 +335,7 @@ pub(crate) fn invoke_on<N: SimNode>(
         );
         buf.counts.sends += 1;
         let routed = route_decision(lane.config, &mut lane.rngs[local], id, to, lane.now);
-        let deliver_at = routed.map(|lat| lane.now + lat);
+        let deliver_at = routed.latency().map(|lat| lane.now + lat);
         buf.mixes.push([
             1,
             u64::from(id.as_u32()) << 32 | u64::from(to.as_u32()),
@@ -348,16 +350,53 @@ pub(crate) fn invoke_on<N: SimNode>(
                 deliver_at,
             });
         }
-        match deliver_at {
-            Some(at) => buf.pushes.push(DeferredPush::Deliver {
-                at,
+        match routed {
+            RouteOutcome::Deliver(lat) => buf.pushes.push(DeferredPush::Deliver {
+                at: lane.now + lat,
                 from: id,
                 to,
                 msg,
             }),
-            None => {
+            RouteOutcome::Duplicate(first, second) => {
+                // The adversary's extra copy gets its own checksum mix
+                // entry and trace record, so the determinism digest still
+                // covers every queue insertion one-for-one.
+                let copy_at = lane.now + second;
+                buf.mixes.push([
+                    1,
+                    u64::from(id.as_u32()) << 32 | u64::from(to.as_u32()),
+                    lane.now.as_millis(),
+                    copy_at.as_millis(),
+                ]);
+                if lane.tracing {
+                    buf.traces.push(TraceEvent::Send {
+                        from: id,
+                        to,
+                        at: lane.now,
+                        deliver_at: Some(copy_at),
+                    });
+                }
+                buf.pushes.push(DeferredPush::Deliver {
+                    at: lane.now + first,
+                    from: id,
+                    to,
+                    msg: msg.clone(),
+                });
+                buf.pushes.push(DeferredPush::Deliver {
+                    at: copy_at,
+                    from: id,
+                    to,
+                    msg,
+                });
+            }
+            RouteOutcome::Drop => {
                 buf.counts.drops += 1;
                 buf.counts.net_dropped += 1;
+            }
+            RouteOutcome::Corrupt => {
+                buf.counts.drops += 1;
+                buf.counts.net_dropped += 1;
+                buf.counts.corrupted += 1;
             }
         }
     }

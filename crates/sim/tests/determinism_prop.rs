@@ -57,6 +57,7 @@ fn run(seed: u64, n: usize, period_ms: u64, loss: f64, horizon_s: u64) -> (u64, 
             loss,
             partitions: vec![],
             link_faults: vec![],
+            adversaries: vec![],
         })
         .build(nodes);
     sim.run_until(TimeMs::from_secs(horizon_s));

@@ -129,6 +129,31 @@ pub fn fold_trace_counts(
         &with(("kind", "restart")),
         counts.restarts,
     );
+    add(
+        names::LIFECYCLE,
+        names::help::LIFECYCLE,
+        &with(("kind", "rejoin")),
+        counts.rejoins,
+    );
+    add(
+        names::SUSPICIONS,
+        names::help::SUSPICIONS,
+        labels,
+        counts.suspects,
+    );
+    add(
+        names::DETECTOR_EVICTIONS,
+        names::help::DETECTOR_EVICTIONS,
+        labels,
+        counts.detector_evicts,
+    );
+    add(
+        names::HEARTBEATS,
+        names::help::HEARTBEATS,
+        labels,
+        counts.heartbeats,
+    );
+    add(names::SHEDS, names::help::SHEDS, labels, counts.sheds);
 }
 
 #[cfg(test)]

@@ -32,6 +32,12 @@
 //! | [`BUFFER_EVENTS`] | gauge | `node` | event-buffer occupancy after the last round |
 //! | [`BUFFER_CAPACITY`] | gauge | `node` | event-buffer capacity |
 //! | [`EVENT_QUEUE_DEPTH`] | gauge | `node` | node-loop backlog (pending offers + queued commands) |
+//! | [`SUSPICIONS`] | counter | `node` | φ-accrual suspicion onsets |
+//! | [`DETECTOR_EVICTIONS`] | counter | `node` | detector-driven peer evictions |
+//! | [`HEARTBEATS`] | counter | `node` | explicit heartbeats sent (gossip did not cover the link) |
+//! | [`SHEDS`] | counter | `node`, `class` | frames shed by overloaded queues (`app`/`recovery`/`control`) |
+//! | [`SEND_RETRIES`] | counter | `node` | backed-off resends of recovery-class frames |
+//! | [`RECV_CLOSED`] | counter | `node` | transport teardown observations |
 
 /// `agb_messages_sent_total{node,kind}`.
 pub const MESSAGES_SENT: &str = "agb_messages_sent_total";
@@ -79,6 +85,18 @@ pub const BUFFER_EVENTS: &str = "agb_buffer_events";
 pub const BUFFER_CAPACITY: &str = "agb_buffer_capacity";
 /// `agb_event_queue_depth{node}` (gauge).
 pub const EVENT_QUEUE_DEPTH: &str = "agb_event_queue_depth";
+/// `agb_suspicions_total{node}`.
+pub const SUSPICIONS: &str = "agb_suspicions_total";
+/// `agb_detector_evictions_total{node}`.
+pub const DETECTOR_EVICTIONS: &str = "agb_detector_evictions_total";
+/// `agb_heartbeats_total{node}`.
+pub const HEARTBEATS: &str = "agb_heartbeats_total";
+/// `agb_sheds_total{node,class}`.
+pub const SHEDS: &str = "agb_sheds_total";
+/// `agb_send_retries_total{node}`.
+pub const SEND_RETRIES: &str = "agb_send_retries_total";
+/// `agb_recv_closed_total{node}`.
+pub const RECV_CLOSED: &str = "agb_recv_closed_total";
 
 /// Help strings, one per metric name. Both the runtime instrumentation
 /// and the [`fold_trace_counts`](crate::fold_trace_counts) bridge
@@ -131,4 +149,16 @@ pub mod help {
     pub const BUFFER_CAPACITY: &str = "Event-buffer capacity";
     /// Help for [`EVENT_QUEUE_DEPTH`](super::EVENT_QUEUE_DEPTH).
     pub const EVENT_QUEUE_DEPTH: &str = "Node-loop backlog: pending offers plus queued commands";
+    /// Help for [`SUSPICIONS`](super::SUSPICIONS).
+    pub const SUSPICIONS: &str = "Phi-accrual suspicion onsets";
+    /// Help for [`DETECTOR_EVICTIONS`](super::DETECTOR_EVICTIONS).
+    pub const DETECTOR_EVICTIONS: &str = "Detector-driven peer evictions";
+    /// Help for [`HEARTBEATS`](super::HEARTBEATS).
+    pub const HEARTBEATS: &str = "Explicit heartbeats sent when gossip did not cover the link";
+    /// Help for [`SHEDS`](super::SHEDS).
+    pub const SHEDS: &str = "Frames shed by overloaded queues, by priority class";
+    /// Help for [`SEND_RETRIES`](super::SEND_RETRIES).
+    pub const SEND_RETRIES: &str = "Backed-off resends of recovery-class frames";
+    /// Help for [`RECV_CLOSED`](super::RECV_CLOSED).
+    pub const RECV_CLOSED: &str = "Transport teardown observations by the node loop";
 }

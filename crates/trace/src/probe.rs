@@ -353,6 +353,47 @@ impl TraceProbe {
             );
         }
     }
+
+    /// Records the φ-accrual detector first suspecting `peer`.
+    pub fn on_suspect(&mut self, at: TimeMs, peer: NodeId) {
+        if self.config.enabled {
+            self.push(at, TraceKind::Suspect { peer });
+        }
+    }
+
+    /// Records the detector condemning `peer` and this node evicting it.
+    pub fn on_detector_evict(&mut self, at: TimeMs, peer: NodeId) {
+        if self.config.enabled {
+            self.push(at, TraceKind::DetectorEvict { peer });
+        }
+    }
+
+    /// Records an explicit heartbeat sent to a ring successor that
+    /// regular gossip did not cover this round.
+    pub fn on_heartbeat(&mut self, at: TimeMs, to: NodeId) {
+        if self.config.enabled {
+            self.push(at, TraceKind::Heartbeat { to });
+        }
+    }
+
+    /// Records `n` frames shed by an overloaded queue in the given
+    /// priority class (0 = app, 1 = recovery, 2 = control).
+    pub fn on_sheds(&mut self, at: TimeMs, class: u8, n: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        for _ in 0..n {
+            self.push(at, TraceKind::Shed { class });
+        }
+    }
+
+    /// Records a previously evicted `peer` being readmitted on fresh
+    /// traffic.
+    pub fn on_rejoin(&mut self, at: TimeMs, peer: NodeId) {
+        if self.config.enabled {
+            self.push(at, TraceKind::Rejoin { peer });
+        }
+    }
 }
 
 #[cfg(test)]

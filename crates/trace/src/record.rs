@@ -163,6 +163,38 @@ pub enum TraceKind {
         /// The destination's region label.
         region: u32,
     },
+    /// The φ-accrual detector crossed the suspicion threshold for a
+    /// monitored peer (first φ ≥ suspect level; cleared silently if
+    /// traffic resumes).
+    Suspect {
+        /// The suspected peer.
+        peer: NodeId,
+    },
+    /// The φ-accrual detector condemned a peer (φ ≥ eviction level) and
+    /// the observing node evicted it from its local view.
+    DetectorEvict {
+        /// The evicted peer.
+        peer: NodeId,
+    },
+    /// The observing node sent an explicit heartbeat to a ring successor
+    /// that regular gossip did not cover this round (the detector's
+    /// liveness fallback).
+    Heartbeat {
+        /// The heartbeat's destination.
+        to: NodeId,
+    },
+    /// An overloaded queue shed a frame (priority shedding: control >
+    /// recovery > app; the label records the shed class).
+    Shed {
+        /// Shed class: 0 = app, 1 = recovery, 2 = control.
+        class: u8,
+    },
+    /// A previously evicted peer showed fresh traffic and was readmitted
+    /// by the detector.
+    Rejoin {
+        /// The returning peer.
+        peer: NodeId,
+    },
 }
 
 impl TraceKind {
@@ -201,6 +233,11 @@ impl TraceKind {
             TraceKind::Restart => "restart",
             TraceKind::BufferOccupancy { .. } => "buffer_occupancy",
             TraceKind::CrossPartition { .. } => "cross_partition",
+            TraceKind::Suspect { .. } => "suspect",
+            TraceKind::DetectorEvict { .. } => "detector_evict",
+            TraceKind::Heartbeat { .. } => "heartbeat",
+            TraceKind::Shed { .. } => "shed",
+            TraceKind::Rejoin { .. } => "rejoin",
         }
     }
 
@@ -223,6 +260,11 @@ impl TraceKind {
             TraceKind::Restart => 14,
             TraceKind::BufferOccupancy { .. } => 15,
             TraceKind::CrossPartition { .. } => 16,
+            TraceKind::Suspect { .. } => 17,
+            TraceKind::DetectorEvict { .. } => 18,
+            TraceKind::Heartbeat { .. } => 19,
+            TraceKind::Shed { .. } => 20,
+            TraceKind::Rejoin { .. } => 21,
         }
     }
 }
@@ -352,6 +394,17 @@ mod tests {
             TraceKind::CrossPartition {
                 to: NodeId::new(1),
                 region: 2,
+            },
+            TraceKind::Suspect {
+                peer: NodeId::new(1),
+            },
+            TraceKind::DetectorEvict {
+                peer: NodeId::new(1),
+            },
+            TraceKind::Heartbeat { to: NodeId::new(1) },
+            TraceKind::Shed { class: 0 },
+            TraceKind::Rejoin {
+                peer: NodeId::new(1),
             },
         ];
         let mut labels: Vec<_> = kinds.iter().map(TraceKind::label).collect();

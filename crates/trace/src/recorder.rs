@@ -56,6 +56,16 @@ pub struct TraceCounts {
     /// Gossip frames sent across a topology-region boundary (only
     /// tallied when the probe carries a region map).
     pub cross_partition_msgs: u64,
+    /// φ-accrual suspicion onsets.
+    pub suspects: u64,
+    /// Detector-driven evictions.
+    pub detector_evicts: u64,
+    /// Explicit heartbeats sent (gossip did not cover the link).
+    pub heartbeats: u64,
+    /// Frames shed by overloaded queues.
+    pub sheds: u64,
+    /// Evicted peers readmitted on fresh traffic.
+    pub rejoins: u64,
 }
 
 impl TraceCounts {
@@ -82,6 +92,11 @@ impl TraceCounts {
             TraceKind::Restart => self.restarts += 1,
             TraceKind::BufferOccupancy { .. } => {}
             TraceKind::CrossPartition { .. } => self.cross_partition_msgs += 1,
+            TraceKind::Suspect { .. } => self.suspects += 1,
+            TraceKind::DetectorEvict { .. } => self.detector_evicts += 1,
+            TraceKind::Heartbeat { .. } => self.heartbeats += 1,
+            TraceKind::Shed { .. } => self.sheds += 1,
+            TraceKind::Rejoin { .. } => self.rejoins += 1,
         }
     }
 
@@ -104,6 +119,11 @@ impl TraceCounts {
         self.crashes += other.crashes;
         self.restarts += other.restarts;
         self.cross_partition_msgs += other.cross_partition_msgs;
+        self.suspects += other.suspects;
+        self.detector_evicts += other.detector_evicts;
+        self.heartbeats += other.heartbeats;
+        self.sheds += other.sheds;
+        self.rejoins += other.rejoins;
     }
 
     /// Total records tallied (excluding occupancy snapshots, which are
@@ -118,7 +138,7 @@ impl TraceCounts {
     }
 
     /// `(label, count)` pairs in stable declaration order.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 17] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 22] {
         [
             ("publishes", self.publishes),
             ("relays", self.relays),
@@ -137,6 +157,11 @@ impl TraceCounts {
             ("crashes", self.crashes),
             ("restarts", self.restarts),
             ("cross_partition_msgs", self.cross_partition_msgs),
+            ("suspects", self.suspects),
+            ("detector_evicts", self.detector_evicts),
+            ("heartbeats", self.heartbeats),
+            ("sheds", self.sheds),
+            ("rejoins", self.rejoins),
         ]
     }
 

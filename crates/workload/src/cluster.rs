@@ -7,6 +7,7 @@ use std::sync::Arc;
 use agb_core::{
     AdaptationConfig, AdaptiveNode, FrameProtocol, GossipConfig, GossipFrame, LpbcastNode,
 };
+use agb_failure::{ring_monitors, ring_successors, DetectorConfig, PhiDetector, Verdict};
 use agb_membership::{
     FullView, GossipMembership, LocalitySampler, PartialView, PartialViewConfig, PeerSampler,
 };
@@ -136,6 +137,12 @@ pub struct ClusterConfig {
     /// this uniform-escape probability (requires [`Self::topology`]).
     /// `None` keeps plain uniform sampling.
     pub locality_escape: Option<f64>,
+    /// φ-accrual failure detection (`agb-failure`): `Some` gives every
+    /// node a ring-monitor detector fed by frame arrivals plus the
+    /// heartbeat fallback for uncovered links. Verdicts run at round
+    /// boundaries in virtual time, so digests stay bit-identical at
+    /// every thread count. `None` (the default) changes nothing.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl ClusterConfig {
@@ -163,6 +170,7 @@ impl ClusterConfig {
             trace: TraceConfig::disabled(),
             topology: None,
             locality_escape: None,
+            detector: None,
         }
     }
 
@@ -321,6 +329,12 @@ pub struct ClusterNode {
     /// like `pending_events` — so the node stays `Send`; the post-event
     /// hook drains it into the shared recorder in canonical order.
     probe: TraceProbe,
+    /// φ-accrual failure detector (`None` = detection plane off). Fed by
+    /// every frame arrival; verdicts drain at round boundaries.
+    detector: Option<PhiDetector>,
+    /// Ring successors owed a heartbeat whenever a round's regular gossip
+    /// does not cover them (empty when the detection plane is off).
+    heartbeat_targets: Vec<NodeId>,
 }
 
 impl ClusterNode {
@@ -410,8 +424,36 @@ impl SimNode for ClusterNode {
                         self.protocol.buffer_capacity(),
                     );
                 }
+                // Heartbeat fallback: ring successors the regular gossip
+                // does not cover this round still get an (empty) liveness
+                // frame, keeping their detectors' sample streams regular.
+                if !self.heartbeat_targets.is_empty() {
+                    let me = self.protocol.node_id();
+                    for idx in 0..self.heartbeat_targets.len() {
+                        let hb = self.heartbeat_targets[idx];
+                        if !out.iter().any(|&(to, _)| to == hb) {
+                            self.probe.on_heartbeat(ctx.now(), hb);
+                            ctx.send(hb, GossipFrame::heartbeat(me));
+                        }
+                    }
+                }
                 for (to, msg) in out {
                     ctx.send(to, msg);
+                }
+                // Judge monitored peers once per round; eviction removes
+                // the condemned peer through the same path a scripted
+                // eviction uses.
+                if let Some(det) = self.detector.as_mut() {
+                    for verdict in det.check(ctx.now()) {
+                        match verdict {
+                            Verdict::Suspect(peer) => self.probe.on_suspect(ctx.now(), peer),
+                            Verdict::Evict(peer) => {
+                                self.protocol.evict_peer(peer);
+                                self.probe.on_detector_evict(ctx.now(), peer);
+                            }
+                            Verdict::Rejoin(peer) => self.probe.on_rejoin(ctx.now(), peer),
+                        }
+                    }
                 }
                 // Keep the sender alive across crash/recover cycles: the
                 // one-shot ARRIVAL timer dies while the node is down, so
@@ -446,6 +488,13 @@ impl SimNode for ClusterNode {
 
     fn on_message(&mut self, from: NodeId, frame: GossipFrame, ctx: &mut SimCtx<'_, GossipFrame>) {
         self.probe.on_message(&frame);
+        // Every arrival doubles as a liveness sample for the detector;
+        // an evicted peer speaking again is welcomed back.
+        if let Some(det) = self.detector.as_mut() {
+            if let Some(Verdict::Rejoin(peer)) = det.observe(from, ctx.now()) {
+                self.probe.on_rejoin(ctx.now(), peer);
+            }
+        }
         let replies = self.protocol.on_receive(from, frame, ctx.now());
         for (to, reply) in replies {
             ctx.send(to, reply);
@@ -577,6 +626,16 @@ impl GossipCluster {
             if let Some(r) = &regions {
                 probe.set_regions(Arc::clone(r));
             }
+            let detector = config.detector.clone().map(|dc| {
+                let monitored = ring_monitors(id, config.n_nodes, dc.monitors);
+                PhiDetector::new(dc, monitored, TimeMs::ZERO)
+            });
+            let heartbeat_targets = config
+                .detector
+                .as_ref()
+                .filter(|dc| dc.heartbeat)
+                .map(|dc| ring_successors(id, config.n_nodes, dc.monitors))
+                .unwrap_or_default();
             nodes.push(ClusterNode {
                 protocol,
                 sender,
@@ -585,6 +644,8 @@ impl GossipCluster {
                 phase,
                 pending_events: Vec::new(),
                 probe,
+                detector,
+                heartbeat_targets,
             });
         }
 
@@ -1287,6 +1348,61 @@ mod tests {
             cluster.sim_stats().drops > before,
             "partition must drop cross-region frames"
         );
+    }
+
+    #[test]
+    fn detector_evicts_crashed_node_and_welcomes_it_back() {
+        let mut config = small_config(Algorithm::Lpbcast);
+        config.trace = TraceConfig::enabled();
+        config.detector = Some(DetectorConfig::default());
+        let mut cluster = GossipCluster::build(config);
+        let victim = NodeId::new(9);
+        cluster.schedule_crash(TimeMs::from_secs(10), victim);
+        cluster.schedule_recover(TimeMs::from_secs(22), victim);
+        cluster.run_until(TimeMs::from_secs(40));
+        let counts = cluster.trace_summary("detector").unwrap().counts;
+        assert!(counts.heartbeats > 0, "heartbeat fallback ran");
+        assert!(counts.suspects > 0, "the silent node was suspected");
+        assert!(counts.detector_evicts > 0, "the silent node was evicted");
+        assert!(
+            counts.rejoins > 0,
+            "the recovered node speaking again was welcomed back"
+        );
+    }
+
+    #[test]
+    fn detector_has_no_false_positives_without_faults() {
+        let mut config = small_config(Algorithm::Lpbcast);
+        config.trace = TraceConfig::enabled();
+        config.detector = Some(DetectorConfig::default());
+        let mut cluster = GossipCluster::build(config);
+        cluster.run_until(TimeMs::from_secs(60));
+        let counts = cluster.trace_summary("healthy").unwrap().counts;
+        assert_eq!(counts.detector_evicts, 0, "no evictions without a fault");
+        assert_eq!(counts.suspects, 0, "no suspicion on a healthy group");
+    }
+
+    #[test]
+    fn detector_digest_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut config = small_config(Algorithm::Lpbcast);
+            config.network = NetworkConfig::lossy(0.1);
+            config.recovery = Some(RecoveryConfig::default());
+            config.trace = TraceConfig::enabled();
+            config.detector = Some(DetectorConfig::default());
+            config.threads = threads;
+            let mut c = GossipCluster::build(config);
+            c.set_parallel_threshold(1);
+            c.schedule_crash(TimeMs::from_secs(8), NodeId::new(4));
+            c.schedule_recover(TimeMs::from_secs(20), NodeId::new(4));
+            c.run_until(TimeMs::from_secs(30));
+            (c.sim_stats(), c.trace_summary("detector-k").unwrap())
+        };
+        let k1 = run(1);
+        let k4 = run(4);
+        assert_eq!(k1.0, k4.0);
+        assert_eq!(k1.1.digest, k4.1.digest);
+        assert!(k1.1.counts.detector_evicts > 0, "the detector acted");
     }
 
     #[test]

@@ -152,6 +152,7 @@ fn message_loss_is_absorbed_by_redundancy() {
         loss: 0.10,
         partitions: vec![],
         link_faults: vec![],
+        adversaries: vec![],
     };
     let mut cluster = GossipCluster::build(c);
     cluster.run_until(TimeMs::from_secs(60));

@@ -313,6 +313,22 @@ impl<S: GossipMembership> GossipProtocol for AdaptiveNode<S> {
     fn evict_peer(&mut self, node: NodeId) {
         self.inner.evict_peer(node);
     }
+
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        // The adaptive layer's own throttle queue reports under the same
+        // label as the inner node's; the profiling table merges rows.
+        let mut rows = self.inner.mem_breakdown();
+        let pending_bytes: u64 = self
+            .pending
+            .iter()
+            .map(|p| (p.len() + std::mem::size_of::<Payload>()) as u64)
+            .sum();
+        rows.push((
+            "pending_offers",
+            agb_profile::MemUsage::new(pending_bytes, self.pending.len() as u64),
+        ));
+        rows
+    }
 }
 
 #[cfg(test)]

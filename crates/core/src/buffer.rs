@@ -277,6 +277,21 @@ impl EventBuffer {
     }
 }
 
+impl agb_profile::MemReport for EventBuffer {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        let slot = (std::mem::size_of::<EventId>() + std::mem::size_of::<Slot>()) as u64;
+        let payloads: u64 = self
+            .slots
+            .values()
+            .map(|s| s.event.payload().len() as u64)
+            .sum();
+        agb_profile::MemUsage::new(
+            self.slots.len() as u64 * slot + payloads,
+            self.slots.len() as u64,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,15 @@ impl EventIdBuffer {
     }
 }
 
+impl agb_profile::MemReport for EventIdBuffer {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        // Each remembered id lives twice: once in the FIFO order queue
+        // and once in the dedup set (plus hash-table slot overhead).
+        let per_id = (2 * std::mem::size_of::<EventId>() + 8) as u64;
+        agb_profile::MemUsage::new(self.order.len() as u64 * per_id, self.order.len() as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -372,6 +372,28 @@ impl<S: GossipMembership> GossipProtocol for LpbcastNode<S> {
     fn evict_peer(&mut self, node: NodeId) {
         self.membership.evict(node, &mut self.rng);
     }
+
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        use agb_profile::{MemReport, MemUsage};
+        let pending_bytes: u64 = self
+            .pending
+            .iter()
+            .map(|p| (p.len() + std::mem::size_of::<Payload>()) as u64)
+            .sum();
+        let view = self.membership.view_size() as u64;
+        vec![
+            ("event_buffer", self.events.mem_usage()),
+            ("event_ids", self.ids.mem_usage()),
+            (
+                "pending_offers",
+                MemUsage::new(pending_bytes, self.pending.len() as u64),
+            ),
+            (
+                "membership_view",
+                MemUsage::new(view * std::mem::size_of::<NodeId>() as u64, view),
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

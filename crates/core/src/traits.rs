@@ -235,6 +235,14 @@ pub trait GossipProtocol {
     fn evict_peer(&mut self, node: NodeId) {
         let _ = node;
     }
+
+    /// Estimated resident memory per subsystem, as `(label, usage)`
+    /// rows for the profiling plane's attribution table (agb-profile).
+    /// Labels should be stable snake_case subsystem names; the default
+    /// reports nothing.
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        Vec::new()
+    }
 }
 
 /// A gossip node driven at the *frame* level: regular gossip messages plus
@@ -330,6 +338,12 @@ pub trait FrameProtocol {
     fn evict_peer(&mut self, node: NodeId) {
         let _ = node;
     }
+
+    /// Estimated resident memory per subsystem (see
+    /// [`GossipProtocol::mem_breakdown`]).
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        Vec::new()
+    }
 }
 
 impl<P: GossipProtocol> FrameProtocol for P {
@@ -418,6 +432,10 @@ impl<P: GossipProtocol> FrameProtocol for P {
 
     fn evict_peer(&mut self, node: NodeId) {
         GossipProtocol::evict_peer(self, node);
+    }
+
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        GossipProtocol::mem_breakdown(self)
     }
 }
 

@@ -2,12 +2,13 @@
 //!
 //! Experiments: `fig2`, `fig4`, `fig6`, `fig7`, `fig8`, `fig9`,
 //! `fig9-runtime`, `ablation`, `recovery`, `churn`, `maelstrom`,
-//! `trace`, `telemetry`, `topology`, `resilience`, `perf`, `all`, plus
-//! the CI gate `perf-check <current.json> <baseline.json> [tolerance]`.
+//! `trace`, `telemetry`, `topology`, `resilience`, `profile`, `perf`,
+//! `all`, plus the CI gate
+//! `perf-check <current.json> <baseline.json> [tolerance]`.
 //! Set `AGB_QUICK=1` for short runs (`AGB_QUICK=0` explicitly disables).
 
 use agb_experiments::{
-    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, recovery, resilience,
+    ablation, churn, fig2, fig4, fig6, fig7, fig8, fig9, maelstrom, profile, recovery, resilience,
     telemetry, topology, trace,
 };
 
@@ -41,6 +42,7 @@ fn main() {
         "telemetry" => run_telemetry(seed),
         "topology" => run_topology(seed),
         "resilience" => run_resilience(seed),
+        "profile" => run_profile(seed),
         "perf" => run_perf(seed),
         "all" => {
             run_fig2(seed);
@@ -61,10 +63,11 @@ fn main() {
             run_telemetry(seed);
             run_topology(seed);
             run_resilience(seed);
+            run_profile(seed);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|telemetry|topology|resilience|perf|all] [seed]");
+            eprintln!("usage: repro [fig2|fig4|fig6|fig7|fig8|fig9|fig9-runtime|ablation|recovery|churn|maelstrom|trace|telemetry|topology|resilience|profile|perf|all] [seed]");
             eprintln!("       repro perf-check <current.json> <baseline.json> [tolerance]");
             std::process::exit(2);
         }
@@ -267,6 +270,39 @@ fn run_resilience(seed: u64) {
     // Stable digest of the whole report: the CI smoke job replays the
     // same seed (at several thread counts) and compares this line.
     println!("  resilience summary digest: {:#018x}", report.digest);
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn run_profile(seed: u64) {
+    let report = profile::run(seed);
+    print!("{}", profile::table_phases(&report));
+    print!("{}", profile::table_memory(&report));
+    for failure in profile::failures(&report) {
+        println!("  FAILED {failure}");
+    }
+    let out_path =
+        std::env::var("AGB_PROFILE_OUT").unwrap_or_else(|_| String::from("PROFILE.json"));
+    let json = report.to_json().pretty();
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  profile report written to {out_path}");
+    // Collapsed stacks for inferno-style flamegraph renderers
+    // (wall-clock: never committed, never digested).
+    if let Ok(flame_path) = std::env::var("AGB_PROFILE_FLAME_OUT") {
+        if let Err(e) = std::fs::write(&flame_path, report.collapsed()) {
+            eprintln!("cannot write {flame_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  collapsed stacks written to {flame_path}");
+    }
+    // Stable digest of the deterministic subset: the CI smoke job
+    // replays the same seed (at several thread counts) and compares
+    // this line.
+    println!("  profile digest: {:#018x}", report.digest);
     if !report.passed() {
         std::process::exit(1);
     }

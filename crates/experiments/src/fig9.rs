@@ -236,6 +236,7 @@ pub fn run_runtime(config: &Fig9Config) -> std::io::Result<Fig9RuntimeResult> {
         detector: None,
         adversary: None,
         egress_capacity: 0,
+        profile: agb_profile::ProfileConfig::disabled(),
     };
     let cluster = RuntimeCluster::start(rc)?;
     let scaled = |ms: u64| std::time::Duration::from_millis(ms / u64::from(scale));

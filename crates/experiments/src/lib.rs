@@ -16,6 +16,7 @@
 //! | [`trace`] | — (beyond the paper) | causal dissemination tracing dashboard + `TRACE.json` (`agb-trace`) |
 //! | [`telemetry`] | — (beyond the paper) | live wall-clock telemetry plane: scraped runtime cluster + SLO report + deterministic bridge leg, `TELEMETRY.json` (`agb-telemetry`) |
 //! | [`topology`] | — (beyond the paper) | locality-biased sampling + probabilistic forwarding on structured overlays, `TOPOLOGY.json` (`agb-topology`) |
+//! | [`profile`] | — (beyond the paper) | engine cost attribution: phase timers, shard balance, per-subsystem resident bytes, `PROFILE.json` + collapsed stacks (`agb-profile`) |
 //! | [`resilience`] | — (beyond the paper) | φ-accrual failure detection + wire-level byte adversary under loss × corruption × churn, `RESILIENCE.json` (`agb-failure`) |
 //!
 //! Every harness returns plain data and a formatted [`agb_metrics::Table`],
@@ -36,6 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod maelstrom;
+pub mod profile;
 pub mod recovery;
 pub mod resilience;
 pub mod telemetry;

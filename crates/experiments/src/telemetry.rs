@@ -83,6 +83,7 @@ pub fn runtime_config(seed: u64) -> RuntimeClusterConfig {
         detector: None,
         adversary: None,
         egress_capacity: 0,
+        profile: agb_profile::ProfileConfig::disabled(),
     }
 }
 

@@ -62,6 +62,15 @@ impl FullView {
     }
 }
 
+impl agb_profile::MemReport for FullView {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        agb_profile::MemUsage::new(
+            (self.members.len() * std::mem::size_of::<NodeId>()) as u64,
+            self.members.len() as u64,
+        )
+    }
+}
+
 impl PeerSampler for FullView {
     fn sample(&self, rng: &mut DetRng, fanout: usize, exclude: NodeId) -> Vec<NodeId> {
         // Sampling is per-node, per-round: materialising an N-element

@@ -38,6 +38,10 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// The tolerance used, as a fraction.
     pub tolerance: f64,
+    /// Informational lines from `v3` attribution fields in the current
+    /// report (resident bytes per node, dominant phase). Never gate —
+    /// older baselines lack them, and phase times are wall-clock noise.
+    pub notes: Vec<String>,
 }
 
 impl Comparison {
@@ -70,6 +74,9 @@ impl Comparison {
         }
         for m in &self.missing {
             out.push_str(&format!("  {m:<18} MISSING from current report\n"));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
         }
         out.push_str(if self.passed() {
             "  gate: PASS\n"
@@ -128,7 +135,35 @@ pub fn compare(current: &Json, baseline: &Json, tolerance: f64) -> Comparison {
         deltas,
         missing,
         tolerance,
+        notes: attribution_notes(&current_scenarios),
     }
+}
+
+/// One informational line per scenario carrying `v3` attribution fields
+/// (absent from `v1`/`v2` reports, so older inputs produce no notes).
+fn attribution_notes(scenarios: &[(&str, &Json)]) -> Vec<String> {
+    let mut notes = Vec::new();
+    for (name, s) in scenarios {
+        let bytes = s.get("peak_resident_bytes_per_node").and_then(Json::as_f64);
+        let top_phase = s.get("phases").and_then(|p| match p {
+            Json::Obj(map) => map
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|ns| (k.as_str(), ns)))
+                .filter(|&(_, ns)| ns > 0.0)
+                .max_by(|a, b| a.1.total_cmp(&b.1)),
+            _ => None,
+        });
+        match (bytes, top_phase) {
+            (Some(b), Some((phase, _))) => {
+                notes.push(format!(
+                    "{name}: {b:.0} resident bytes/node, hottest phase {phase}"
+                ));
+            }
+            (Some(b), None) => notes.push(format!("{name}: {b:.0} resident bytes/node")),
+            _ => {}
+        }
+    }
+    notes
 }
 
 /// Loads two report files and runs the gate; returns the comparison or a
@@ -145,13 +180,17 @@ pub fn compare_files(
     let load = |path: &str| -> Result<Json, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-        // `v2` (threads-aware) is current; `v1` baselines parse
-        // read-only — the gated metrics carry the same names in both.
+        // `v3` (attribution-aware) is current; `v2` and `v1` baselines
+        // parse read-only — the gated metrics carry the same names in
+        // all three.
         match json.get("schema").and_then(Json::as_str) {
-            Some(crate::harness::SCHEMA) | Some(crate::harness::SCHEMA_V1) => Ok(json),
+            Some(crate::harness::SCHEMA)
+            | Some(crate::harness::SCHEMA_V2)
+            | Some(crate::harness::SCHEMA_V1) => Ok(json),
             other => Err(format!(
-                "{path}: unsupported schema {other:?} (expected {} or {})",
+                "{path}: unsupported schema {other:?} (expected {}, {}, or {})",
                 crate::harness::SCHEMA,
+                crate::harness::SCHEMA_V2,
                 crate::harness::SCHEMA_V1
             )),
         }
@@ -230,6 +269,46 @@ mod tests {
         // Unknown schemas still fail loudly.
         std::fs::write(&base, "{\"schema\": \"agb-perf/v0\", \"scenarios\": []}").unwrap();
         assert!(compare_files(cur.to_str().unwrap(), base.to_str().unwrap(), 0.25).is_err());
+    }
+
+    #[test]
+    fn v2_baselines_tolerated_and_v3_fields_become_notes() {
+        let dir = std::env::temp_dir();
+        let cur = dir.join("agb_perf_v3_cur.json");
+        let base = dir.join("agb_perf_v2_base.json");
+        // A v3 current report carrying the attribution fields.
+        let mut current = report(100.0, 1000.0);
+        if let Json::Obj(top) = &mut current {
+            if let Some(Json::Arr(scenarios)) = top.get_mut("scenarios") {
+                if let Some(Json::Obj(s)) = scenarios.get_mut(0) {
+                    s.insert("peak_resident_bytes_per_node".into(), Json::Num(18432.0));
+                    s.insert(
+                        "phases".into(),
+                        Json::obj([("shard_exec", Json::Num(9e8)), ("merge", Json::Num(2e8))]),
+                    );
+                }
+            }
+        }
+        let v2_text = report(90.0, 900.0)
+            .pretty()
+            .replace(crate::harness::SCHEMA, crate::harness::SCHEMA_V2);
+        assert!(v2_text.contains("agb-perf/v2"));
+        std::fs::write(&cur, current.pretty()).unwrap();
+        std::fs::write(&base, v2_text).unwrap();
+        let c = compare_files(cur.to_str().unwrap(), base.to_str().unwrap(), 0.25).unwrap();
+        assert!(c.passed(), "{}", c.table());
+        assert_eq!(c.notes.len(), 1);
+        assert!(
+            c.notes[0].contains("18432 resident bytes/node"),
+            "{:?}",
+            c.notes
+        );
+        assert!(c.notes[0].contains("hottest phase shard_exec"));
+        assert!(c.table().contains("note: n1000:"));
+        // A v1/v2 current report produces no notes — the gate output is
+        // unchanged for older inputs.
+        let old = compare(&report(90.0, 900.0), &report(90.0, 900.0), 0.25);
+        assert!(old.notes.is_empty());
     }
 
     #[test]

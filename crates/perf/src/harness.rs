@@ -12,6 +12,7 @@ use std::time::Instant;
 
 use agb_core::{Event, GossipFrame, GossipMessage, IHaveDigest};
 use agb_membership::MembershipDigest;
+use agb_profile::{ProfileConfig, PHASES};
 use agb_recovery::RecoveryConfig;
 use agb_runtime::wire;
 use agb_sim::NetworkConfig;
@@ -23,12 +24,20 @@ use crate::json::Json;
 
 /// The bench JSON schema identifier. Bump when the report shape changes.
 ///
-/// `v2` adds the engine thread count (report-level `threads`, per-scenario
-/// `threads`/`speedup`); the CI gate still parses `v1` baselines
-/// (see `compare`).
-pub const SCHEMA: &str = "agb-perf/v2";
+/// `v3` adds cost attribution from a profiled re-run of every scenario:
+/// per-phase wall-nanosecond totals (`phases`), the mean shard busy
+/// imbalance (`shard_balance_ratio`), and the end-of-run resident bytes
+/// per node (`peak_resident_bytes_per_node`). The *measured* throughput
+/// run stays profiler-off; the attribution run doubles as an overhead
+/// guard by asserting its engine checksum equals the unprofiled run's.
+/// The CI gate still parses `v2` and `v1` baselines (see `compare`).
+pub const SCHEMA: &str = "agb-perf/v3";
 
-/// The previous schema identifier, accepted read-only by the gate.
+/// The `v2` schema identifier (threads/speedup), accepted read-only by
+/// the gate.
+pub const SCHEMA_V2: &str = "agb-perf/v2";
+
+/// The original schema identifier, accepted read-only by the gate.
 pub const SCHEMA_V1: &str = "agb-perf/v1";
 
 /// Scale points of the sweep: quick mode stops at 10k nodes, full mode
@@ -143,6 +152,16 @@ pub struct ScenarioResult {
     /// scenario (only measured when `threads > 1`; the harness re-runs
     /// the scenario at `K = 1` and asserts the checksums match).
     pub speedup: Option<f64>,
+    /// Per-phase wall-nanosecond totals from the profiled attribution
+    /// run, in [`PHASES`] order (empty until attribution runs).
+    pub phase_ns: Vec<(&'static str, u64)>,
+    /// Mean per-batch max/min shard busy ratio from the attribution run
+    /// (`None` when the engine never ran a parallel batch, e.g. `K = 1`).
+    pub shard_balance_ratio: Option<f64>,
+    /// End-of-run resident bytes per node across all instrumented
+    /// subsystems (deterministic: computed from entry counts, not the
+    /// allocator), from the attribution run.
+    pub peak_resident_bytes_per_node: u64,
 }
 
 /// Runs one scenario at the `AGB_THREADS` thread count.
@@ -175,7 +194,62 @@ pub fn run_scenario(spec: &ScenarioSpec, seed: u64) -> ScenarioResult {
         );
         result.speedup = Some(baseline.wall_secs / result.wall_secs.max(1e-9));
     }
+    attribute_scenario(&mut result, spec, seed, threads);
     result
+}
+
+/// Re-runs the scenario with the profiler attached and folds phase
+/// totals, shard balance, and per-node resident bytes into `result`.
+///
+/// The timed throughput run above stays profiler-off, so the gated
+/// metrics never pay for instrumentation; this run is where the cost
+/// attribution comes from — and it doubles as the overhead guard: the
+/// profiled engine must reproduce the unprofiled run's checksum and
+/// message counts exactly, or profiling perturbed the engine.
+fn attribute_scenario(result: &mut ScenarioResult, spec: &ScenarioSpec, seed: u64, threads: usize) {
+    let mut config = spec.cluster_config(seed);
+    config.threads = threads.max(1);
+    config.profile = ProfileConfig::enabled();
+    let period = config.gossip.gossip_period;
+    let mut cluster = GossipCluster::build(config);
+    if let Some(profiler) = cluster.profiler_mut() {
+        profiler.set_alloc_counter(allocation_count);
+    }
+
+    let warmup_until = TimeMs::ZERO + period.mul_f64(spec.warmup_rounds as f64);
+    cluster.run_until(warmup_until);
+    cluster.reset_peak_queue_depth();
+    let sends_before = cluster.sim_stats().sends;
+    let deliveries_before = cluster.sim_stats().deliveries;
+    cluster.run_until(warmup_until + period.mul_f64(spec.measure_rounds as f64));
+
+    let stats = cluster.sim_stats();
+    assert_eq!(
+        (
+            result.checksum,
+            result.sends,
+            result.deliveries,
+            result.peak_queue_depth
+        ),
+        (
+            stats.checksum,
+            stats.sends - sends_before,
+            stats.deliveries - deliveries_before,
+            cluster.peak_queue_depth()
+        ),
+        "scenario {} diverged profiler-on vs profiler-off",
+        spec.name
+    );
+
+    let snapshot = cluster
+        .profiler_snapshot()
+        .expect("profiled cluster has a profiler");
+    result.phase_ns = PHASES
+        .iter()
+        .map(|&p| (p.label(), snapshot.phase(p).total_ns))
+        .collect();
+    result.shard_balance_ratio = snapshot.mean_balance_ratio;
+    result.peak_resident_bytes_per_node = cluster.mem_table().bytes_per_node();
 }
 
 /// Runs one scenario at an explicit engine thread count and measures it.
@@ -223,6 +297,9 @@ pub fn run_scenario_at(spec: &ScenarioSpec, seed: u64, threads: usize) -> Scenar
         checksum: stats.checksum,
         threads: threads.max(1),
         speedup: None,
+        phase_ns: Vec::new(),
+        shard_balance_ratio: None,
+        peak_resident_bytes_per_node: 0,
     }
 }
 
@@ -358,11 +435,13 @@ impl PerfReport {
     }
 
     /// Order-sensitive checksum over everything deterministic in the
-    /// report (engine checksums, message counts, queue depths, codec
-    /// bytes). Two runs of the same seed must agree on this value —
-    /// *at any `AGB_THREADS`*: wall-clock fields (and the derived
-    /// speedup) are excluded, and everything mixed here is
-    /// thread-count-invariant by engine construction.
+    /// report (engine checksums, message counts, queue depths, resident
+    /// bytes, codec bytes). Two runs of the same seed must agree on this
+    /// value — *at any `AGB_THREADS`*: wall-clock fields (per-phase
+    /// nanoseconds, balance ratios, the derived speedup) are excluded,
+    /// and everything mixed here is thread-count-invariant by engine
+    /// construction. Resident bytes qualify because the memory
+    /// attribution is computed from entry counts, not the allocator.
     pub fn determinism_checksum(&self) -> u64 {
         let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |v: u64| {
@@ -375,6 +454,7 @@ impl PerfReport {
             mix(s.sends);
             mix(s.deliveries);
             mix(s.peak_queue_depth as u64);
+            mix(s.peak_resident_bytes_per_node);
         }
         mix(self.encode.bytes);
         mix(self.encode.checksum);
@@ -405,6 +485,22 @@ impl PerfReport {
                     ("checksum", Json::Str(format!("{:#018x}", s.checksum))),
                     ("threads", Json::Num(s.threads as f64)),
                     ("speedup", Json::Num(s.speedup.unwrap_or(1.0))),
+                    (
+                        "phases",
+                        Json::obj(
+                            s.phase_ns
+                                .iter()
+                                .map(|&(label, ns)| (label, Json::Num(ns as f64))),
+                        ),
+                    ),
+                    (
+                        "shard_balance_ratio",
+                        Json::Num(s.shard_balance_ratio.unwrap_or(1.0)),
+                    ),
+                    (
+                        "peak_resident_bytes_per_node",
+                        Json::Num(s.peak_resident_bytes_per_node as f64),
+                    ),
                 ])
             })
             .collect();
@@ -446,21 +542,22 @@ impl PerfReport {
             if self.threads == 1 { "" } else { "s" }
         ));
         out.push_str(&format!(
-            "  {:<16} {:>12} {:>14} {:>14} {:>12} {:>14} {:>9}\n",
+            "  {:<16} {:>12} {:>14} {:>14} {:>12} {:>14} {:>9} {:>11}\n",
             "scenario",
             "rounds/s",
             "node-rounds/s",
             "messages/s",
             "peak queue",
             "allocs/round",
-            "speedup"
+            "speedup",
+            "bytes/node"
         ));
         for s in &self.scenarios {
             let speedup = s
                 .speedup
                 .map_or_else(|| "     -".to_string(), |v| format!("{v:>5.2}x"));
             out.push_str(&format!(
-                "  {:<16} {:>12.2} {:>14.0} {:>14.0} {:>12} {:>14} {:>9}\n",
+                "  {:<16} {:>12.2} {:>14.0} {:>14.0} {:>12} {:>14} {:>9} {:>11}\n",
                 s.spec.name,
                 s.rounds_per_sec,
                 s.node_rounds_per_sec,
@@ -468,6 +565,36 @@ impl PerfReport {
                 s.peak_queue_depth,
                 s.allocs_per_round,
                 speedup,
+                s.peak_resident_bytes_per_node,
+            ));
+        }
+        for s in &self.scenarios {
+            // Percentages are of the *top-level* total — nested phases
+            // (route/encode/decode inside shard_exec) would otherwise be
+            // double-counted in the denominator.
+            let total: u64 = PHASES
+                .iter()
+                .zip(&s.phase_ns)
+                .filter(|(p, _)| !p.nested())
+                .map(|(_, &(_, ns))| ns)
+                .sum();
+            if total == 0 {
+                continue;
+            }
+            let mut phases: Vec<_> = s.phase_ns.iter().filter(|&&(_, ns)| ns > 0).collect();
+            phases.sort_by_key(|&(_, ns)| std::cmp::Reverse(ns));
+            let top: Vec<String> = phases
+                .iter()
+                .take(3)
+                .map(|&&(label, ns)| format!("{label} {:.0}%", ns as f64 * 100.0 / total as f64))
+                .collect();
+            let balance = s
+                .shard_balance_ratio
+                .map_or_else(String::new, |r| format!(", shard balance {r:.2}x"));
+            out.push_str(&format!(
+                "  {:<16} phases: {}{balance}\n",
+                s.spec.name,
+                top.join(", ")
             ));
         }
         out.push_str(&format!(
@@ -506,6 +633,30 @@ mod tests {
         assert!(r.peak_queue_depth > 0);
         assert!(r.allocations > 0);
         assert_ne!(r.checksum, 0);
+        // v3 attribution rode along (and its internal assertion already
+        // proved the profiled re-run reproduced this checksum).
+        assert_eq!(r.phase_ns.len(), PHASES.len());
+        let exec = r
+            .phase_ns
+            .iter()
+            .find(|(label, _)| *label == "shard_exec")
+            .unwrap();
+        assert!(exec.1 > 0, "shard execution took no time?");
+        assert!(r.peak_resident_bytes_per_node > 0);
+    }
+
+    #[test]
+    fn attribution_is_deterministic_where_it_claims_to_be() {
+        let a = run_scenario(&tiny_spec(true), 11);
+        let b = run_scenario(&tiny_spec(true), 11);
+        // Bytes are entry-count arithmetic: exactly reproducible.
+        assert_eq!(
+            a.peak_resident_bytes_per_node,
+            b.peak_resident_bytes_per_node
+        );
+        // Phase labels (not times) are stable.
+        let labels = |r: &ScenarioResult| r.phase_ns.iter().map(|&(l, _)| l).collect::<Vec<_>>();
+        assert_eq!(labels(&a), labels(&b));
     }
 
     #[test]
@@ -546,6 +697,9 @@ mod tests {
             "peak_queue_depth",
             "bytes_per_sec",
             "allocs_per_round",
+            "phases",
+            "shard_balance_ratio",
+            "peak_resident_bytes_per_node",
         ] {
             let holder = if key == "bytes_per_sec" {
                 json.get("encode").unwrap()

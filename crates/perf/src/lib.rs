@@ -6,13 +6,18 @@
 //!   (and 50k / 100k in full mode) nodes, with and without the recovery
 //!   layer, at the `AGB_THREADS` engine shard count, and produces a
 //!   machine-readable bench report (`BENCH_PR4.json`, schema
-//!   `agb-perf/v2`) alongside a human summary. Invoked as
+//!   `agb-perf/v3`) alongside a human summary. Invoked as
 //!   `repro perf [seed]`. At `K > 1` each scenario is re-measured at
 //!   `K = 1` for the `speedup` column, with checksum equality asserted.
+//!   Every scenario is then re-run with the `agb-profile` profiler
+//!   attached for cost attribution (per-phase totals, shard balance,
+//!   resident bytes per node); the timed run stays profiler-off, and
+//!   the attribution run must reproduce its checksum exactly.
 //! * [`compare`](mod@compare) — the CI regression gate: diff a fresh report against a
 //!   committed baseline (`ci/perf-baseline.json`) with a throughput
 //!   tolerance, printing a delta table; parses `v2` and legacy `v1`
-//!   baselines. Invoked as
+//!   baselines (new `v3` fields print as informational notes, never
+//!   gate). Invoked as
 //!   `repro perf-check <current> <baseline> [tolerance]`.
 //! * [`alloc`] — a counting global allocator (opt-in per binary; the
 //!   `repro` driver installs it) powering the allocations-per-round
@@ -23,11 +28,11 @@
 //! it lives in [`agb_types::json`] (the Maelstrom subsystem speaks it
 //! too) and is re-exported here.
 //!
-//! # Bench JSON schema (`agb-perf/v2`)
+//! # Bench JSON schema (`agb-perf/v3`)
 //!
 //! ```json
 //! {
-//!   "schema": "agb-perf/v2",
+//!   "schema": "agb-perf/v3",
 //!   "seed": 42,
 //!   "quick": true,
 //!   "threads": 4,                     // engine shard count (AGB_THREADS)
@@ -49,7 +54,13 @@
 //!       "allocs_per_round": 120000,
 //!       "checksum": "0x…",           // engine determinism checksum
 //!       "threads": 4,
-//!       "speedup": 3.1               // wall-clock vs a K=1 re-run (1.0 at K=1)
+//!       "speedup": 3.1,              // wall-clock vs a K=1 re-run (1.0 at K=1)
+//!       "phases": {                  // wall-ns totals, profiled re-run
+//!         "batch_lift": 1.2e8, "shard_exec": 9.1e8, "merge": 2.4e8,
+//!         "control": 3.0e7, "route": 1.1e8, "encode": 0, "decode": 0
+//!       },
+//!       "shard_balance_ratio": 1.4,  // mean max/min shard busy (1.0 at K=1)
+//!       "peak_resident_bytes_per_node": 18432  // deterministic, end of run
 //!     }
 //!   ],
 //!   "encode": {                      // pooled wire-codec micro-leg
@@ -60,11 +71,12 @@
 //! }
 //! ```
 //!
-//! Wall-clock metrics (`wall_secs`, `*_per_sec`, `speedup`) vary
-//! between machines and runs; everything else — counts, checksums,
-//! queue depths — is an exact function of the seed, at every thread
-//! count. `peak_queue_depth` covers measured rounds only (peak tracking
-//! resets at the warmup/measure boundary).
+//! Wall-clock metrics (`wall_secs`, `*_per_sec`, `speedup`, the
+//! `phases` nanoseconds, `shard_balance_ratio`) vary between machines
+//! and runs; everything else — counts, checksums, queue depths,
+//! `peak_resident_bytes_per_node` — is an exact function of the seed,
+//! at every thread count. `peak_queue_depth` covers measured rounds
+//! only (peak tracking resets at the warmup/measure boundary).
 
 #![warn(missing_docs)]
 
@@ -77,5 +89,5 @@ pub use agb_types::json::Json;
 pub use compare::{compare, compare_files, Comparison, Delta};
 pub use harness::{
     harness_threads, quick_mode, run_encode_bench, run_scenario, run_scenario_at, scale_points,
-    EncodeResult, PerfReport, ScenarioResult, ScenarioSpec, SCHEMA, SCHEMA_V1,
+    EncodeResult, PerfReport, ScenarioResult, ScenarioSpec, SCHEMA, SCHEMA_V1, SCHEMA_V2,
 };

@@ -1,0 +1,114 @@
+//! Memory attribution: resident-byte estimates per subsystem.
+//!
+//! Estimates are *deterministic* — computed from entry counts and
+//! `size_of` arithmetic over end-of-run data structures, never from
+//! allocator introspection — so they are identical at any thread
+//! count and safe to include in reproducibility digests.
+
+/// Estimated resident footprint of one structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemUsage {
+    /// Estimated resident bytes (container slots + owned payloads).
+    pub bytes: u64,
+    /// Logical entries held (events, ids, view slots, records).
+    pub entries: u64,
+}
+
+impl MemUsage {
+    /// A usage record.
+    pub fn new(bytes: u64, entries: u64) -> Self {
+        Self { bytes, entries }
+    }
+
+    /// Accumulates another usage into this one.
+    pub fn add(&mut self, other: MemUsage) {
+        self.bytes += other.bytes;
+        self.entries += other.entries;
+    }
+}
+
+/// Implemented by big resident structures (event queues, protocol
+/// buffers, retransmission caches, membership views, trace rings) to
+/// report an estimated footprint.
+pub trait MemReport {
+    /// Estimated resident bytes and entry count right now.
+    fn mem_usage(&self) -> MemUsage;
+}
+
+/// Per-subsystem aggregation across all nodes of a cluster.
+///
+/// Rows merge by label and iterate in sorted label order, so the
+/// table is deterministic regardless of node-visit order.
+#[derive(Clone, Debug, Default)]
+pub struct MemTable {
+    rows: Vec<(String, MemUsage)>,
+    nodes: u64,
+}
+
+impl MemTable {
+    /// An empty table for a cluster of `nodes` nodes (the divisor for
+    /// per-node figures; pass 1 for single-structure tables).
+    pub fn new(nodes: u64) -> Self {
+        Self {
+            rows: Vec::new(),
+            nodes: nodes.max(1),
+        }
+    }
+
+    /// Number of nodes the per-node figures divide by.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// Adds `usage` under `label`, merging with an existing row.
+    pub fn record(&mut self, label: &str, usage: MemUsage) {
+        match self.rows.binary_search_by(|(l, _)| l.as_str().cmp(label)) {
+            Ok(i) => self.rows[i].1.add(usage),
+            Err(i) => self.rows.insert(i, (label.to_string(), usage)),
+        }
+    }
+
+    /// Rows in sorted label order.
+    pub fn rows(&self) -> &[(String, MemUsage)] {
+        &self.rows
+    }
+
+    /// Sum over all rows.
+    pub fn total(&self) -> MemUsage {
+        let mut t = MemUsage::default();
+        for (_, u) in &self.rows {
+            t.add(*u);
+        }
+        t
+    }
+
+    /// Total estimated resident bytes divided by the node count.
+    pub fn bytes_per_node(&self) -> u64 {
+        self.total().bytes / self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_merge_by_label_and_sort() {
+        let mut t = MemTable::new(10);
+        t.record("queue", MemUsage::new(100, 2));
+        t.record("buffer", MemUsage::new(50, 1));
+        t.record("queue", MemUsage::new(20, 1));
+        let labels: Vec<_> = t.rows().iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["buffer", "queue"]);
+        assert_eq!(t.rows()[1].1, MemUsage::new(120, 3));
+        assert_eq!(t.total(), MemUsage::new(170, 4));
+        assert_eq!(t.bytes_per_node(), 17);
+    }
+
+    #[test]
+    fn zero_nodes_clamps_to_one() {
+        let mut t = MemTable::new(0);
+        t.record("x", MemUsage::new(7, 1));
+        assert_eq!(t.bytes_per_node(), 7);
+    }
+}

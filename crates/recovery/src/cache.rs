@@ -122,6 +122,24 @@ impl RetransmissionCache {
     }
 }
 
+impl agb_profile::MemReport for RetransmissionCache {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        // Each cached event appears in the id-indexed slot map and the
+        // FIFO order queue; payload bytes are shared-buffer estimates.
+        let per_slot =
+            (2 * std::mem::size_of::<EventId>() + std::mem::size_of::<CachedEvent>() + 8) as u64;
+        let payloads: u64 = self
+            .slots
+            .values()
+            .map(|c| c.event.payload().len() as u64)
+            .sum();
+        agb_profile::MemUsage::new(
+            self.slots.len() as u64 * per_slot + payloads,
+            self.slots.len() as u64,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -119,6 +119,19 @@ impl MissingTracker {
         self.entries.is_empty()
     }
 
+    /// Estimated resident footprint (entries, advertiser lists, FIFO
+    /// order queue).
+    fn estimated_bytes(&self) -> u64 {
+        let per_entry =
+            (2 * std::mem::size_of::<EventId>() + std::mem::size_of::<MissingEntry>() + 8) as u64;
+        let advertisers: u64 = self
+            .entries
+            .values()
+            .map(|e| (e.advertisers.len() * std::mem::size_of::<NodeId>()) as u64)
+            .sum();
+        self.entries.len() as u64 * per_entry + advertisers
+    }
+
     /// Collects up to `budget` due pull attempts for `round`, advancing
     /// retry state; ids whose retry budget is exhausted are dropped and
     /// returned as abandoned.
@@ -161,6 +174,12 @@ impl MissingTracker {
         self.order = keep;
         self.earliest_due = min_due;
         (due, abandoned)
+    }
+}
+
+impl agb_profile::MemReport for MissingTracker {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        agb_profile::MemUsage::new(self.estimated_bytes(), self.entries.len() as u64)
     }
 }
 

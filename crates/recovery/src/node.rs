@@ -451,6 +451,22 @@ impl<P: GossipProtocol> FrameProtocol for RecoverableNode<P> {
     fn evict_peer(&mut self, node: NodeId) {
         GossipProtocol::evict_peer(&mut self.inner, node);
     }
+
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        use agb_profile::{MemReport, MemUsage};
+        let mut rows = GossipProtocol::mem_breakdown(&self.inner);
+        rows.push(("retransmission_cache", self.cache.mem_usage()));
+        rows.push(("missing_tracker", self.missing.mem_usage()));
+        rows.push(("recovery_seen_ids", self.seen.mem_usage()));
+        rows.push((
+            "recovery_window",
+            MemUsage::new(
+                (self.window.len() * std::mem::size_of::<(EventId, u64)>()) as u64,
+                self.window.len() as u64,
+            ),
+        ));
+        rows
+    }
 }
 
 /// Boxes a protocol node for frame-level driving, wrapping it in the

@@ -98,6 +98,10 @@ pub struct NodeRuntime {
     /// iteration; beyond it the egress queue sheds in priority order
     /// (control > recovery > app).
     pub egress_capacity: usize,
+    /// Record node-loop iteration times and egress-queue dwell into the
+    /// telemetry plane (requires telemetry; off = no extra clock reads
+    /// on the loop).
+    pub profile: bool,
 }
 
 /// Maximum resend attempts of one retried frame.
@@ -134,8 +138,11 @@ struct Retry {
 /// reorder hold-back buffer).
 struct Egress {
     /// Per-class frame queues, indexed by [`ShedClass::as_u8`]
-    /// (app, recovery, control).
-    queues: [VecDeque<(NodeId, GossipFrame)>; 3],
+    /// (app, recovery, control). Entries carry their enqueue instant so
+    /// the flush can report queue dwell to the telemetry plane.
+    queues: [VecDeque<(NodeId, GossipFrame, Instant)>; 3],
+    /// Whether flushes report queue dwell (the profiling handle).
+    profiling: bool,
     capacity: usize,
     retries: Vec<Retry>,
     /// Datagrams the adversary held back for reordering, with their
@@ -151,6 +158,7 @@ struct Egress {
 impl Egress {
     fn new(
         capacity: usize,
+        profiling: bool,
         loss: f64,
         loss_rng: DetRng,
         adversary: Option<ByteAdversary>,
@@ -158,6 +166,7 @@ impl Egress {
     ) -> Self {
         Egress {
             queues: Default::default(),
+            profiling,
             capacity: if capacity == 0 {
                 DEFAULT_EGRESS_CAPACITY
             } else {
@@ -203,7 +212,7 @@ impl Egress {
                 }
             }
         }
-        self.queues[idx].push_back((to, frame));
+        self.queues[idx].push_back((to, frame, Instant::now()));
     }
 
     /// Transmits everything queued, highest class first. Control and
@@ -212,7 +221,10 @@ impl Egress {
     /// redundancy already covers them).
     fn flush<T: Transport>(&mut self, transport: &T, telemetry: &NodeTelemetry) {
         for idx in (0..3).rev() {
-            while let Some((to, frame)) = self.queues[idx].pop_front() {
+            while let Some((to, frame, queued_at)) = self.queues[idx].pop_front() {
+                if self.profiling {
+                    telemetry.on_egress_dwell(queued_at.elapsed().as_secs_f64());
+                }
                 let io_failed = self.transmit(transport, telemetry, to, &frame);
                 if io_failed && idx >= 1 {
                     self.schedule_retry(to, frame, 0);
@@ -398,8 +410,10 @@ fn node_loop<T: Transport>(
     let now_ms = |at: Instant| TimeMs::from_millis(at.duration_since(epoch).as_millis() as u64);
     // The send side: priority queues + shedding + retries + the
     // loss/adversary harnesses (owns the pooled frame encoder).
+    let profiling = runtime.profile && runtime.telemetry.enabled();
     let mut egress = Egress::new(
         runtime.egress_capacity,
+        profiling,
         runtime.loss,
         runtime.loss_rng.clone(),
         runtime.adversary.take(),
@@ -412,8 +426,22 @@ fn node_loop<T: Transport>(
     // Crash-stopped (or departed) until further command: datagrams are
     // drained and discarded, rounds and offers are suppressed.
     let mut down = false;
+    // Previous iteration's wake instant; each loop top closes out the
+    // prior iteration (including its bounded recv wait) into the
+    // loop-iteration histogram.
+    let mut iter_started: Option<Instant> = None;
 
     while !shutdown.load(Ordering::Relaxed) {
+        if profiling {
+            let woke = Instant::now();
+            if let Some(t0) = iter_started {
+                runtime
+                    .telemetry
+                    .on_loop_iteration(woke.duration_since(t0).as_secs_f64());
+            }
+            iter_started = Some(woke);
+        }
+
         // 0. Release due reorder hold-backs and backed-off retries.
         egress.pump(&transport, &runtime.telemetry);
 
@@ -703,6 +731,7 @@ mod tests {
                     adversary: None,
                     adversary_rng: DetRng::seed_from_u64(0),
                     egress_capacity: 0,
+                    profile: false,
                 },
                 transport,
                 Arc::clone(&metrics),

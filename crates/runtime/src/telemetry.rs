@@ -10,7 +10,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use agb_core::{GossipFrame, ProtocolEvent, PurgeReason};
-use agb_telemetry::{latency_seconds_bounds, names, Counter, Gauge, Registry, WallHistogram};
+use agb_telemetry::{
+    dwell_seconds_bounds, latency_seconds_bounds, names, Counter, Gauge, Registry, WallHistogram,
+};
 use agb_types::{NodeId, Payload};
 
 use crate::transport::TransportError;
@@ -97,6 +99,8 @@ struct Cells {
     recv_closed: Counter,
     delivery_latency: WallHistogram,
     recovery_rtt: WallHistogram,
+    loop_iteration: WallHistogram,
+    egress_dwell: WallHistogram,
     buffer_events: Gauge,
     buffer_capacity: Gauge,
     event_queue_depth: Gauge,
@@ -268,6 +272,20 @@ impl NodeTelemetry {
                 by_node,
                 &latency_seconds_bounds(),
             ),
+            // µs-scale internals get the dwell preset: against the
+            // latency bounds every sample lands in the first bucket.
+            loop_iteration: registry.histogram(
+                names::LOOP_ITERATION_SECONDS,
+                names::help::LOOP_ITERATION_SECONDS,
+                by_node,
+                &dwell_seconds_bounds(),
+            ),
+            egress_dwell: registry.histogram(
+                names::EGRESS_DWELL_SECONDS,
+                names::help::EGRESS_DWELL_SECONDS,
+                by_node,
+                &dwell_seconds_bounds(),
+            ),
             buffer_events: registry.gauge(
                 names::BUFFER_EVENTS,
                 names::help::BUFFER_EVENTS,
@@ -420,6 +438,22 @@ impl NodeTelemetry {
                 ProtocolEvent::RecoveryAbandoned { .. } => c.rec_abandoned.inc(),
                 ProtocolEvent::RateChanged { .. } | ProtocolEvent::PeriodRollover { .. } => {}
             }
+        }
+    }
+
+    /// One full node-loop iteration completed (wake to sleep), in
+    /// seconds.
+    pub fn on_loop_iteration(&self, secs: f64) {
+        if let Some(c) = &self.inner {
+            c.loop_iteration.observe(secs);
+        }
+    }
+
+    /// One frame left the egress queue for the transport after dwelling
+    /// `secs` seconds since enqueue.
+    pub fn on_egress_dwell(&self, secs: f64) {
+        if let Some(c) = &self.inner {
+            c.egress_dwell.observe(secs);
         }
     }
 

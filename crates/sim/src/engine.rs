@@ -21,6 +21,7 @@
 //! [`NetStats::checksum`]. The single-threaded path is the oracle the
 //! sharded path is tested against.
 
+use agb_profile::{MemUsage, Phase, ProfileConfig, Profiler, ProfilerSnapshot};
 use agb_types::{DetRng, DurationMs, NodeId, SeedSequence, ShardMap, TimeMs};
 
 use crate::network::{NetworkConfig, NetworkModel};
@@ -283,6 +284,7 @@ pub struct SimulationBuilder {
     network: NetworkConfig,
     initially_down: Vec<NodeId>,
     threads: usize,
+    profile: ProfileConfig,
 }
 
 impl SimulationBuilder {
@@ -294,6 +296,7 @@ impl SimulationBuilder {
             network: NetworkConfig::default(),
             initially_down: Vec::new(),
             threads: 1,
+            profile: ProfileConfig::disabled(),
         }
     }
 
@@ -309,6 +312,18 @@ impl SimulationBuilder {
     /// The thread count never affects results — only wall-clock time.
     pub fn threads(mut self, k: usize) -> Self {
         self.threads = k.max(1);
+        self
+    }
+
+    /// Attaches an engine profiler ([`agb_profile::Profiler`]) when
+    /// `profile.enabled`: phase timings, shard load-balance stats and
+    /// routing time are recorded as the simulation runs.
+    ///
+    /// Profiling reads clocks and accumulates counters only — it never
+    /// touches RNG streams or effect ordering, so all engine results
+    /// (checksums included) are bit-identical with and without it.
+    pub fn profile(mut self, profile: ProfileConfig) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -355,6 +370,7 @@ impl SimulationBuilder {
             hook: None,
             scratch: EngineScratch::default(),
             worker_scratch: Vec::new(),
+            profiler: self.profile.enabled.then(|| Box::new(Profiler::new())),
         }
     }
 }
@@ -414,6 +430,9 @@ pub struct Simulation<N: SimNode> {
     scratch: EngineScratch<N::Msg>,
     /// Per-worker scratch, index-aligned with shard indices.
     worker_scratch: Vec<LaneScratch<N::Msg>>,
+    /// Attached profiler (phase timers, shard balance), absent by
+    /// default. Never influences results.
+    profiler: Option<Box<Profiler>>,
 }
 
 impl<N: SimNode> Simulation<N> {
@@ -491,6 +510,32 @@ impl<N: SimNode> Simulation<N> {
     /// ordering.
     pub fn set_post_event_hook(&mut self, hook: Box<dyn FnMut(&mut N)>) {
         self.hook = Some(hook);
+    }
+
+    /// Attaches a fresh profiler from this point on (no-op if one is
+    /// already attached). Results never depend on profiling.
+    pub fn enable_profiler(&mut self) {
+        if self.profiler.is_none() {
+            self.profiler = Some(Box::new(Profiler::new()));
+        }
+    }
+
+    /// Mutable access to the attached profiler, if any (e.g. to wire
+    /// an allocation counter or record extra phases).
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.profiler.as_deref_mut()
+    }
+
+    /// Snapshot of the attached profiler's accumulated phase timings
+    /// and shard balance, if profiling is enabled.
+    pub fn profiler_snapshot(&self) -> Option<ProfilerSnapshot> {
+        self.profiler.as_deref().map(Profiler::snapshot)
+    }
+
+    /// Estimated resident footprint of the future event list (queued
+    /// events + bucket overhead). Deterministic `size_of` arithmetic.
+    pub fn queue_mem(&self) -> MemUsage {
+        MemUsage::new(self.queue.estimated_bytes(), self.queue.len() as u64)
     }
 
     /// The configured shard/worker-thread count.
@@ -710,6 +755,7 @@ impl<N: SimNode> Simulation<N> {
     /// event (a barrier) or time change.
     fn collect_run(&mut self, t: TimeMs) {
         debug_assert!(self.scratch.batch_events.is_empty());
+        let token = self.profiler.as_ref().map(|p| p.enter(Phase::BatchLift));
         while let Some((at, item)) = self.queue.peek() {
             if at != t || !matches!(item, EventKind::Deliver { .. } | EventKind::Timer { .. }) {
                 break;
@@ -723,6 +769,13 @@ impl<N: SimNode> Simulation<N> {
             self.scratch.targets.push(ev.target());
             self.scratch.batch_events.push(ev);
         }
+        if let Some(token) = token {
+            let items = self.scratch.batch_events.len() as u64;
+            self.profiler
+                .as_mut()
+                .expect("token implies profiler")
+                .exit(token, items);
+        }
     }
 
     /// Executes the collected batch on the calling thread and merges its
@@ -731,6 +784,7 @@ impl<N: SimNode> Simulation<N> {
         let mut inline = std::mem::take(&mut self.scratch.inline);
         let mut targets = std::mem::take(&mut self.scratch.targets);
         std::mem::swap(&mut self.scratch.batch_events, &mut inline.events);
+        let token = self.profiler.as_ref().map(|p| p.enter(Phase::ShardExec));
         {
             let n = self.nodes.len();
             let (config, rngs) = self.net.lanes(n);
@@ -745,6 +799,7 @@ impl<N: SimNode> Simulation<N> {
                 now: self.now,
                 n_total: n,
                 tracing: self.tracer.is_some(),
+                profiling: self.profiler.is_some(),
             };
             exec_events(
                 &mut lane,
@@ -753,6 +808,13 @@ impl<N: SimNode> Simulation<N> {
                 &mut inline.timer_reqs,
                 &mut inline.buf,
             );
+        }
+        if let Some(token) = token {
+            let items = targets.len() as u64;
+            self.profiler
+                .as_mut()
+                .expect("token implies profiler")
+                .exit(token, items);
         }
         self.events_processed += targets.len() as u64;
         self.apply_run(std::slice::from_mut(&mut inline), &targets, &[]);
@@ -771,6 +833,7 @@ impl<N: SimNode> Simulation<N> {
         targets: &[NodeId],
         shard_of: &[u32],
     ) {
+        let token = self.profiler.as_ref().map(|p| p.enter(Phase::Merge));
         let mut cursors = std::mem::take(&mut self.scratch.cursors);
         cursors.clear();
         cursors.resize(lanes.len(), EffectCursor::default());
@@ -813,6 +876,8 @@ impl<N: SimNode> Simulation<N> {
                 }
             }
         }
+        let mut route_ns = 0u64;
+        let mut route_sends = 0u64;
         for lane in lanes.iter_mut() {
             let c = lane.buf.counts;
             self.stats.sends += c.sends;
@@ -821,13 +886,34 @@ impl<N: SimNode> Simulation<N> {
             self.stats.timer_fires += c.timer_fires;
             self.stats.corrupted += c.corrupted;
             self.net.add_counts(c.sends, c.net_dropped, c.corrupted);
+            route_ns += lane.buf.route_ns;
+            route_sends += c.sends;
             lane.buf.clear();
         }
         self.scratch.cursors = cursors;
+        if let Some(token) = token {
+            let profiler = self.profiler.as_mut().expect("token implies profiler");
+            // Routing time was spent inside handler execution but is
+            // only harvestable here, once the per-shard effect buffers
+            // are back on the calling thread.
+            profiler.add_ns(Phase::Route, route_ns, route_sends);
+            profiler.exit(token, targets.len() as u64);
+        }
     }
 
     /// Executes one control (barrier) event on the calling thread.
     fn exec_control(&mut self, item: EventKind<N>) {
+        let token = self.profiler.as_ref().map(|p| p.enter(Phase::Control));
+        self.exec_control_inner(item);
+        if let Some(token) = token {
+            self.profiler
+                .as_mut()
+                .expect("token implies profiler")
+                .exit(token, 1);
+        }
+    }
+
+    fn exec_control_inner(&mut self, item: EventKind<N>) {
         match item {
             EventKind::Deliver { .. } | EventKind::Timer { .. } => {
                 unreachable!("batch events are collected into runs, not dispatched as controls")
@@ -877,6 +963,7 @@ impl<N: SimNode> Simulation<N> {
                 now: self.now,
                 n_total: n,
                 tracing: self.tracer.is_some(),
+                profiling: self.profiler.is_some(),
             };
             invoke_on(
                 &mut lane,
@@ -1026,6 +1113,8 @@ where
 
         let now = self.now;
         let tracing = self.tracer.is_some();
+        let profiling = self.profiler.is_some();
+        let exec_token = self.profiler.as_ref().map(|p| p.enter(Phase::ShardExec));
         {
             let (config, rngs_all) = self.net.lanes(n);
             let down: &[bool] = &self.down;
@@ -1055,6 +1144,7 @@ where
                     now,
                     n_total: n,
                     tracing,
+                    profiling,
                 });
             }
 
@@ -1064,6 +1154,7 @@ where
                 let mut handles = Vec::with_capacity(k - 1);
                 for (mut lane, worker) in pairs {
                     handles.push(scope.spawn(move |_| {
+                        let t0 = profiling.then(std::time::Instant::now);
                         exec_events(
                             &mut lane,
                             &mut worker.events,
@@ -1071,11 +1162,15 @@ where
                             &mut worker.timer_reqs,
                             &mut worker.buf,
                         );
+                        if let Some(t0) = t0 {
+                            worker.busy_ns = t0.elapsed().as_nanos() as u64;
+                        }
                     }));
                 }
                 // Shard 0 executes on the calling thread while the
                 // workers run.
                 if let Some((mut lane, worker)) = first {
+                    let t0 = profiling.then(std::time::Instant::now);
                     exec_events(
                         &mut lane,
                         &mut worker.events,
@@ -1083,6 +1178,9 @@ where
                         &mut worker.timer_reqs,
                         &mut worker.buf,
                     );
+                    if let Some(t0) = t0 {
+                        worker.busy_ns = t0.elapsed().as_nanos() as u64;
+                    }
                 }
                 for handle in handles {
                     if let Err(payload) = handle.join() {
@@ -1095,6 +1193,12 @@ where
             }
         }
 
+        if let Some(token) = exec_token {
+            let profiler = self.profiler.as_mut().expect("token implies profiler");
+            profiler.exit(token, targets.len() as u64);
+            let busy: Vec<u64> = workers[..k].iter().map(|w| w.busy_ns).collect();
+            profiler.record_parallel_batch(&busy);
+        }
         self.events_processed += targets.len() as u64;
         self.apply_run(&mut workers[..k], &targets, &shard_of);
         targets.clear();
@@ -1588,6 +1692,54 @@ mod sharded_tests {
         let expected = run(1);
         assert!(!expected.is_empty());
         assert_eq!(run(4), expected);
+    }
+
+    #[test]
+    fn profiler_never_changes_results_and_records_phases() {
+        use agb_profile::{Phase, ProfileConfig};
+        let profiled = |k: usize| {
+            let network = NetworkConfig::perfect(DurationMs::from_millis(3));
+            let nodes = (0..24)
+                .map(|_| Chatty {
+                    digest: 0,
+                    fires: 0,
+                    n: 24,
+                    period: DurationMs::from_millis(10),
+                })
+                .collect();
+            let mut sim = SimulationBuilder::new(21)
+                .network(network)
+                .threads(k)
+                .profile(ProfileConfig::enabled())
+                .build(nodes);
+            sim.set_parallel_threshold(2);
+            sim.run_until_sharded(TimeMs::from_millis(300));
+            sim
+        };
+        let mut plain = chatty_sim(21, 24, 1, false);
+        plain.run_until_sharded(TimeMs::from_millis(300));
+        assert!(plain.profiler_snapshot().is_none());
+
+        for k in [1usize, 4] {
+            let sim = profiled(k);
+            assert_eq!(
+                fingerprint(&sim),
+                fingerprint(&plain),
+                "profiler perturbed results at K={k}"
+            );
+            let snap = sim.profiler_snapshot().expect("profiler attached");
+            assert!(snap.phase(Phase::ShardExec).count > 0);
+            assert!(snap.phase(Phase::Merge).items > 0);
+            assert!(snap.phase(Phase::Route).items > 0, "route sends attributed");
+            if k > 1 {
+                assert!(snap.parallel_batches > 0, "K=4 must hit the worker path");
+                assert!(snap.worst_balance_ratio.unwrap() >= 1.0);
+            } else {
+                assert_eq!(snap.parallel_batches, 0);
+            }
+            let mem = sim.queue_mem();
+            assert_eq!(mem.entries, sim.pending_events() as u64);
+        }
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Estimated resident bytes: queued items plus per-bucket container
+    /// overhead (`VecDeque` header + B-tree slot). A `size_of`
+    /// estimate, deterministic by construction.
+    pub fn estimated_bytes(&self) -> u64 {
+        let per_item = std::mem::size_of::<E>() as u64;
+        let per_bucket =
+            (std::mem::size_of::<VecDeque<E>>() + std::mem::size_of::<TimeMs>() + 16) as u64;
+        self.len as u64 * per_item + self.buckets.len() as u64 * per_bucket
+    }
 }
 
 #[cfg(test)]

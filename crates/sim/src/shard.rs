@@ -16,6 +16,8 @@
 //! bit-identical to single-threaded execution — same event order, same
 //! RNG draws (per-sender network streams), same determinism checksum.
 
+use std::time::Instant;
+
 use agb_types::{DetRng, NodeId, TimeMs};
 
 use crate::engine::{SimCtx, SimNode, TimerId, TimerKind, TimerRequest, TimerSlot};
@@ -115,6 +117,10 @@ pub(crate) struct EffectBuf<M> {
     pub traces: Vec<TraceEvent>,
     pub marks: Vec<EffectMark>,
     pub counts: Counts,
+    /// Wall nanoseconds spent routing outbox sends (profiling only —
+    /// harvested into the profiler at the merge barrier, never part of
+    /// the determinism digest).
+    pub route_ns: u64,
 }
 
 impl<M> Default for EffectBuf<M> {
@@ -125,6 +131,7 @@ impl<M> Default for EffectBuf<M> {
             traces: Vec::new(),
             marks: Vec::new(),
             counts: Counts::default(),
+            route_ns: 0,
         }
     }
 }
@@ -147,6 +154,7 @@ impl<M> EffectBuf<M> {
         self.traces.clear();
         self.marks.clear();
         self.counts = Counts::default();
+        self.route_ns = 0;
     }
 }
 
@@ -178,6 +186,8 @@ pub(crate) struct Lane<'a, N: SimNode> {
     pub n_total: usize,
     /// Whether a tracer is installed (effects record trace events).
     pub tracing: bool,
+    /// Whether a profiler is attached (routing time is measured).
+    pub profiling: bool,
 }
 
 /// Executes a run of batch events against one lane, buffering all
@@ -328,6 +338,11 @@ pub(crate) fn invoke_on<N: SimNode>(
             }
         }
     }
+    // Routing time is measured per handler, not per send: one clock
+    // read either side of the drain keeps profiling overhead off the
+    // per-message path (and clocks never feed back into routing, so
+    // results are identical profiling or not).
+    let route_t0 = lane.profiling.then(Instant::now);
     for (to, msg) in outbox.drain(..) {
         assert!(
             to.index() < lane.n_total,
@@ -400,6 +415,9 @@ pub(crate) fn invoke_on<N: SimNode>(
             }
         }
     }
+    if let Some(t0) = route_t0 {
+        buf.route_ns += t0.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Reusable per-worker scratch: the worker's event slice, invocation
@@ -409,6 +427,10 @@ pub(crate) struct LaneScratch<M> {
     pub outbox: Vec<(NodeId, M)>,
     pub timer_reqs: Vec<TimerRequest>,
     pub buf: EffectBuf<M>,
+    /// Wall nanoseconds this worker spent executing its share of the
+    /// last parallel batch (profiling only; feeds shard load-balance
+    /// stats).
+    pub busy_ns: u64,
 }
 
 impl<M> Default for LaneScratch<M> {
@@ -418,6 +440,7 @@ impl<M> Default for LaneScratch<M> {
             outbox: Vec::new(),
             timer_reqs: Vec::new(),
             buf: EffectBuf::default(),
+            busy_ns: 0,
         }
     }
 }

@@ -24,6 +24,22 @@ pub fn latency_seconds_bounds() -> Vec<f64> {
     log_bounds(0.001, 2.0, 15)
 }
 
+/// Bucket bounds for *dwell* and loop-iteration times in seconds:
+/// 1 µs to ~16 s in powers of four. Queue dwell and node-loop
+/// iterations live three orders of magnitude below delivery latency —
+/// measuring them against [`latency_seconds_bounds`] collapses every
+/// sample into the first bucket and reports a useless flat p99.
+pub fn dwell_seconds_bounds() -> Vec<f64> {
+    log_bounds(1e-6, 4.0, 12)
+}
+
+/// Bucket bounds for byte-sized measurements (frame sizes, queue
+/// bytes): 64 B to ~16 MiB in powers of four. Byte histograms need a
+/// dimensionless integer scale, not a seconds scale.
+pub fn bytes_bounds() -> Vec<f64> {
+    log_bounds(64.0, 4.0, 10)
+}
+
 /// A lock-free fixed-bound histogram for wall-clock measurements.
 ///
 /// Buckets are `(-inf, b0], (b0, b1], …, (b_{n-1}, +inf)` over bounds
@@ -206,6 +222,26 @@ mod tests {
         assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
         assert_eq!(latency_seconds_bounds().len(), 15);
         assert!((latency_seconds_bounds()[0] - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_metric_presets_cover_their_scales() {
+        // A 20 µs dwell sample must land above the first dwell bucket
+        // but below the first *latency* bucket — the whole point of
+        // per-metric presets.
+        let dwell = dwell_seconds_bounds();
+        assert!(dwell[0] < 20e-6 && *dwell.last().unwrap() > 1.0);
+        let idx = dwell.iter().position(|&b| 20e-6 <= b).unwrap();
+        assert!(idx > 0, "a 20 µs sample resolves past the first bucket");
+        assert!(20e-6 < latency_seconds_bounds()[0]);
+        let bytes = bytes_bounds();
+        assert!(bytes[0] >= 64.0 && *bytes.last().unwrap() > 1e7);
+        // All presets are valid strictly-ascending histogram bounds.
+        for preset in [dwell, bytes] {
+            let h = WallHistogram::new(&preset);
+            h.observe(100.0);
+            assert_eq!(h.snapshot().count, 1);
+        }
     }
 
     #[test]

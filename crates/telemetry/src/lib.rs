@@ -69,7 +69,10 @@ mod text;
 pub use bridge::fold_trace_counts;
 pub use config::TelemetryConfig;
 pub use expose::{scrape, TelemetryServer};
-pub use histogram::{latency_seconds_bounds, log_bounds, HistogramSnapshot, WallHistogram};
+pub use histogram::{
+    bytes_bounds, dwell_seconds_bounds, latency_seconds_bounds, log_bounds, HistogramSnapshot,
+    WallHistogram,
+};
 pub use metric::{Counter, Gauge};
 pub use registry::Registry;
 pub use text::{parse_text, SeriesId, Snapshot};

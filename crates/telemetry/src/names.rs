@@ -38,6 +38,16 @@
 //! | [`SHEDS`] | counter | `node`, `class` | frames shed by overloaded queues (`app`/`recovery`/`control`) |
 //! | [`SEND_RETRIES`] | counter | `node` | backed-off resends of recovery-class frames |
 //! | [`RECV_CLOSED`] | counter | `node` | transport teardown observations |
+//! | [`LOOP_ITERATION_SECONDS`] | histogram | `node` | one node-loop iteration, wake to sleep |
+//! | [`EGRESS_DWELL_SECONDS`] | histogram | `node` | egress-queue dwell, enqueue to transport hand-off |
+//!
+//! Histograms use *per-metric* bucket presets
+//! ([`latency_seconds_bounds`](crate::latency_seconds_bounds) for
+//! ms-scale end-to-end paths,
+//! [`dwell_seconds_bounds`](crate::dwell_seconds_bounds) for µs-scale
+//! loop and queue internals,
+//! [`bytes_bounds`](crate::bytes_bounds) for sizes) — one uniform
+//! bound set cannot resolve scales three orders of magnitude apart.
 
 /// `agb_messages_sent_total{node,kind}`.
 pub const MESSAGES_SENT: &str = "agb_messages_sent_total";
@@ -97,6 +107,10 @@ pub const SHEDS: &str = "agb_sheds_total";
 pub const SEND_RETRIES: &str = "agb_send_retries_total";
 /// `agb_recv_closed_total{node}`.
 pub const RECV_CLOSED: &str = "agb_recv_closed_total";
+/// `agb_loop_iteration_seconds{node}` (histogram, dwell bounds).
+pub const LOOP_ITERATION_SECONDS: &str = "agb_loop_iteration_seconds";
+/// `agb_egress_dwell_seconds{node}` (histogram, dwell bounds).
+pub const EGRESS_DWELL_SECONDS: &str = "agb_egress_dwell_seconds";
 
 /// Help strings, one per metric name. Both the runtime instrumentation
 /// and the [`fold_trace_counts`](crate::fold_trace_counts) bridge
@@ -161,4 +175,8 @@ pub mod help {
     pub const SEND_RETRIES: &str = "Backed-off resends of recovery-class frames";
     /// Help for [`RECV_CLOSED`](super::RECV_CLOSED).
     pub const RECV_CLOSED: &str = "Transport teardown observations by the node loop";
+    /// Help for [`LOOP_ITERATION_SECONDS`](super::LOOP_ITERATION_SECONDS).
+    pub const LOOP_ITERATION_SECONDS: &str = "One node-loop iteration, wake to sleep";
+    /// Help for [`EGRESS_DWELL_SECONDS`](super::EGRESS_DWELL_SECONDS).
+    pub const EGRESS_DWELL_SECONDS: &str = "Egress-queue dwell from enqueue to transport hand-off";
 }

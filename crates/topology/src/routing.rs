@@ -353,6 +353,30 @@ impl<S: GossipMembership> GossipProtocol for RoutingNode<S> {
     fn evict_peer(&mut self, node: NodeId) {
         self.membership.evict(node, &mut self.rng);
     }
+
+    fn mem_breakdown(&self) -> Vec<(&'static str, agb_profile::MemUsage)> {
+        use agb_profile::{MemReport, MemUsage};
+        let payloads: u64 = self
+            .relay
+            .iter()
+            .map(|s| s.event.payload().len() as u64)
+            .sum();
+        let relay_bytes = (self.relay.len() * std::mem::size_of::<RelaySlot>()) as u64 + payloads;
+        vec![
+            (
+                "relay_buffer",
+                MemUsage::new(relay_bytes, self.relay.len() as u64),
+            ),
+            ("event_ids", self.ids.mem_usage()),
+            (
+                "membership_view",
+                MemUsage::new(
+                    (self.membership.view_size() * std::mem::size_of::<NodeId>()) as u64,
+                    self.membership.view_size() as u64,
+                ),
+            ),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -306,6 +306,15 @@ impl Recorder {
         self.digest
     }
 
+    /// Estimated resident footprint of the retained ring and the open
+    /// recovery round-trip table (the recorder's two growable stores).
+    fn estimated_bytes(&self) -> u64 {
+        let ring = self.ring.len() * std::mem::size_of::<TraceRecord>();
+        let outstanding =
+            self.outstanding.len() * (std::mem::size_of::<((NodeId, NodeId), TimeMs)>() + 8);
+        (ring + outstanding) as u64
+    }
+
     fn mix(&mut self, word: u64) {
         self.digest ^= word;
         self.digest = self.digest.wrapping_mul(FNV_PRIME);
@@ -406,6 +415,15 @@ impl TraceSink for Recorder {
             self.evicted += 1;
         }
         self.ring.push_back(record);
+    }
+}
+
+impl agb_profile::MemReport for Recorder {
+    fn mem_usage(&self) -> agb_profile::MemUsage {
+        agb_profile::MemUsage::new(
+            self.estimated_bytes(),
+            self.ring.len() as u64 + self.outstanding.len() as u64,
+        )
     }
 }
 

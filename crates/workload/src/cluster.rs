@@ -12,6 +12,7 @@ use agb_membership::{
     FullView, GossipMembership, LocalitySampler, PartialView, PartialViewConfig, PeerSampler,
 };
 use agb_metrics::MetricsCollector;
+use agb_profile::{MemReport, MemTable, ProfileConfig, Profiler, ProfilerSnapshot};
 use agb_recovery::{boxed_frame_protocol, RecoveryConfig};
 use agb_sim::{
     NetStats, NetworkConfig, Partition, SimCtx, SimNode, Simulation, SimulationBuilder, TimerId,
@@ -143,6 +144,13 @@ pub struct ClusterConfig {
     /// boundaries in virtual time, so digests stay bit-identical at
     /// every thread count. `None` (the default) changes nothing.
     pub detector: Option<DetectorConfig>,
+    /// Engine profiling (`agb-profile`). Disabled by default; when
+    /// enabled the engine attaches phase timers (batch lift, shard
+    /// exec, merge, routing, control) and shard load-balance tracking.
+    /// Profiling only reads clocks and accumulates counters — engine
+    /// checksums and protocol results are bit-identical with it on or
+    /// off, at every thread count.
+    pub profile: ProfileConfig,
 }
 
 impl ClusterConfig {
@@ -171,6 +179,7 @@ impl ClusterConfig {
             topology: None,
             locality_escape: None,
             detector: None,
+            profile: ProfileConfig::disabled(),
         }
     }
 
@@ -653,6 +662,7 @@ impl GossipCluster {
             .network(config.network.clone())
             .initially_down(config.absent_at_start.iter().copied())
             .threads(config.threads.max(1))
+            .profile(config.profile)
             .build(nodes);
         let trace = config
             .trace
@@ -751,6 +761,39 @@ impl GossipCluster {
     /// Total engine events processed so far (perf harness).
     pub fn events_processed(&self) -> u64 {
         self.sim.events_processed()
+    }
+
+    /// Snapshot of the engine profiler's accumulated phase timings and
+    /// shard-balance stats (`None` when [`ClusterConfig::profile`] is
+    /// disabled).
+    pub fn profiler_snapshot(&self) -> Option<ProfilerSnapshot> {
+        self.sim.profiler_snapshot()
+    }
+
+    /// Mutable access to the attached engine profiler (for wiring an
+    /// allocation counter), if profiling is enabled.
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.sim.profiler_mut()
+    }
+
+    /// Memory-attribution table over the whole cluster: the engine's
+    /// future event list, every node's per-subsystem breakdown
+    /// ([`FrameProtocol::mem_breakdown`]), and the trace recorder when
+    /// tracing is on. Byte figures are deterministic `size_of`
+    /// estimates — identical at every thread count — and available
+    /// whether or not profiling is enabled.
+    pub fn mem_table(&self) -> MemTable {
+        let mut table = MemTable::new(self.n_nodes as u64);
+        table.record("engine_event_queue", self.sim.queue_mem());
+        for node in self.sim.nodes() {
+            for (label, usage) in node.protocol().mem_breakdown() {
+                table.record(label, usage);
+            }
+        }
+        if let Some(trace) = &self.trace {
+            table.record("trace_recorder", trace.borrow().mem_usage());
+        }
+        table
     }
 
     /// Schedules a buffer resize for one node.
@@ -1403,6 +1446,56 @@ mod tests {
         assert_eq!(k1.0, k4.0);
         assert_eq!(k1.1.digest, k4.1.digest);
         assert!(k1.1.counts.detector_evicts > 0, "the detector acted");
+    }
+
+    #[test]
+    fn profiling_never_changes_engine_results() {
+        let run = |profiled: bool| {
+            let mut config = small_config(Algorithm::Adaptive);
+            config.network = NetworkConfig::lossy(0.1);
+            config.recovery = Some(RecoveryConfig::default());
+            if profiled {
+                config.profile = ProfileConfig::enabled();
+            }
+            let mut c = GossipCluster::build(config);
+            c.run_until(TimeMs::from_secs(20));
+            let m = c.metrics();
+            (c.sim_stats(), m.admitted().total(), m.delivered().total())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiled_cluster_reports_phases_and_memory() {
+        let mut config = small_config(Algorithm::Adaptive);
+        config.network = NetworkConfig::lossy(0.1);
+        config.recovery = Some(RecoveryConfig::default());
+        config.trace = TraceConfig::enabled();
+        config.profile = ProfileConfig::enabled();
+        let mut c = GossipCluster::build(config);
+        c.run_until(TimeMs::from_secs(20));
+        let snap = c.profiler_snapshot().expect("profiling enabled");
+        assert!(snap.phase(agb_profile::Phase::BatchLift).count > 0);
+        assert!(snap.phase(agb_profile::Phase::ShardExec).total_ns > 0);
+        assert!(snap.phase(agb_profile::Phase::Route).count > 0);
+        let table = c.mem_table();
+        let labels: Vec<_> = table.rows().iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels.contains(&"engine_event_queue"), "{labels:?}");
+        assert!(labels.contains(&"event_buffer"), "{labels:?}");
+        assert!(labels.contains(&"retransmission_cache"), "{labels:?}");
+        assert!(labels.contains(&"membership_view"), "{labels:?}");
+        assert!(labels.contains(&"trace_recorder"), "{labels:?}");
+        assert!(table.total().bytes > 0);
+        assert_eq!(table.nodes(), 16);
+        // The mem table is deterministic: a second identical run
+        // reproduces it row for row.
+        let mut config2 = small_config(Algorithm::Adaptive);
+        config2.network = NetworkConfig::lossy(0.1);
+        config2.recovery = Some(RecoveryConfig::default());
+        config2.trace = TraceConfig::enabled();
+        let mut c2 = GossipCluster::build(config2);
+        c2.run_until(TimeMs::from_secs(20));
+        assert_eq!(c.mem_table().rows(), c2.mem_table().rows());
     }
 
     #[test]

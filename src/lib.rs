@@ -28,6 +28,7 @@
 //! | [`metrics`] | `agb-metrics` | delivery/atomicity/rate/drop-age measurement |
 //! | [`trace`] | `agb-trace` | deterministic causal dissemination tracing: typed events, histograms, per-event trees |
 //! | [`telemetry`] | `agb-telemetry` | live wall-clock metrics: lock-free registry, Prometheus-text exposition, scrape + cluster-wide merge |
+//! | [`profile`] | `agb-profile` | engine cost attribution: phase timers, shard load balance, per-subsystem memory, collapsed stacks |
 //! | [`experiments`] | `agb-experiments` | one harness per paper figure |
 //! | [`types`] | `agb-types` | ids, virtual time, RNG streams, stats primitives |
 //!
@@ -192,7 +193,7 @@
 //!
 //! # Observability
 //!
-//! Two complementary planes, one metric vocabulary:
+//! Three complementary planes, one engine:
 //!
 //! * **Deterministic simulation tracing** ([`trace`]) — replayable
 //!   records with simulated timestamps, for explaining *why* a run
@@ -200,6 +201,9 @@
 //! * **Live wall-clock telemetry** ([`telemetry`]) — always-on atomic
 //!   counters/gauges/histograms on the threaded runtime, exposed as
 //!   Prometheus text per node, for watching a *real* cluster right now.
+//! * **Cost profiling** ([`profile`]) — opt-in phase timers, shard
+//!   load-balance stats, and deterministic memory attribution, for
+//!   knowing where a round's wall-clock and bytes go.
 //!
 //! ## Simulation tracing
 //!
@@ -277,6 +281,44 @@
 //! cluster, mid-run scrapes, SLO quantiles, `TELEMETRY.json`), or the
 //! one-node scrape loop in `examples/telemetry_scrape.rs`.
 //!
+//! ## Cost profiling
+//!
+//! The [`profile`] subsystem answers *where does the round go*: opt-in
+//! RAII phase timers around the engine's hot phases (batch lift,
+//! sharded handler execution, canonical merge-back, routing and codec
+//! work), per-shard busy-time balance, and a per-subsystem memory
+//! table computed from entry counts — deterministic, so it is
+//! bit-identical at any `AGB_THREADS` and safe to commit
+//! (`PROFILE.json`). Profiling only reads clocks: engine checksums are
+//! unchanged whether it is on or off.
+//!
+//! ```
+//! use adaptive_gossip::profile::{Phase, ProfileConfig};
+//! use adaptive_gossip::recovery::RecoveryConfig;
+//! use adaptive_gossip::types::TimeMs;
+//! use adaptive_gossip::workload::{Algorithm, ClusterConfig, GossipCluster};
+//!
+//! let mut config = ClusterConfig::new(30, 42);
+//! config.algorithm = Algorithm::Adaptive;
+//! config.n_senders = 3;
+//! config.offered_rate = 9.0;
+//! config.recovery = Some(RecoveryConfig::default());
+//! config.profile = ProfileConfig::enabled();
+//! let mut cluster = GossipCluster::build(config);
+//! cluster.run_until(TimeMs::from_secs(20));
+//!
+//! let snapshot = cluster.profiler_snapshot().unwrap();
+//! assert!(snapshot.phase(Phase::ShardExec).total_ns > 0);
+//! let mem = cluster.mem_table(); // resident bytes by subsystem
+//! assert!(mem.bytes_per_node() > 0);
+//! println!("{}", snapshot.collapsed()); // inferno-ready stacks
+//! ```
+//!
+//! Run the attribution report with `repro profile` (phase table, shard
+//! balance, memory table, `PROFILE.json` + optional collapsed-stack
+//! file), or the single-round walkthrough in
+//! `examples/profile_round.rs`.
+//!
 //! See `examples/` for runnable scenarios and `docs/ARCHITECTURE.md`
 //! for the architecture handbook (crate map, data flow, the engine's
 //! determinism invariants, and the new-protocol-flavor recipe).
@@ -290,6 +332,7 @@ pub use agb_maelstrom as maelstrom;
 pub use agb_membership as membership;
 pub use agb_metrics as metrics;
 pub use agb_perf as perf;
+pub use agb_profile as profile;
 pub use agb_recovery as recovery;
 pub use agb_runtime as runtime;
 pub use agb_sim as sim;
